@@ -1,0 +1,105 @@
+// Fig. 6, protocol-faithful variant: ONE continuous run through the
+// paper's exact phase structure (warmup at a fixed rate, a transition
+// trickle, then the benchmarking ladder where every arrival-rate step
+// lasts one dwell), with SLA compliance counted per interval by the
+// same per-minute bucketing the paper describes (Sec. V-A: "the system
+// counts the number of requests that meet or violate the SLA ... for
+// each minute" and points are 5-minute averages).
+//
+// The independent-points harness (fig6_s1_prediction) is statistically
+// cleaner; this run shows the method is insensitive to the protocol:
+// the series it prints should track the independent-point series.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+
+#include "calibration/online_metrics.hpp"
+#include "common/table.hpp"
+#include "core/system_model.hpp"
+#include "sim/cluster.hpp"
+#include "sim/source.hpp"
+#include "stats/sla.hpp"
+
+int main(int argc, char** argv) {
+  using cosm::Table;
+  double scale = 0.4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) scale = std::atof(argv[i] + 8);
+  }
+
+  cosm::sim::ClusterConfig config;
+  config.frontend_processes = 3;
+  config.device_count = 4;
+  config.processes_per_device = 1;
+  config.cache.index_miss_ratio = 0.3;
+  config.cache.meta_miss_ratio = 0.3;
+  config.cache.data_miss_ratio = 0.7;
+  config.seed = 1234;
+  cosm::sim::Cluster cluster(config);
+
+  cosm::workload::CatalogConfig cat_config;
+  cat_config.object_count = 20000;
+  cat_config.size_distribution = cosm::workload::default_size_distribution();
+  const cosm::workload::ObjectCatalog catalog(cat_config);
+  const cosm::workload::Placement placement(
+      {.partition_count = 1024, .replica_count = 3, .device_count = 4});
+
+  cosm::workload::PhasePlan plan;
+  plan.warmup_rate = 150.0;
+  plan.warmup_duration = 300.0 * scale;
+  plan.transition_rate = 10.0;
+  plan.transition_duration = 60.0 * scale;
+  plan.benchmark_start_rate = 20.0;
+  plan.benchmark_end_rate = 220.0;
+  plan.benchmark_rate_step = 20.0;
+  plan.benchmark_step_duration = 300.0 * scale;
+  cosm::sim::OpenLoopSource source(cluster, catalog, placement, plan,
+                                   cosm::Rng(88));
+
+  // The paper's measurement: count per minute, average per 5-minute step.
+  // Samples are retained only from the benchmark phase and fed into the
+  // per-interval counter after the run.
+  const double interval = 60.0 * scale;
+  cosm::stats::SlaCounter counter({0.010, 0.050, 0.100}, interval);
+  cluster.metrics().keep_request_samples = true;
+  cluster.metrics().sample_start_time = source.benchmark_start_time();
+
+  source.start();
+  cluster.engine().run_until(source.horizon());
+  cluster.engine().run_all();
+  for (const auto& sample : cluster.metrics().requests()) {
+    counter.record(sample.frontend_arrival, sample.response_latency);
+  }
+
+  const double bench_start = source.benchmark_start_time();
+  const auto first_interval =
+      static_cast<std::size_t>(bench_start / interval);
+  const auto intervals_per_step = static_cast<std::size_t>(
+      plan.benchmark_step_duration / interval + 0.5);
+
+  for (std::size_t s = 0; s < counter.sla_count(); ++s) {
+    Table table({"step", "rate(req/s)", "observed(5-interval avg)"});
+    double rate = plan.benchmark_start_rate;
+    std::size_t start = first_interval;
+    int step = 0;
+    while (rate <= plan.benchmark_end_rate + 1e-9 &&
+           start < counter.interval_count()) {
+      const std::size_t stop =
+          std::min(start + intervals_per_step, counter.interval_count());
+      table.add_row({std::to_string(step), Table::num(rate, 0),
+                     Table::percent(
+                         counter.fraction_met_over(s, start, stop))});
+      start = stop;
+      rate += plan.benchmark_rate_step;
+      ++step;
+    }
+    table.print(std::cout,
+                "Fig. 6 continuous-run protocol — SLA " +
+                    Table::num(counter.sla(s) * 1e3, 0) + " ms");
+    std::cout << '\n';
+  }
+  std::cout << "(compare against the independent-point series of "
+               "fig6_s1_prediction; agreement validates the protocol)\n";
+  return 0;
+}

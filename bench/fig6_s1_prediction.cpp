@@ -1,0 +1,21 @@
+// Fig. 6 reproduction: scenario S1 (one process per storage device).
+//
+// For each arrival rate of the benchmarking ladder and each SLA
+// (10/50/100 ms), prints the observed percentile of requests meeting the
+// SLA on the simulated cluster and the predictions of the full model, the
+// ODOPR baseline, and the noWTA baseline — the four curves of each Fig. 6
+// panel — plus our model's signed error (the bottom strip of each panel).
+//
+// Expected shape (paper Sec. V-B/V-C): our model tracks the observed
+// curve, ODOPR over-predicts the percentile badly, noWTA sits between,
+// and our model's accuracy degrades toward high load (WTA and queue-
+// length overestimation).
+#include "experiment.hpp"
+
+int main(int argc, char** argv) {
+  auto config = cosm::experiments::scenario_s1();
+  cosm::experiments::apply_scale_from_args(config, argc, argv);
+  const auto result = cosm::experiments::run_sweep(config);
+  cosm::experiments::print_sweep(result);
+  return 0;
+}

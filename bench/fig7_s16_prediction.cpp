@@ -1,0 +1,16 @@
+// Fig. 7 reproduction: scenario S16 (16 processes per storage device).
+//
+// Same sweep as Fig. 6 with N_be = 16.  Expected shape (paper Sec. V-B):
+// larger errors than S1 (M/M/1/K substitution is a systematic error
+// source), with our model tending to *over*-predict the percentile
+// because the model assumes requests spread uniformly over the 16
+// processes while batch accept() concentrates them.
+#include "experiment.hpp"
+
+int main(int argc, char** argv) {
+  auto config = cosm::experiments::scenario_s16();
+  cosm::experiments::apply_scale_from_args(config, argc, argv);
+  const auto result = cosm::experiments::run_sweep(config);
+  cosm::experiments::print_sweep(result);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Microbenchmarks (google-benchmark) for the numerics hot paths: Laplace
+// inversion (the cost of one percentile query), FFT grid convolution (the
+// cross-check path), distribution fitting (calibration cost), and a full
+// model build-and-predict cycle (the unit of every what-if sweep).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/system_model.hpp"
+#include "numerics/fft.hpp"
+#include "numerics/fitting.hpp"
+#include "numerics/grid.hpp"
+#include "numerics/lt_inversion.hpp"
+
+namespace {
+
+using namespace cosm::numerics;  // NOLINT — bench-local brevity
+
+void BM_EulerCdfInversion(benchmark::State& state) {
+  const Gamma gamma(2.8, 233.33);
+  const LaplaceFn lt = [&gamma](std::complex<double> s) {
+    return gamma.laplace(s);
+  };
+  double t = 0.001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cdf_from_laplace(lt, t));
+    t = t < 0.1 ? t + 0.001 : 0.001;
+  }
+}
+BENCHMARK(BM_EulerCdfInversion);
+
+void BM_TalbotInversion(benchmark::State& state) {
+  const Gamma gamma(2.8, 233.33);
+  const LaplaceFn lt = [&gamma](std::complex<double> s) {
+    return gamma.laplace(s) / s;
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(invert_talbot(lt, 0.02));
+  }
+}
+BENCHMARK(BM_TalbotInversion);
+
+void BM_FftConvolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n, 1.0 / static_cast<double>(n));
+  std::vector<double> b(n, 1.0 / static_cast<double>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(convolve(a, b));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_FftConvolve)->Range(1 << 8, 1 << 14)->Complexity();
+
+void BM_GammaMleFit(benchmark::State& state) {
+  cosm::Rng rng(7);
+  std::vector<double> samples(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : samples) x = rng.gamma(2.8, 233.33);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit_gamma(samples));
+  }
+}
+BENCHMARK(BM_GammaMleFit)->Arg(1000)->Arg(10000);
+
+void BM_GridDiscretize(benchmark::State& state) {
+  const Gamma gamma(2.8, 233.33);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GridDensity::discretize(gamma, 1e-4, 0.25));
+  }
+}
+BENCHMARK(BM_GridDiscretize);
+
+void BM_ModelBuildAndPredict(benchmark::State& state) {
+  cosm::core::SystemParams params;
+  params.frontend.arrival_rate = 120.0;
+  params.frontend.processes = 3;
+  params.frontend.frontend_parse = std::make_shared<Degenerate>(0.8e-3);
+  for (int d = 0; d < 4; ++d) {
+    cosm::core::DeviceParams device;
+    device.arrival_rate = 30.0;
+    device.data_read_rate = 36.0;
+    device.index_miss_ratio = 0.3;
+    device.meta_miss_ratio = 0.3;
+    device.data_miss_ratio = 0.7;
+    device.index_disk = std::make_shared<Gamma>(3.0, 300.0);
+    device.meta_disk = std::make_shared<Gamma>(2.5, 312.5);
+    device.data_disk = std::make_shared<Gamma>(2.8, 233.33);
+    device.backend_parse = std::make_shared<Degenerate>(0.5e-3);
+    params.devices.push_back(device);
+  }
+  for (auto _ : state) {
+    const cosm::core::SystemModel model(params);
+    benchmark::DoNotOptimize(model.predict_sla_percentile(0.1));
+  }
+}
+BENCHMARK(BM_ModelBuildAndPredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

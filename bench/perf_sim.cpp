@@ -1,0 +1,82 @@
+// Microbenchmarks (google-benchmark) for the discrete-event simulator:
+// raw engine scheduling throughput, disk queue throughput, and end-to-end
+// simulated-requests-per-second of the full cluster — the quantities that
+// bound how long the figure sweeps take.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "sim/cluster.hpp"
+#include "sim/engine.hpp"
+#include "sim/source.hpp"
+
+namespace {
+
+void BM_EngineScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    cosm::sim::Engine engine;
+    for (int i = 0; i < 10000; ++i) {
+      engine.schedule_at(static_cast<double>(i % 97), [] {});
+    }
+    engine.run_all();
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EngineScheduleAndRun);
+
+void BM_DiskQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    cosm::sim::Engine engine;
+    cosm::sim::Disk disk(engine, cosm::sim::default_hdd_profile(),
+                         cosm::Rng(1));
+    int remaining = 5000;
+    std::function<void()> feed = [&] {
+      if (remaining-- <= 0) return;
+      disk.submit(cosm::sim::AccessKind::kData, [&](double) { feed(); });
+    };
+    engine.schedule_at(0.0, feed);
+    engine.run_all();
+    benchmark::DoNotOptimize(disk.ops_completed());
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_DiskQueueThroughput);
+
+void BM_ClusterRequestsPerSecond(benchmark::State& state) {
+  cosm::workload::CatalogConfig cat_config;
+  cat_config.object_count = 5000;
+  cat_config.size_distribution =
+      cosm::workload::default_size_distribution();
+  const cosm::workload::ObjectCatalog catalog(cat_config);
+  const cosm::workload::Placement placement(
+      {.partition_count = 256, .replica_count = 3, .device_count = 4});
+  for (auto _ : state) {
+    cosm::sim::ClusterConfig config;
+    config.device_count = 4;
+    config.processes_per_device =
+        static_cast<std::uint32_t>(state.range(0));
+    cosm::sim::Cluster cluster(config);
+    cosm::workload::PhasePlan plan;
+    plan.warmup_duration = 0.0;
+    plan.transition_duration = 0.0;
+    plan.benchmark_start_rate = 150.0;
+    plan.benchmark_end_rate = 150.0;
+    plan.benchmark_step_duration = 30.0;
+    cosm::sim::OpenLoopSource source(cluster, catalog, placement, plan,
+                                     cosm::Rng(3));
+    source.start();
+    cluster.engine().run_until(source.horizon());
+    cluster.engine().run_all();
+    benchmark::DoNotOptimize(cluster.metrics().completed_requests());
+    state.SetItemsProcessed(
+        state.items_processed() +
+        static_cast<benchmark::IterationCount>(
+            cluster.metrics().completed_requests()));
+  }
+}
+BENCHMARK(BM_ClusterRequestsPerSecond)->Arg(1)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

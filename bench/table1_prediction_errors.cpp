@@ -1,0 +1,46 @@
+// Table I reproduction: "The summary of prediction errors for our model".
+//
+// Runs both scenario sweeps and reports, per scenario x SLA, the best,
+// worst, and mean absolute prediction error of the full model across the
+// modellable rate points, plus the overall mean (the paper's 4.44%).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "experiment.hpp"
+#include "stats/sla.hpp"
+
+int main(int argc, char** argv) {
+  using cosm::Table;
+  auto s1 = cosm::experiments::scenario_s1();
+  auto s16 = cosm::experiments::scenario_s16();
+  cosm::experiments::apply_scale_from_args(s1, argc, argv);
+  cosm::experiments::apply_scale_from_args(s16, argc, argv);
+
+  Table table({"scenario", "SLA", "best_case", "worst_case", "mean"});
+  cosm::stats::PredictionErrorSummary overall;
+  for (const auto* scenario : {&s1, &s16}) {
+    const auto result = cosm::experiments::run_sweep(*scenario);
+    for (std::size_t s = 0; s < scenario->slas.size(); ++s) {
+      cosm::stats::PredictionErrorSummary summary;
+      for (const auto& point : result.points) {
+        // The paper's analysis rule: skip overloaded and timeout points.
+        if (!point.model_ok || point.timeouts > 0) continue;
+        summary.add(point.ours[s], point.observed[s]);
+        overall.add(point.ours[s], point.observed[s]);
+      }
+      table.add_row({scenario->name,
+                     Table::num(scenario->slas[s] * 1e3, 0) + "ms",
+                     Table::percent(summary.best_case()),
+                     Table::percent(summary.worst_case()),
+                     Table::percent(summary.mean_abs_error())});
+    }
+  }
+  table.print(std::cout,
+              "Table I — summary of prediction errors for our model");
+  std::cout << "\noverall mean absolute error: "
+            << Table::percent(overall.mean_abs_error())
+            << "  (paper: 4.44%)\n";
+  std::cout << "overall worst case: " << Table::percent(overall.worst_case())
+            << "  (paper: 16.61%)\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Bottleneck identification (paper Sec. I): with hundreds of devices,
+// which one is dragging the system below its SLA?  Eq. 3 decomposes the
+// system percentile into per-device percentiles, so the model points at
+// the culprit analytically.  Here a hash imbalance concentrates traffic
+// on one device and a second device has a degraded (slow) disk; the
+// report ranks devices by their SLA compliance and shows each one's
+// contribution to the overall shortfall.
+//
+//   $ ./bottleneck_identification
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "example_common.hpp"
+
+int main() {
+  constexpr double kSla = 100e-3;
+  constexpr double kSystemRate = 160.0;
+
+  cosm::core::SystemParams params;
+  params.frontend.arrival_rate = kSystemRate;
+  params.frontend.processes = 3;
+  params.frontend.frontend_parse =
+      std::make_shared<cosm::numerics::Degenerate>(0.8e-3);
+
+  // 6 devices; device 2 receives a traffic hot spot, device 4 has a disk
+  // whose service times degraded by 60% (e.g. pending sector remaps).
+  const double shares[6] = {0.14, 0.14, 0.30, 0.14, 0.14, 0.14};
+  for (int d = 0; d < 6; ++d) {
+    auto device = cosm_examples::make_device(kSystemRate * shares[d]);
+    if (d == 4) {
+      device.index_disk =
+          std::make_shared<cosm::numerics::Gamma>(3.0, 187.5);   // 16 ms
+      device.meta_disk =
+          std::make_shared<cosm::numerics::Gamma>(2.5, 195.3);   // 12.8 ms
+      device.data_disk =
+          std::make_shared<cosm::numerics::Gamma>(2.8, 145.8);   // 19.2 ms
+    }
+    params.devices.push_back(device);
+  }
+
+  const cosm::core::SystemModel model(params);
+  const double system_percentile = model.predict_sla_percentile(kSla);
+  std::printf("system: P[latency <= %.0f ms] = %.2f%%\n\n", kSla * 1e3,
+              100.0 * system_percentile);
+
+  struct Row {
+    int device;
+    double share;
+    double percentile;
+    double shortfall_contribution;  // share * (1 - percentile)
+  };
+  std::vector<Row> rows;
+  for (int d = 0; d < 6; ++d) {
+    const double p = model.predict_sla_percentile_device(d, kSla);
+    rows.push_back({d, shares[d], p, shares[d] * (1.0 - p)});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.shortfall_contribution > b.shortfall_contribution;
+  });
+
+  std::printf("%-8s %-10s %-18s %s\n", "device", "traffic",
+              "P[<= SLA] (device)", "share of SLA misses");
+  double total_shortfall = 0.0;
+  for (const Row& row : rows) total_shortfall += row.shortfall_contribution;
+  for (const Row& row : rows) {
+    std::printf("%-8d %-10.0f%% %-18.2f %.1f%%\n", row.device,
+                row.share * 100.0, row.percentile * 100.0,
+                100.0 * row.shortfall_contribution / total_shortfall);
+  }
+  std::printf("\n=> device %d is the primary bottleneck; device %d is "
+              "second.  Rebalance the hot partitions and replace the "
+              "degraded disk.\n", rows[0].device, rows[1].device);
+  return 0;
+}

@@ -1,0 +1,266 @@
+// cosmsim — command-line driver for the model and the simulator.
+//
+// Runs the analytic model, the discrete-event simulator, or both on a
+// cluster described entirely by flags, and prints the SLA-percentile
+// table (plus the model-vs-simulated error when both run).
+//
+//   $ ./cosmsim --rate=120 --devices=4 --nbe=1 --slas=10,50,100
+//   $ ./cosmsim --mode=model --rate=300 --devices=10
+//   $ ./cosmsim --mode=sim --rate=80 --write-fraction=0.05 --duration=120
+//
+// Flags (defaults in brackets):
+//   --mode=model|sim|both   [both]
+//   --rate=<req/s>          [120]    system arrival rate
+//   --devices=<n>           [4]      storage devices
+//   --nbe=<n>               [1]      processes per device
+//   --nfe=<n>               [3]      frontend processes
+//   --miss-index=<f>        [0.3]    cache miss ratios
+//   --miss-meta=<f>         [0.3]
+//   --miss-data=<f>         [0.7]
+//   --slas=<ms,ms,...>      [10,50,100]
+//   --duration=<s>          [180]    simulated measurement time
+//   --warmup=<s>            [30]
+//   --write-fraction=<f>    [0]      PUT share (simulator only)
+//   --timeout=<s>           [0]      client timeout (simulator only)
+//   --seed=<n>              [42]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/system_model.hpp"
+#include "sim/cluster.hpp"
+#include "sim/source.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+struct Options {
+  std::string mode = "both";
+  double rate = 120.0;
+  unsigned devices = 4;
+  unsigned nbe = 1;
+  unsigned nfe = 3;
+  double miss_index = 0.3;
+  double miss_meta = 0.3;
+  double miss_data = 0.7;
+  std::vector<double> slas = {0.010, 0.050, 0.100};
+  double duration = 180.0;
+  double warmup = 30.0;
+  double write_fraction = 0.0;
+  double timeout = 0.0;
+  std::uint64_t seed = 42;
+};
+
+bool parse_flag(const char* arg, const char* name, std::string& out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  out = arg + len + 1;
+  return true;
+}
+
+Options parse(int argc, char** argv) {
+  Options options;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (parse_flag(arg, "--mode", value)) {
+      options.mode = value;
+    } else if (parse_flag(arg, "--rate", value)) {
+      options.rate = std::atof(value.c_str());
+    } else if (parse_flag(arg, "--devices", value)) {
+      options.devices = static_cast<unsigned>(std::atoi(value.c_str()));
+    } else if (parse_flag(arg, "--nbe", value)) {
+      options.nbe = static_cast<unsigned>(std::atoi(value.c_str()));
+    } else if (parse_flag(arg, "--nfe", value)) {
+      options.nfe = static_cast<unsigned>(std::atoi(value.c_str()));
+    } else if (parse_flag(arg, "--miss-index", value)) {
+      options.miss_index = std::atof(value.c_str());
+    } else if (parse_flag(arg, "--miss-meta", value)) {
+      options.miss_meta = std::atof(value.c_str());
+    } else if (parse_flag(arg, "--miss-data", value)) {
+      options.miss_data = std::atof(value.c_str());
+    } else if (parse_flag(arg, "--slas", value)) {
+      options.slas.clear();
+      std::stringstream ss(value);
+      std::string token;
+      while (std::getline(ss, token, ',')) {
+        options.slas.push_back(std::atof(token.c_str()) * 1e-3);
+      }
+    } else if (parse_flag(arg, "--duration", value)) {
+      options.duration = std::atof(value.c_str());
+    } else if (parse_flag(arg, "--warmup", value)) {
+      options.warmup = std::atof(value.c_str());
+    } else if (parse_flag(arg, "--write-fraction", value)) {
+      options.write_fraction = std::atof(value.c_str());
+    } else if (parse_flag(arg, "--timeout", value)) {
+      options.timeout = std::atof(value.c_str());
+    } else if (parse_flag(arg, "--seed", value)) {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (see header comment)\n", arg);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+cosm::sim::ClusterConfig cluster_config(const Options& options) {
+  cosm::sim::ClusterConfig config;
+  config.frontend_processes = options.nfe;
+  config.device_count = options.devices;
+  config.processes_per_device = options.nbe;
+  config.cache.index_miss_ratio = options.miss_index;
+  config.cache.meta_miss_ratio = options.miss_meta;
+  config.cache.data_miss_ratio = options.miss_data;
+  config.request_timeout = options.timeout;
+  config.seed = options.seed;
+  return config;
+}
+
+std::vector<double> run_model(const Options& options,
+                              const cosm::sim::ClusterConfig& finalized) {
+  cosm::core::SystemParams params;
+  params.frontend.arrival_rate = options.rate;
+  params.frontend.processes = options.nfe;
+  params.frontend.frontend_parse = finalized.frontend_parse;
+  for (unsigned d = 0; d < options.devices; ++d) {
+    cosm::core::DeviceParams device;
+    device.arrival_rate = options.rate / options.devices;
+    device.data_read_rate = device.arrival_rate * 1.2;
+    device.index_miss_ratio = options.miss_index;
+    device.meta_miss_ratio = options.miss_meta;
+    device.data_miss_ratio = options.miss_data;
+    device.index_disk = finalized.disk.index_service;
+    device.meta_disk = finalized.disk.meta_service;
+    device.data_disk = finalized.disk.data_service;
+    device.backend_parse = finalized.backend_parse;
+    device.processes = options.nbe;
+    params.devices.push_back(std::move(device));
+  }
+  const cosm::core::SystemModel model(params);
+  std::vector<double> out;
+  out.reserve(options.slas.size());
+  for (const double sla : options.slas) {
+    out.push_back(model.predict_sla_percentile(sla));
+  }
+  std::printf("model: mean latency %.2f ms, p95 bound %.2f ms\n",
+              model.mean_response_latency() * 1e3,
+              model.latency_quantile(0.95) * 1e3);
+  return out;
+}
+
+struct SimResult {
+  std::vector<double> percentiles;
+  std::uint64_t requests = 0;
+  std::uint64_t timeouts = 0;
+  double mean_latency = 0.0;
+};
+
+SimResult run_sim(const Options& options) {
+  cosm::sim::Cluster cluster(cluster_config(options));
+  cosm::workload::CatalogConfig cat_config;
+  cat_config.object_count = 20000;
+  cat_config.size_distribution = cosm::workload::default_size_distribution();
+  cat_config.seed = options.seed + 1;
+  const cosm::workload::ObjectCatalog catalog(cat_config);
+  const cosm::workload::Placement placement(
+      {.partition_count = 1024,
+       .replica_count = std::min(3u, options.devices),
+       .device_count = options.devices,
+       .seed = options.seed + 2});
+  cosm::workload::PhasePlan plan;
+  plan.warmup_rate = options.rate;
+  plan.warmup_duration = options.warmup;
+  plan.transition_duration = 0.0;
+  plan.benchmark_start_rate = options.rate;
+  plan.benchmark_end_rate = options.rate;
+  plan.benchmark_step_duration = options.duration;
+  cosm::sim::OpenLoopSource source(cluster, catalog, placement, plan,
+                                   cosm::Rng(options.seed + 3),
+                                   options.write_fraction);
+  cluster.metrics().sample_start_time = source.benchmark_start_time();
+  source.start();
+  cluster.engine().run_until(source.horizon());
+  cluster.engine().run_all();
+
+  SimResult result;
+  cosm::stats::SampleSet latencies;
+  for (const auto& sample : cluster.metrics().requests()) {
+    if (sample.timed_out || sample.is_write) continue;
+    latencies.add(sample.response_latency);
+  }
+  result.requests = cluster.metrics().completed_requests();
+  result.timeouts = cluster.metrics().timeouts();
+  result.mean_latency = latencies.mean();
+  for (const double sla : options.slas) {
+    result.percentiles.push_back(latencies.fraction_below(sla));
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse(argc, argv);
+  std::printf("cosmsim: %.0f req/s, %u devices, N_be=%u, N_fe=%u, miss "
+              "%.2f/%.2f/%.2f\n\n",
+              options.rate, options.devices, options.nbe, options.nfe,
+              options.miss_index, options.miss_meta, options.miss_data);
+
+  cosm::sim::ClusterConfig finalized = cluster_config(options);
+  finalized.finalize();
+
+  const bool want_model = options.mode == "model" || options.mode == "both";
+  const bool want_sim = options.mode == "sim" || options.mode == "both";
+  if (!want_model && !want_sim) {
+    std::fprintf(stderr, "bad --mode (model|sim|both)\n");
+    return 2;
+  }
+
+  std::vector<double> predicted;
+  if (want_model) {
+    try {
+      predicted = run_model(options, finalized);
+    } catch (const std::invalid_argument& error) {
+      std::printf("model: configuration overloaded (%s)\n", error.what());
+      if (!want_sim) return 1;
+    }
+  }
+  SimResult sim;
+  if (want_sim) {
+    sim = run_sim(options);
+    std::printf("sim:   %llu requests, %llu timeouts, mean read latency "
+                "%.2f ms\n",
+                static_cast<unsigned long long>(sim.requests),
+                static_cast<unsigned long long>(sim.timeouts),
+                sim.mean_latency * 1e3);
+  }
+  std::printf("\n");
+
+  std::vector<std::string> header = {"SLA"};
+  if (want_sim) header.push_back("simulated");
+  if (!predicted.empty()) header.push_back("model");
+  if (want_sim && !predicted.empty()) header.push_back("error");
+  cosm::Table table(header);
+  for (std::size_t i = 0; i < options.slas.size(); ++i) {
+    std::vector<std::string> row = {
+        cosm::Table::num(options.slas[i] * 1e3, 0) + "ms"};
+    if (want_sim) row.push_back(cosm::Table::percent(sim.percentiles[i]));
+    if (!predicted.empty()) {
+      row.push_back(cosm::Table::percent(predicted[i]));
+    }
+    if (want_sim && !predicted.empty()) {
+      row.push_back(
+          cosm::Table::percent(predicted[i] - sim.percentiles[i]));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout, "percentile of requests meeting each SLA");
+  return 0;
+}

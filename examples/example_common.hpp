@@ -1,0 +1,47 @@
+// Shared parameterization for the example programs: one HDD-backed device
+// profile (matching the defaults benchmarked throughout the repo) and
+// helpers to assemble SystemParams for a given topology and load.
+#pragma once
+
+#include <memory>
+
+#include "core/system_model.hpp"
+
+namespace cosm_examples {
+
+inline cosm::core::DeviceParams make_device(double arrival_rate,
+                                            unsigned processes = 1) {
+  using cosm::numerics::Degenerate;
+  using cosm::numerics::Gamma;
+  cosm::core::DeviceParams device;
+  device.arrival_rate = arrival_rate;
+  device.data_read_rate = arrival_rate * 1.2;  // ~32KB objects, 64KB chunks
+  device.index_miss_ratio = 0.3;
+  device.meta_miss_ratio = 0.3;
+  device.data_miss_ratio = 0.7;
+  device.index_disk = std::make_shared<Gamma>(3.0, 300.0);   // 10 ms
+  device.meta_disk = std::make_shared<Gamma>(2.5, 312.5);    //  8 ms
+  device.data_disk = std::make_shared<Gamma>(2.8, 233.33);   // 12 ms
+  device.backend_parse = std::make_shared<Degenerate>(0.5e-3);
+  device.processes = processes;
+  return device;
+}
+
+// An even-traffic cluster of `devices` storage devices at `system_rate`.
+inline cosm::core::SystemParams make_cluster(double system_rate,
+                                             unsigned devices,
+                                             unsigned processes_per_device =
+                                                 1) {
+  cosm::core::SystemParams params;
+  params.frontend.arrival_rate = system_rate;
+  params.frontend.processes = 3;
+  params.frontend.frontend_parse =
+      std::make_shared<cosm::numerics::Degenerate>(0.8e-3);
+  for (unsigned d = 0; d < devices; ++d) {
+    params.devices.push_back(make_device(
+        system_rate / static_cast<double>(devices), processes_per_device));
+  }
+  return params;
+}
+
+}  // namespace cosm_examples

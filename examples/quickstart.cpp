@@ -1,0 +1,66 @@
+// Quickstart: build the paper's model for a small cluster and predict the
+// percentile of requests meeting each SLA.
+//
+//   $ ./quickstart
+//
+// Walks through the three parameter groups (device performance properties,
+// system online metrics, topology), builds a SystemModel, and queries it.
+#include <cstdio>
+#include <memory>
+
+#include "core/system_model.hpp"
+
+int main() {
+  using cosm::numerics::Degenerate;
+  using cosm::numerics::Gamma;
+
+  // --- Device performance properties (Sec. IV-A: offline benchmarking) --
+  // Disk service times per operation kind; Gamma(k, l) has mean k / l.
+  const auto index_disk = std::make_shared<Gamma>(3.0, 300.0);   // 10 ms
+  const auto meta_disk = std::make_shared<Gamma>(2.5, 312.5);    //  8 ms
+  const auto data_disk = std::make_shared<Gamma>(2.8, 233.33);   // 12 ms
+  // Request parsing is constant on typical hardware.
+  const auto backend_parse = std::make_shared<Degenerate>(0.5e-3);
+  const auto frontend_parse = std::make_shared<Degenerate>(0.8e-3);
+
+  // --- System online metrics (Sec. IV-B: monitoring) --------------------
+  const double system_rate = 120.0;  // requests/s across the system
+  const double chunks_per_request = 1.2;  // r_data / r
+
+  cosm::core::SystemParams params;
+  params.frontend.arrival_rate = system_rate;
+  params.frontend.processes = 3;
+  params.frontend.frontend_parse = frontend_parse;
+
+  // Four storage devices sharing the traffic evenly, one process each
+  // (the paper's S1 configuration).
+  for (int d = 0; d < 4; ++d) {
+    cosm::core::DeviceParams device;
+    device.arrival_rate = system_rate / 4.0;
+    device.data_read_rate = device.arrival_rate * chunks_per_request;
+    device.index_miss_ratio = 0.3;
+    device.meta_miss_ratio = 0.3;
+    device.data_miss_ratio = 0.7;
+    device.index_disk = index_disk;
+    device.meta_disk = meta_disk;
+    device.data_disk = data_disk;
+    device.backend_parse = backend_parse;
+    device.processes = 1;
+    params.devices.push_back(device);
+  }
+
+  const cosm::core::SystemModel model(params);
+
+  std::printf("cluster: 4 devices (N_be=1), 3 frontend processes, "
+              "%.0f req/s\n\n", system_rate);
+  std::printf("%-10s %s\n", "SLA", "predicted percentile meeting it");
+  for (const double sla : {0.010, 0.050, 0.100}) {
+    std::printf("%4.0f ms    %6.2f%%\n", sla * 1e3,
+                100.0 * model.predict_sla_percentile(sla));
+  }
+  std::printf("\nmean response latency: %.2f ms\n",
+              1e3 * model.mean_response_latency());
+  std::printf("latency bound met by 95%% of requests: %.2f ms\n",
+              1e3 * model.latency_quantile(0.95));
+  return 0;
+}

@@ -1,0 +1,114 @@
+// End-to-end validation walkthrough: exactly what an operator would do
+// before trusting the model for capacity decisions.
+//
+//   1. benchmark the disk offline (Sec. IV-A)  -> fitted Gamma dists
+//   2. benchmark request parsing (Sec. IV-A)   -> parse dists
+//   3. run production-like traffic on the (simulated) cluster
+//   4. read the online metrics (Sec. IV-B)     -> rates + miss ratios
+//   5. build the model and compare predictions against what the cluster
+//      actually served.
+//
+//   $ ./validate_deployment [rate]
+#include <cstdio>
+#include <cstdlib>
+
+#include "calibration/disk_benchmark.hpp"
+#include "calibration/online_metrics.hpp"
+#include "calibration/parse_benchmark.hpp"
+#include "core/system_model.hpp"
+#include "sim/cluster.hpp"
+#include "sim/source.hpp"
+#include "stats/summary.hpp"
+
+int main(int argc, char** argv) {
+  const double rate = argc > 1 ? std::atof(argv[1]) : 120.0;
+
+  cosm::sim::ClusterConfig config;
+  config.frontend_processes = 3;
+  config.device_count = 4;
+  config.processes_per_device = 1;
+  config.cache.index_miss_ratio = 0.3;
+  config.cache.meta_miss_ratio = 0.3;
+  config.cache.data_miss_ratio = 0.7;
+  config.seed = 2024;
+  cosm::sim::Cluster cluster(config);
+
+  // --- 1. offline disk benchmark ----------------------------------------
+  const auto disk_cal = cosm::calibration::benchmark_disk(
+      cluster.config().disk, {.objects = 8000});
+  std::printf("disk calibration (best fit per op):\n");
+  for (const auto* fit : {&disk_cal.index, &disk_cal.meta, &disk_cal.data}) {
+    std::printf("  %-6s mean %.2f ms, winner=%s (KS %.4f)\n",
+                fit == &disk_cal.index ? "index"
+                : fit == &disk_cal.meta ? "meta"
+                                        : "data",
+                fit->mean * 1e3, fit->selection.best().name.c_str(),
+                fit->selection.best().ks);
+  }
+
+  // --- 2. parse benchmark ------------------------------------------------
+  const auto parse_cal = cosm::calibration::benchmark_parse(config);
+  std::printf("parse calibration: frontend %.3f ms, backend %.3f ms\n\n",
+              parse_cal.frontend_fit.best().dist->mean() * 1e3,
+              parse_cal.backend_fit.best().dist->mean() * 1e3);
+
+  // --- 3. production-like run -------------------------------------------
+  cosm::workload::CatalogConfig cat_config;
+  cat_config.object_count = 20000;
+  cat_config.size_distribution = cosm::workload::default_size_distribution();
+  const cosm::workload::ObjectCatalog catalog(cat_config);
+  const cosm::workload::Placement placement(
+      {.partition_count = 1024, .replica_count = 3, .device_count = 4});
+  cosm::workload::PhasePlan plan;
+  plan.warmup_rate = rate;
+  plan.warmup_duration = 30.0;
+  plan.transition_duration = 0.0;
+  plan.benchmark_start_rate = rate;
+  plan.benchmark_end_rate = rate;
+  plan.benchmark_step_duration = 240.0;
+  cosm::sim::OpenLoopSource source(cluster, catalog, placement, plan,
+                                   cosm::Rng(7));
+  cluster.metrics().sample_start_time = source.benchmark_start_time();
+  source.start();
+  cluster.engine().run_until(source.horizon());
+  cluster.engine().run_all();
+
+  // --- 4 + 5. observe, model, compare -----------------------------------
+  cosm::core::SystemParams params;
+  params.frontend.processes = config.frontend_processes;
+  params.frontend.frontend_parse = parse_cal.frontend_fit.best().dist;
+  double total_rate = 0.0;
+  for (std::uint32_t d = 0; d < 4; ++d) {
+    const auto obs = cosm::calibration::observe_device(
+        cluster.metrics(), d, source.horizon());
+    const double aggregate =
+        (obs.index_miss_ratio * obs.request_rate * disk_cal.index.mean +
+         obs.meta_miss_ratio * obs.request_rate * disk_cal.meta.mean +
+         obs.data_miss_ratio * obs.data_read_rate * disk_cal.data.mean) /
+        (obs.index_miss_ratio * obs.request_rate +
+         obs.meta_miss_ratio * obs.request_rate +
+         obs.data_miss_ratio * obs.data_read_rate);
+    params.devices.push_back(cosm::calibration::build_device_params(
+        obs, disk_cal, parse_cal.backend_fit.best().dist, 1, aggregate));
+    total_rate += obs.request_rate;
+  }
+  params.frontend.arrival_rate = total_rate;
+  const cosm::core::SystemModel model(params);
+
+  cosm::stats::SampleSet latencies;
+  for (const auto& sample : cluster.metrics().requests()) {
+    latencies.add(sample.response_latency);
+  }
+  std::printf("validation at %.0f req/s (%zu sampled requests):\n",
+              rate, latencies.count());
+  std::printf("%-10s %-12s %-12s %s\n", "SLA", "observed", "predicted",
+              "abs error");
+  for (const double sla : {0.010, 0.050, 0.100}) {
+    const double observed = latencies.fraction_below(sla);
+    const double predicted = model.predict_sla_percentile(sla);
+    std::printf("%-10.0fms %-12.2f %-12.2f %.2f pp\n", sla * 1e3,
+                observed * 100.0, predicted * 100.0,
+                std::abs(predicted - observed) * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "calibration/parse_benchmark.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "sim/cluster.hpp"
+
+namespace cosm::calibration {
+
+ParseCalibration benchmark_parse(const sim::ClusterConfig& base_config,
+                                 const ParseBenchmarkConfig& config) {
+  COSM_REQUIRE(config.requests >= 10,
+               "parse benchmark needs at least 10 requests");
+  sim::ClusterConfig bench_config = base_config;
+  // The hot-object trick: everything is served from memory.
+  bench_config.cache.mode = sim::CacheBankConfig::Mode::kProbabilistic;
+  bench_config.cache.index_miss_ratio = 0.0;
+  bench_config.cache.meta_miss_ratio = 0.0;
+  bench_config.cache.data_miss_ratio = 0.0;
+  bench_config.seed = config.seed;
+  sim::Cluster cluster(bench_config);
+
+  ParseCalibration calibration;
+  calibration.frontend_samples.reserve(config.requests);
+  calibration.backend_samples.reserve(config.requests);
+
+  const double d_net =
+      static_cast<double>(config.object_size_bytes) /
+      bench_config.network_bandwidth_bytes_per_sec;
+
+  // Closed loop with one outstanding request: submit, drain, measure.
+  for (std::uint32_t i = 0; i < config.requests; ++i) {
+    cluster.engine().schedule_after(1e-3, [&cluster, &config] {
+      cluster.submit_request(/*object_id=*/1, config.object_size_bytes, 0);
+    });
+    cluster.engine().run_all();
+    COSM_CHECK(cluster.metrics().requests().size() == i + 1,
+               "closed-loop request did not complete");
+    const sim::RequestSample& sample = cluster.metrics().requests().back();
+    const double d_fp = sample.response_latency;
+    const double d_bp = sample.backend_latency;
+    calibration.backend_samples.push_back(d_bp);
+    calibration.frontend_samples.push_back(
+        std::max(0.0, d_fp - d_bp - d_net));
+  }
+
+  calibration.frontend_fit =
+      numerics::fit_best(calibration.frontend_samples);
+  calibration.backend_fit = numerics::fit_best(calibration.backend_samples);
+  return calibration;
+}
+
+}  // namespace cosm::calibration

@@ -1,0 +1,40 @@
+// Section IV-A: "The distribution of request parsing latencies".
+//
+// The paper benchmarks the whole system closed-loop against one hot
+// object (so everything is served from cache) with max 1 outstanding
+// request (so nothing queues), recording per request
+//   D_fp — frontend receive -> frontend starts responding,
+//   D_bp — backend receive -> backend starts responding,
+// and computing
+//   backend parse  = D_bp,
+//   frontend parse = D_fp - D_bp - D_net,  D_net = size / bandwidth.
+// We run the identical procedure against the simulated cluster.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numerics/fitting.hpp"
+#include "sim/config.hpp"
+
+namespace cosm::calibration {
+
+struct ParseBenchmarkConfig {
+  std::uint32_t requests = 2000;
+  std::uint64_t object_size_bytes = 4096;
+  std::uint64_t seed = 13;
+};
+
+struct ParseCalibration {
+  std::vector<double> frontend_samples;
+  std::vector<double> backend_samples;
+  numerics::FitSelection frontend_fit;
+  numerics::FitSelection backend_fit;
+};
+
+// Benchmarks a cluster with the given configuration (caches forced to
+// all-hit for the run, mirroring the hot-object trick).
+ParseCalibration benchmark_parse(const sim::ClusterConfig& base_config,
+                                 const ParseBenchmarkConfig& config = {});
+
+}  // namespace cosm::calibration

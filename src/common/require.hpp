@@ -1,0 +1,54 @@
+// Precondition / invariant checking for the cosmodel libraries.
+//
+// COSM_REQUIRE validates user-facing preconditions (constructor arguments,
+// API call arguments) and throws std::invalid_argument with a message that
+// names the violated condition.  COSM_CHECK validates internal invariants
+// and throws std::logic_error.  Both stay enabled in release builds: the
+// model code is numerics-heavy and a silent NaN is far more expensive to
+// debug than a branch per call.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cosm {
+
+namespace detail {
+
+[[noreturn]] inline void throw_requirement(const char* cond, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement violated: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_check(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant violated: (" << cond << ") at " << file << ':'
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace cosm
+
+#define COSM_REQUIRE(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::cosm::detail::throw_requirement(#cond, __FILE__, __LINE__,      \
+                                        ::std::string(msg));            \
+    }                                                                   \
+  } while (false)
+
+#define COSM_CHECK(cond, msg)                                           \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::cosm::detail::throw_check(#cond, __FILE__, __LINE__,            \
+                                  ::std::string(msg));                  \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,70 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace cosm {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::thread::hardware_concurrency();
+    if (n_threads == 0) n_threads = 1;
+  }
+  workers_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for_index(
+    std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::future<void>> pending;
+  pending.reserve(workers_.size());
+  for (std::size_t t = 0; t + 1 < workers_.size(); ++t) {
+    pending.push_back(submit(drain));
+  }
+  drain();  // the calling thread participates
+  for (auto& f : pending) f.get();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace cosm

@@ -1,0 +1,63 @@
+// A small fixed-size thread pool used to parallelize embarrassingly
+// parallel work: arrival-rate sweep points in the experiment harnesses and
+// independent simulator replications in tests.
+//
+// The pool is deliberately minimal — submit() returns a std::future, and
+// parallel_for_index() blocks until every index has been processed.
+// Exceptions thrown by tasks propagate through the futures (and, for
+// parallel_for_index, are rethrown on the calling thread).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cosm {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 means "hardware concurrency, at least 1".
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  // Runs fn(i) for every i in [0, count), distributing indices across the
+  // pool.  Blocks until completion; rethrows the first task exception.
+  void parallel_for_index(std::size_t count,
+                          const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace cosm

@@ -1,0 +1,75 @@
+#include "core/frontend_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "numerics/quadrature.hpp"
+#include "queueing/mg1.hpp"
+
+namespace cosm::core {
+
+FrontendModel::FrontendModel(FrontendParams params)
+    : params_(std::move(params)) {
+  params_.validate();
+  if (params_.groups.empty()) {
+    const queueing::MG1 queue(per_process_rate(), params_.frontend_parse);
+    COSM_REQUIRE(queue.stable(),
+                 "frontend tier is overloaded (parse utilization >= 1)");
+    sojourn_ = queue.sojourn_time();
+    return;
+  }
+  // Heterogeneous tier (Sec. III-C): solve each homogeneous group's M/G/1
+  // separately and mix the sojourn distributions by traffic share.
+  std::vector<numerics::Mixture::Component> components;
+  components.reserve(params_.groups.size());
+  for (const auto& group : params_.groups) {
+    if (group.traffic_share == 0.0) continue;
+    const double group_rate = params_.arrival_rate * group.traffic_share /
+                              static_cast<double>(group.processes);
+    const queueing::MG1 queue(group_rate, group.frontend_parse);
+    COSM_REQUIRE(queue.stable(),
+                 "a frontend group is overloaded (parse utilization >= 1)");
+    components.push_back({group.traffic_share, queue.sojourn_time()});
+  }
+  sojourn_ = std::make_shared<numerics::Mixture>(std::move(components));
+}
+
+double FrontendModel::per_process_rate() const {
+  COSM_REQUIRE(params_.groups.empty(),
+               "per_process_rate is only defined for homogeneous tiers");
+  return params_.arrival_rate / static_cast<double>(params_.processes);
+}
+
+double FrontendModel::utilization() const {
+  if (params_.groups.empty()) {
+    return per_process_rate() * params_.frontend_parse->mean();
+  }
+  // The busiest group bounds the tier.
+  double worst = 0.0;
+  for (const auto& group : params_.groups) {
+    const double group_rate = params_.arrival_rate * group.traffic_share /
+                              static_cast<double>(group.processes);
+    worst = std::max(worst, group_rate * group.frontend_parse->mean());
+  }
+  return worst;
+}
+
+double exact_wta_cdf(const numerics::Distribution& lifetime, double t) {
+  if (t <= 0.0) return 0.0;
+  // CDF(t) = t ∫_t^∞ F_A(x)/x² dx.  Find an upper cut X where F_A ~ 1,
+  // then the remaining tail contributes exactly t/X.
+  double cut = std::max(t * 2.0, lifetime.mean() * 4.0 + t);
+  for (int i = 0; i < 60 && lifetime.cdf(cut) < 1.0 - 1e-7; ++i) {
+    cut *= 2.0;
+  }
+  // Adaptive: lifetime CDFs may have jumps (degenerate/mixture atoms) that
+  // fixed panels resolve poorly.
+  const double body = numerics::integrate_adaptive(
+      [&lifetime](double x) { return lifetime.cdf(x) / (x * x); }, t, cut,
+      1e-8, 30);
+  const double tail = 1.0 / cut;
+  return std::clamp(t * (body + tail), 0.0, 1.0);
+}
+
+}  // namespace cosm::core

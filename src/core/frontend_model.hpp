@@ -1,0 +1,45 @@
+// Frontend-tier model (Sec. III-C): per-process M/G/1 over request
+// parsing, plus the waiting-time-for-being-accept()-ed model.
+//
+//   S_q(s)  = (1 - parse_mean * r_i) s L[parse](s) /
+//             (r_i L[parse](s) + s - r_i)      (M/G/1 sojourn of parsing)
+//   W_a     = W_be                             (the paper's approximation)
+//
+// The exact accept-wait refinement the paper sketches and then
+// approximates away — a connection arriving uniformly at random during an
+// accept-operation lifetime x waits x - u, u ~ U(0, x) — is also provided
+// (exact_wta_cdf) for the ablation bench; integrating the paper's survival
+// expression by parts gives CDF_Wa(t) = t * ∫_t^∞ F_A(x) / x^2 dx.
+#pragma once
+
+#include "core/params.hpp"
+#include "numerics/compose.hpp"
+
+namespace cosm::core {
+
+class FrontendModel {
+ public:
+  explicit FrontendModel(FrontendParams params);
+
+  const FrontendParams& params() const { return params_; }
+
+  // Per-process arrival rate r_i = r / N_fe.
+  double per_process_rate() const;
+  double utilization() const;
+  bool stable() const { return utilization() < 1.0; }
+
+  // S_q: queueing + parsing latency at one frontend process.
+  numerics::DistPtr queueing_latency() const { return sojourn_; }
+
+ private:
+  FrontendParams params_;
+  numerics::DistPtr sojourn_;
+};
+
+// CDF at t of the *exact* accept-wait distribution given the accept
+// lifetime distribution A (= W_be by PASTA).  `lifetime_cdf` must be the
+// CDF of A.  Numerical: CDF(t) = t ∫_t^∞ F_A(x)/x² dx + 0 for t <= 0;
+// the integral's [X, ∞) tail is closed-form once F_A(x) ~ 1.
+double exact_wta_cdf(const numerics::Distribution& lifetime, double t);
+
+}  // namespace cosm::core

@@ -1,0 +1,99 @@
+// Model parameters — the inputs of Section III/IV.
+//
+// Two categories, as the paper classifies them (Sec. IV):
+//  * device performance properties (benchmarked offline): the disk
+//    service-time distributions per operation kind and the request-parsing
+//    distributions;
+//  * system online metrics (monitored): arrival rates, data-read rates,
+//    and cache miss ratios.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numerics/distribution.hpp"
+
+namespace cosm::core {
+
+// Everything the backend model needs for ONE storage device.
+struct DeviceParams {
+  // Request arrival rate r at this device (req/s).
+  double arrival_rate = 0.0;
+  // Data-read (chunk) arrival rate r_data >= r.
+  double data_read_rate = 0.0;
+
+  // Cache miss ratios m_index, m_meta, m_data.
+  double index_miss_ratio = 0.0;
+  double meta_miss_ratio = 0.0;
+  double data_miss_ratio = 0.0;
+
+  // Disk service-time distributions index_d, meta_d, data_d (Sec. IV-A;
+  // Gamma on the paper's testbed).
+  numerics::DistPtr index_disk;
+  numerics::DistPtr meta_disk;
+  numerics::DistPtr data_disk;
+
+  // Request parsing at the backend (Degenerate on the paper's testbed).
+  numerics::DistPtr backend_parse;
+
+  // N_be: number of processes dedicated to this device.
+  std::uint32_t processes = 1;
+
+  void validate() const;
+};
+
+// One homogeneous group of frontend processes.  Sec. III-C: "the frontend
+// tier of heterogeneous servers can be divided into several sets of
+// homogeneous servers, and the distribution of queueing latencies can be
+// calculated separately."
+struct FrontendGroup {
+  // Number of identical processes in this group.
+  std::uint32_t processes = 1;
+  // Fraction of system traffic routed to this group (weights over all
+  // groups must sum to 1).
+  double traffic_share = 1.0;
+  numerics::DistPtr frontend_parse;
+};
+
+// Frontend-tier parameters (shared by all devices).  The common
+// homogeneous case uses `processes` + `frontend_parse`; heterogeneous
+// tiers list `groups` instead (leaving frontend_parse null).
+struct FrontendParams {
+  // Total request arrival rate at the frontend tier (req/s).
+  double arrival_rate = 0.0;
+  // N_fe: number of frontend processes (homogeneous case).
+  std::uint32_t processes = 1;
+  numerics::DistPtr frontend_parse;
+  // Heterogeneous case: non-empty overrides the two fields above.
+  std::vector<FrontendGroup> groups;
+
+  void validate() const;
+};
+
+struct SystemParams {
+  FrontendParams frontend;
+  std::vector<DeviceParams> devices;
+
+  void validate() const;
+};
+
+// Model variants for the paper's baseline comparison (Sec. V-C) and the
+// disk-queue extension.
+struct ModelOptions {
+  // false: the noWTA baseline (no waiting time for being accept()-ed).
+  bool include_wta = true;
+  // true: the ODOPR baseline ("One Disk Operation Per Request"): index
+  // lookups, metadata reads and *extra* data reads all considered cache
+  // hits; only the first data read may touch the disk.
+  bool odopr = false;
+  // How the N_be > 1 shared disk queue is solved.  The paper uses the
+  // M/M/1/K substitution "for simplicity" and notes that any alternative
+  // with a closed-form sojourn transform would do; kMG1K plugs in the
+  // embedded-chain solution with exact state weights (see
+  // queueing::MG1K::sojourn_time), removing the exponential-service
+  // assumption the paper blames for S16's systematic error.
+  enum class DiskQueue { kMM1K, kMG1K };
+  DiskQueue disk_queue = DiskQueue::kMM1K;
+};
+
+}  // namespace cosm::core

@@ -1,0 +1,74 @@
+#include "core/system_model.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "numerics/roots.hpp"
+
+namespace cosm::core {
+
+using numerics::Convolution;
+using numerics::DistPtr;
+
+DeviceModel::DeviceModel(const FrontendModel& frontend, DeviceParams params,
+                         ModelOptions options)
+    : backend_(std::move(params), options) {
+  std::vector<DistPtr> components;
+  components.push_back(frontend.queueing_latency());  // S_q
+  if (options.include_wta) {
+    components.push_back(backend_.waiting_time());  // W_a = W_be
+  }
+  components.push_back(backend_.response_time());  // S_be
+  response_ = std::make_shared<Convolution>(std::move(components));
+}
+
+SystemModel::SystemModel(SystemParams params, ModelOptions options)
+    : frontend_(params.frontend) {
+  params.validate();
+  devices_.reserve(params.devices.size());
+  for (auto& device_params : params.devices) {
+    devices_.emplace_back(frontend_, std::move(device_params), options);
+    total_rate_ += devices_.back().arrival_rate();
+  }
+}
+
+double SystemModel::predict_sla_percentile(double sla) const {
+  COSM_REQUIRE(sla > 0, "SLA must be positive");
+  double weighted = 0.0;
+  for (const auto& device : devices_) {
+    weighted +=
+        device.arrival_rate() * device.response_time()->cdf(sla);
+  }
+  return weighted / total_rate_;
+}
+
+double SystemModel::predict_sla_percentile_device(std::size_t device,
+                                                  double sla) const {
+  COSM_REQUIRE(device < devices_.size(), "device index out of range");
+  COSM_REQUIRE(sla > 0, "SLA must be positive");
+  return devices_[device].response_time()->cdf(sla);
+}
+
+double SystemModel::latency_quantile(double percentile) const {
+  COSM_REQUIRE(percentile > 0 && percentile < 1,
+               "percentile must be in (0, 1)");
+  const auto residual = [this, percentile](double t) {
+    return predict_sla_percentile(t) - percentile;
+  };
+  double hi = mean_response_latency() * 2.0;
+  const double lo = hi * 1e-6;
+  const bool ok = numerics::expand_bracket_upward(residual, lo, hi);
+  COSM_REQUIRE(ok, "quantile could not be bracketed");
+  const auto root = numerics::brent(residual, lo, hi, 1e-9);
+  return root.x;
+}
+
+double SystemModel::mean_response_latency() const {
+  double weighted = 0.0;
+  for (const auto& device : devices_) {
+    weighted += device.arrival_rate() * device.response_time()->mean();
+  }
+  return weighted / total_rate_;
+}
+
+}  // namespace cosm::core

@@ -1,0 +1,57 @@
+// The assembled system model — the paper's headline deliverable.
+//
+// Per device j (Eq. 2):   S_fe_j = S_q * W_a * S_be_j
+// Whole system  (Eq. 3):  S(t)   = sum_j r_j S_j(t) / sum_j r_j
+//
+// predict_sla_percentile(sla) returns P[latency <= sla]: "the percentile
+// of requests meeting SLA".  ModelOptions selects the full model or the
+// noWTA / ODOPR baselines of Sec. V-C.
+#pragma once
+
+#include <vector>
+
+#include "core/backend_model.hpp"
+#include "core/frontend_model.hpp"
+#include "core/params.hpp"
+
+namespace cosm::core {
+
+class DeviceModel {
+ public:
+  DeviceModel(const FrontendModel& frontend, DeviceParams params,
+              ModelOptions options);
+
+  const BackendModel& backend() const { return backend_; }
+  // S_fe: the device's response-latency distribution at the frontend.
+  numerics::DistPtr response_time() const { return response_; }
+  double arrival_rate() const { return backend_.params().arrival_rate; }
+
+ private:
+  BackendModel backend_;
+  numerics::DistPtr response_;
+};
+
+class SystemModel {
+ public:
+  explicit SystemModel(SystemParams params, ModelOptions options = {});
+
+  const FrontendModel& frontend() const { return frontend_; }
+  const std::vector<DeviceModel>& devices() const { return devices_; }
+
+  // P[response latency <= sla] over the whole system (Eq. 3).
+  double predict_sla_percentile(double sla) const;
+  // Same, restricted to one device.
+  double predict_sla_percentile_device(std::size_t device,
+                                       double sla) const;
+  // Inverse: latency bound such that `percentile` of requests meet it.
+  double latency_quantile(double percentile) const;
+  // Rate-weighted mean response latency (for what-if analyses).
+  double mean_response_latency() const;
+
+ private:
+  FrontendModel frontend_;
+  std::vector<DeviceModel> devices_;
+  double total_rate_ = 0.0;
+};
+
+}  // namespace cosm::core

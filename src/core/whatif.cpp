@@ -1,0 +1,112 @@
+#include "core/whatif.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/require.hpp"
+
+namespace cosm::core {
+
+void SlaTarget::validate() const {
+  COSM_REQUIRE(sla > 0, "SLA bound must be positive");
+  COSM_REQUIRE(percentile > 0 && percentile < 1,
+               "target percentile must be in (0, 1)");
+}
+
+bool meets_target(const SystemParams& params, const SlaTarget& target,
+                  ModelOptions options) {
+  target.validate();
+  try {
+    const SystemModel model(params, options);
+    return model.predict_sla_percentile(target.sla) >= target.percentile;
+  } catch (const std::invalid_argument&) {
+    return false;  // overloaded => certainly not meeting the target
+  }
+}
+
+std::optional<unsigned> min_devices_for(const ClusterFactory& factory,
+                                        double total_rate,
+                                        const SlaTarget& target,
+                                        unsigned min_devices,
+                                        unsigned max_devices,
+                                        ModelOptions options) {
+  COSM_REQUIRE(factory != nullptr, "cluster factory required");
+  COSM_REQUIRE(min_devices >= 1 && min_devices <= max_devices,
+               "device range must be non-empty");
+  // Compliance is monotone in the device count (less load per device), so
+  // binary search applies; guard with the endpoints first.
+  if (!meets_target(factory(total_rate, max_devices), target, options)) {
+    return std::nullopt;
+  }
+  unsigned lo = min_devices;  // possibly non-compliant
+  unsigned hi = max_devices;  // compliant
+  if (meets_target(factory(total_rate, lo), target, options)) return lo;
+  while (hi - lo > 1) {
+    const unsigned mid = lo + (hi - lo) / 2;
+    if (meets_target(factory(total_rate, mid), target, options)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double max_admission_rate(const ClusterFactory& factory,
+                          unsigned device_count, const SlaTarget& target,
+                          double rate_limit, double tolerance,
+                          ModelOptions options) {
+  COSM_REQUIRE(factory != nullptr, "cluster factory required");
+  COSM_REQUIRE(rate_limit > 0, "rate limit must be positive");
+  COSM_REQUIRE(tolerance > 0, "tolerance must be positive");
+  const auto ok = [&](double rate) {
+    return meets_target(factory(rate, device_count), target, options);
+  };
+  if (ok(rate_limit)) return rate_limit;
+  double lo = 0.0;
+  double hi = rate_limit;
+  // Find any compliant rate to anchor the bisection.
+  double probe = rate_limit / 2.0;
+  while (probe > tolerance && !ok(probe)) probe /= 2.0;
+  if (probe <= tolerance) return 0.0;
+  lo = probe;
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    (ok(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+std::vector<std::optional<unsigned>> elastic_schedule(
+    const ClusterFactory& factory, const std::vector<double>& period_rates,
+    const SlaTarget& target, unsigned max_devices, ModelOptions options) {
+  std::vector<std::optional<unsigned>> schedule;
+  schedule.reserve(period_rates.size());
+  for (const double rate : period_rates) {
+    schedule.push_back(
+        min_devices_for(factory, rate, target, 1, max_devices, options));
+  }
+  return schedule;
+}
+
+std::vector<std::pair<std::size_t, double>> sla_miss_contributions(
+    const SystemModel& model, double sla) {
+  COSM_REQUIRE(sla > 0, "SLA bound must be positive");
+  std::vector<std::pair<std::size_t, double>> contributions;
+  double total = 0.0;
+  for (std::size_t d = 0; d < model.devices().size(); ++d) {
+    const auto& device = model.devices()[d];
+    const double missed =
+        device.arrival_rate() * (1.0 - device.response_time()->cdf(sla));
+    contributions.emplace_back(d, missed);
+    total += missed;
+  }
+  for (auto& [device, value] : contributions) {
+    value = total > 0 ? value / total : 0.0;
+  }
+  std::sort(contributions.begin(), contributions.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return contributions;
+}
+
+}  // namespace cosm::core

@@ -1,0 +1,70 @@
+// What-if analyses (paper Sec. I): the three applications that motivate
+// having an analytic model at all — capacity planning, overload control,
+// and elastic storage — exposed as library functions over SystemModel so
+// operators (and the example programs) don't re-derive the searches.
+//
+// All functions treat "overloaded" (model precondition violation) as
+// "target not met" rather than propagating the exception: an overloaded
+// configuration certainly misses any SLA target (the paper's "it is
+// enough to know that the system does not perform well in such
+// situations").
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/system_model.hpp"
+
+namespace cosm::core {
+
+struct SlaTarget {
+  double sla = 0.1;           // latency bound, seconds
+  double percentile = 0.95;   // required fraction meeting it
+
+  void validate() const;
+};
+
+// Builds SystemParams for a candidate configuration: given a total
+// arrival rate and a device count, returns the parameter set to evaluate.
+// Callers encode their hardware assumptions (disk profiles, miss ratios,
+// process counts) inside the factory.
+using ClusterFactory =
+    std::function<SystemParams(double total_rate, unsigned device_count)>;
+
+// Whether `params` meets the target; false when overloaded.
+bool meets_target(const SystemParams& params, const SlaTarget& target,
+                  ModelOptions options = {});
+
+// Capacity planning: smallest device count in [min_devices, max_devices]
+// meeting the target at `total_rate`; nullopt if none does.
+std::optional<unsigned> min_devices_for(const ClusterFactory& factory,
+                                        double total_rate,
+                                        const SlaTarget& target,
+                                        unsigned min_devices,
+                                        unsigned max_devices,
+                                        ModelOptions options = {});
+
+// Overload control: largest admitted rate in (0, rate_limit] meeting the
+// target with `device_count` devices, found by bisection to `tolerance`
+// (requests/s).  Returns 0 when even vanishing load misses the target.
+double max_admission_rate(const ClusterFactory& factory,
+                          unsigned device_count, const SlaTarget& target,
+                          double rate_limit, double tolerance = 0.5,
+                          ModelOptions options = {});
+
+// Elastic storage: per-period minimum active device counts for a workload
+// curve (e.g. hourly rates); entries are nullopt where even max_devices
+// misses the target.
+std::vector<std::optional<unsigned>> elastic_schedule(
+    const ClusterFactory& factory, const std::vector<double>& period_rates,
+    const SlaTarget& target, unsigned max_devices,
+    ModelOptions options = {});
+
+// Bottleneck identification: per-device share of SLA misses,
+// share_j = r_j (1 - F_j(sla)) / sum_k r_k (1 - F_k(sla)), descending by
+// contribution.  Pairs of (device index, contribution in [0, 1]).
+std::vector<std::pair<std::size_t, double>> sla_miss_contributions(
+    const SystemModel& model, double sla);
+
+}  // namespace cosm::core

@@ -1,0 +1,115 @@
+// Distribution combinators — the algebra the paper's model is written in.
+//
+//  * Mixture        — "serve from cache w.p. 1-m (zero latency), from disk
+//                     w.p. m" is a two-component mixture (Sec. III-B:
+//                     index(t) = m·index_d(t) + (1-m)·δ(t)).
+//  * Convolution    — latency components in sequence add; transforms
+//                     multiply (Eq. 1 and Eq. 2 of the paper).
+//  * CompoundPoissonConvolution — the union-operation service time: a fixed
+//                     base (parse * index * meta * data) convolved with a
+//                     Poisson(p)-distributed number of extra data reads.
+//                     L[B](s) = L[base](s) · exp(p·(L[extra](s) − 1)).
+//  * LaplaceDistribution — wraps a transform produced by queueing formulas
+//                     (P–K waiting time, M/M/1/K sojourn) as a Distribution;
+//                     transform-only, so sample() throws.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "numerics/distribution.hpp"
+#include "numerics/lt_inversion.hpp"
+
+namespace cosm::numerics {
+
+class Mixture final : public Distribution {
+ public:
+  struct Component {
+    double weight;
+    DistPtr dist;
+  };
+
+  // Weights must be non-negative and sum to 1 (within 1e-9).
+  explicit Mixture(std::vector<Component> components);
+
+  std::string name() const override;
+  std::complex<double> laplace(std::complex<double> s) const override;
+  double mean() const override;
+  double second_moment() const override;
+  double third_moment() const override;
+  double cdf(double t) const override;
+  double sample(Rng& rng) const override;
+
+  const std::vector<Component>& components() const { return components_; }
+
+ private:
+  std::vector<Component> components_;
+};
+
+// Builds the paper's cache-hit/miss mixture: an atom at zero with
+// probability (1 - miss_ratio) plus `on_miss` with probability miss_ratio.
+DistPtr atom_at_zero_mixture(double miss_ratio, DistPtr on_miss);
+
+class Convolution final : public Distribution {
+ public:
+  // Sum of independent non-negative parts; at least one part required.
+  explicit Convolution(std::vector<DistPtr> parts);
+
+  std::string name() const override;
+  std::complex<double> laplace(std::complex<double> s) const override;
+  double mean() const override;
+  double second_moment() const override;
+  double third_moment() const override;
+  double sample(Rng& rng) const override;
+
+  const std::vector<DistPtr>& parts() const { return parts_; }
+
+ private:
+  std::vector<DistPtr> parts_;
+};
+
+// base + sum of N i.i.d. `extra` terms with N ~ Poisson(rate).
+class CompoundPoissonConvolution final : public Distribution {
+ public:
+  CompoundPoissonConvolution(DistPtr base, double rate, DistPtr extra);
+
+  std::string name() const override;
+  std::complex<double> laplace(std::complex<double> s) const override;
+  double mean() const override;
+  double second_moment() const override;
+  double third_moment() const override;
+  double sample(Rng& rng) const override;
+
+  double rate() const { return rate_; }
+
+ private:
+  DistPtr base_;
+  double rate_;
+  DistPtr extra_;
+};
+
+class LaplaceDistribution final : public Distribution {
+ public:
+  // `second_moment` may be NaN when the caller has no closed form.
+  LaplaceDistribution(std::string name, LaplaceFn lt, double mean,
+                      double second_moment);
+
+  std::string name() const override { return name_; }
+  std::complex<double> laplace(std::complex<double> s) const override {
+    return lt_(s);
+  }
+  double mean() const override { return mean_; }
+  double second_moment() const override { return second_moment_; }
+
+ private:
+  std::string name_;
+  LaplaceFn lt_;
+  double mean_;
+  double second_moment_;
+};
+
+// Convenience: convolve two or three distributions.
+DistPtr convolve_dists(std::vector<DistPtr> parts);
+
+}  // namespace cosm::numerics

@@ -1,0 +1,126 @@
+#include "numerics/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/require.hpp"
+
+namespace cosm::numerics {
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+// Iterative radix-2 Cooley–Tukey; n must be a power of two.
+void fft_radix2(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& value : a) value *= scale;
+  }
+}
+
+// Bluestein's chirp-z transform: expresses an arbitrary-size DFT as a
+// power-of-two convolution.
+void fft_bluestein(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  const std::size_t m = next_pow2(2 * n - 1);
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<std::complex<double>> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n keeps the phase argument bounded for large k.
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double angle =
+        sign * std::numbers::pi * static_cast<double>(k2) /
+        static_cast<double>(n);
+    chirp[k] = std::complex<double>(std::cos(angle), std::sin(angle));
+  }
+  std::vector<std::complex<double>> x(m, {0.0, 0.0});
+  std::vector<std::complex<double>> y(m, {0.0, 0.0});
+  for (std::size_t k = 0; k < n; ++k) x[k] = a[k] * chirp[k];
+  y[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    y[k] = y[m - k] = std::conj(chirp[k]);
+  }
+  fft_radix2(x, false);
+  fft_radix2(y, false);
+  for (std::size_t k = 0; k < m; ++k) x[k] *= y[k];
+  fft_radix2(x, true);
+  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * chirp[k];
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& value : a) value *= scale;
+  }
+}
+
+}  // namespace
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  COSM_REQUIRE(!data.empty(), "fft input must be non-empty");
+  if (data.size() == 1) return;
+  if (is_pow2(data.size())) {
+    fft_radix2(data, inverse);
+  } else {
+    fft_bluestein(data, inverse);
+  }
+}
+
+std::vector<std::complex<double>> fft_forward(
+    std::vector<std::complex<double>> data) {
+  fft(data, false);
+  return data;
+}
+
+std::vector<std::complex<double>> fft_inverse(
+    std::vector<std::complex<double>> data) {
+  fft(data, true);
+  return data;
+}
+
+std::vector<double> convolve(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  COSM_REQUIRE(!a.empty() && !b.empty(), "convolve inputs must be non-empty");
+  const std::size_t out_size = a.size() + b.size() - 1;
+  const std::size_t n = next_pow2(out_size);
+  std::vector<std::complex<double>> fa(n, {0.0, 0.0});
+  std::vector<std::complex<double>> fb(n, {0.0, 0.0});
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = b[i];
+  fft(fa, false);
+  fft(fb, false);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  fft(fa, true);
+  std::vector<double> out(out_size);
+  for (std::size_t i = 0; i < out_size; ++i) out[i] = fa[i].real();
+  return out;
+}
+
+}  // namespace cosm::numerics

@@ -1,0 +1,35 @@
+// Fast Fourier transforms implemented from scratch.
+//
+// The radix-2 iterative Cooley–Tukey kernel handles power-of-two sizes;
+// Bluestein's chirp-z algorithm extends it to arbitrary sizes.  The main
+// client is grid convolution (src/numerics/grid.hpp), which convolves
+// discretized latency densities as a cross-check on Laplace-transform
+// inversion and as an alternative prediction path.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace cosm::numerics {
+
+// In-place forward/inverse DFT.  data.size() may be any positive value;
+// power-of-two sizes take the radix-2 fast path.  The inverse transform is
+// normalized by 1/N.
+void fft(std::vector<std::complex<double>>& data, bool inverse);
+
+// Convenience wrappers.
+std::vector<std::complex<double>> fft_forward(
+    std::vector<std::complex<double>> data);
+std::vector<std::complex<double>> fft_inverse(
+    std::vector<std::complex<double>> data);
+
+// Linear convolution of two real sequences via zero-padded FFT; result has
+// size a.size() + b.size() - 1.
+std::vector<double> convolve(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+}  // namespace cosm::numerics

@@ -1,0 +1,109 @@
+#include "numerics/lt_inversion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/require.hpp"
+#include "numerics/roots.hpp"
+
+namespace cosm::numerics {
+
+double invert_euler(const LaplaceFn& lt, double t, int m) {
+  COSM_REQUIRE(t > 0, "euler inversion requires t > 0");
+  COSM_REQUIRE(m >= 2 && m <= 30, "euler M out of the stable range [2, 30]");
+  // Abate & Whitt (2006): f(t) ~ (1/t) sum_{k=0}^{2M} eta_k Re lt(beta_k/t)
+  // with beta_k = M ln(10)/3 + i pi k and Euler-smoothed weights eta_k.
+  const int terms = 2 * m + 1;
+  std::vector<double> xi(terms);
+  xi[0] = 0.5;
+  for (int k = 1; k <= m; ++k) xi[k] = 1.0;
+  xi[2 * m] = std::pow(2.0, -m);
+  for (int k = 1; k < m; ++k) {
+    // xi_{2M-k} = xi_{2M-k+1} + 2^{-M} C(M, k), built up iteratively.
+    double binom = std::exp(std::lgamma(m + 1.0) - std::lgamma(k + 1.0) -
+                            std::lgamma(m - k + 1.0));
+    xi[2 * m - k] = xi[2 * m - k + 1] + std::pow(2.0, -m) * binom;
+  }
+  const double a = m * std::numbers::ln10 / 3.0;
+  const double scale = std::pow(10.0, m / 3.0);
+  double sum = 0.0;
+  for (int k = 0; k < terms; ++k) {
+    const std::complex<double> beta(a, std::numbers::pi * k);
+    const double eta = (k % 2 == 0 ? 1.0 : -1.0) * xi[k] * scale;
+    sum += eta * lt(beta / t).real();
+  }
+  return sum / t;
+}
+
+double invert_talbot(const LaplaceFn& lt, double t, int m) {
+  COSM_REQUIRE(t > 0, "talbot inversion requires t > 0");
+  COSM_REQUIRE(m >= 4, "talbot needs at least 4 nodes");
+  // Fixed-Talbot (Abate & Valkó 2004): contour s(theta) = r theta (cot
+  // theta + i), r = 2m / (5t).
+  const double r = 2.0 * m / (5.0 * t);
+  double sum = 0.5 * std::exp(r * t) * lt(std::complex<double>(r, 0.0)).real();
+  for (int k = 1; k < m; ++k) {
+    const double theta = k * std::numbers::pi / m;
+    const double cot = std::cos(theta) / std::sin(theta);
+    const std::complex<double> s(r * theta * cot, r * theta);
+    const double sigma = theta + (theta * cot - 1.0) * cot;
+    const std::complex<double> ds(1.0, sigma);  // (1 + i sigma)
+    const std::complex<double> term = std::exp(s * t) * lt(s) * ds;
+    sum += term.real();
+  }
+  return sum * r / m;
+}
+
+double invert_gaver_stehfest(const RealLaplaceFn& lt, double t, int n) {
+  COSM_REQUIRE(t > 0, "gaver-stehfest inversion requires t > 0");
+  COSM_REQUIRE(n >= 2 && n % 2 == 0 && n <= 18,
+               "gaver-stehfest n must be even and in [2, 18]");
+  const int half = n / 2;
+  const double ln2_over_t = std::numbers::ln2 / t;
+  double sum = 0.0;
+  for (int k = 1; k <= n; ++k) {
+    // Stehfest weight V_k.
+    double v = 0.0;
+    const int j_lo = (k + 1) / 2;
+    const int j_hi = std::min(k, half);
+    for (int j = j_lo; j <= j_hi; ++j) {
+      // j^{n/2} (2j)! / ((n/2 - j)! j! (j-1)! (k-j)! (2j-k)!)
+      const double log_term =
+          half * std::log(static_cast<double>(j)) + std::lgamma(2.0 * j + 1.0) -
+          std::lgamma(half - j + 1.0) - std::lgamma(j + 1.0) -
+          std::lgamma(static_cast<double>(j)) - std::lgamma(k - j + 1.0) -
+          std::lgamma(2.0 * j - k + 1.0);
+      v += std::exp(log_term);
+    }
+    if ((k + half) % 2 != 0) v = -v;
+    sum += v * lt(k * ln2_over_t);
+  }
+  return sum * ln2_over_t;
+}
+
+double cdf_from_laplace(const LaplaceFn& lt, double t, int m) {
+  if (t <= 0.0) return 0.0;
+  const auto cdf_lt = [&lt](std::complex<double> s) { return lt(s) / s; };
+  const double value = invert_euler(cdf_lt, t, m);
+  return std::clamp(value, 0.0, 1.0);
+}
+
+double quantile_from_laplace(const LaplaceFn& lt, double p, double mean_hint,
+                             double t_max) {
+  COSM_REQUIRE(p > 0 && p < 1, "quantile level must be in (0, 1)");
+  COSM_REQUIRE(mean_hint > 0, "mean hint must be positive");
+  const auto residual = [&](double t) { return cdf_from_laplace(lt, t) - p; };
+  double lo = mean_hint * 1e-6;
+  double hi = std::max(mean_hint, lo * 2.0);
+  while (residual(lo) > 0 && lo > 1e-14 * mean_hint) lo *= 0.1;
+  bool bracketed = expand_bracket_upward(residual, lo, hi);
+  COSM_REQUIRE(bracketed && hi <= t_max,
+               "quantile could not be bracketed below t_max");
+  const RootResult root = brent(residual, lo, hi, 1e-10 * mean_hint);
+  COSM_REQUIRE(root.converged, "quantile root search did not converge");
+  return root.x;
+}
+
+}  // namespace cosm::numerics

@@ -1,0 +1,51 @@
+// Numerical inversion of Laplace transforms.
+//
+// The model's outputs (waiting-time and response-latency distributions)
+// exist only as Laplace transforms; predicting "the percentile of requests
+// meeting a 100 ms SLA" means evaluating the CDF at the SLA, i.e. inverting
+// L[F](s) = L[f](s) / s at t = SLA.  Three classic algorithms are provided:
+//
+//  * Euler (Abate–Whitt 2006 unified framework) — the default.  Robust for
+//    CDFs (bounded, monotone), needs complex evaluations on a vertical
+//    contour Re s = const > 0.
+//  * Fixed Talbot (Abate–Valkó) — deformed contour, excellent for smooth
+//    transforms; used as a cross-check.
+//  * Gaver–Stehfest — real-axis only; useful for transforms that are only
+//    cheap to evaluate for real s, and as a third opinion in tests.
+//
+// At a jump discontinuity of F these methods converge to the midpoint; SLA
+// evaluation points in the experiments sit away from the model's atoms.
+#pragma once
+
+#include <complex>
+#include <functional>
+
+namespace cosm::numerics {
+
+using LaplaceFn = std::function<std::complex<double>(std::complex<double>)>;
+using RealLaplaceFn = std::function<double(double)>;
+
+// Inverts L[f] at t > 0 with the Euler algorithm using 2M+1 terms.
+// M around 20 is the sweet spot in double precision (the binomial weights
+// grow like 10^{M/3}; beyond ~M=25 cancellation dominates).
+double invert_euler(const LaplaceFn& lt, double t, int m = 20);
+
+// Inverts L[f] at t > 0 with the fixed-Talbot algorithm using m nodes.
+double invert_talbot(const LaplaceFn& lt, double t, int m = 32);
+
+// Inverts L[f] at t > 0 with Gaver–Stehfest using n terms (n even, <= 18).
+double invert_gaver_stehfest(const RealLaplaceFn& lt, double t, int n = 16);
+
+// Evaluates the CDF at t of the distribution whose density transform is
+// `lt`, by inverting lt(s)/s; the result is clamped to [0, 1].  t <= 0
+// returns 0 (our latencies are strictly positive away from atoms at zero,
+// where inversion is ill-posed anyway).
+double cdf_from_laplace(const LaplaceFn& lt, double t, int m = 20);
+
+// Finds the p-quantile of the same distribution by bracketing + Brent on
+// cdf_from_laplace.  `mean_hint` seeds the bracket (use the distribution
+// mean).  Throws if the quantile cannot be bracketed below `t_max`.
+double quantile_from_laplace(const LaplaceFn& lt, double p, double mean_hint,
+                             double t_max = 1e9);
+
+}  // namespace cosm::numerics

@@ -1,0 +1,36 @@
+// Scalar root finding and minimization used across the model: Brent's
+// method drives quantile-from-CDF searches, the Gamma-MLE shape equation,
+// and capacity-planning "what-if" inversions.
+#pragma once
+
+#include <functional>
+
+namespace cosm::numerics {
+
+struct RootResult {
+  double x = 0.0;
+  double f = 0.0;          // residual at x
+  int iterations = 0;
+  bool converged = false;
+};
+
+// Brent's method on [lo, hi].  Requires f(lo) and f(hi) to bracket a root
+// (opposite signs, or one of them within tol of zero).
+RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+                 double x_tol = 1e-12, int max_iter = 200);
+
+// Newton iteration with a derivative, safeguarded by bisection against the
+// supplied bracket.  Used where the derivative is cheap (digamma/trigamma).
+RootResult newton_safeguarded(const std::function<double(double)>& f,
+                              const std::function<double(double)>& dfdx,
+                              double x0, double lo, double hi,
+                              double x_tol = 1e-12, int max_iter = 100);
+
+// Expands [lo, hi] geometrically upward until f changes sign or the limit
+// is reached.  Returns true and updates hi on success.  Handy for quantile
+// searches where the upper bound is unknown.
+bool expand_bracket_upward(const std::function<double(double)>& f, double lo,
+                           double& hi, double growth = 2.0,
+                           int max_steps = 80);
+
+}  // namespace cosm::numerics

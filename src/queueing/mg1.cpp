@@ -1,0 +1,109 @@
+#include "queueing/mg1.hpp"
+
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <numbers>
+
+#include "numerics/fft.hpp"
+
+#include "common/require.hpp"
+
+namespace cosm::queueing {
+
+using numerics::DistPtr;
+using numerics::LaplaceDistribution;
+
+MG1::MG1(double arrival_rate, DistPtr service)
+    : arrival_rate_(arrival_rate), service_(std::move(service)) {
+  COSM_REQUIRE(arrival_rate > 0, "M/G/1 arrival rate must be positive");
+  COSM_REQUIRE(service_ != nullptr, "M/G/1 service distribution required");
+  COSM_REQUIRE(std::isfinite(service_->mean()),
+               "M/G/1 service mean must be finite");
+}
+
+double MG1::utilization() const { return arrival_rate_ * service_->mean(); }
+
+void MG1::require_stable() const {
+  COSM_REQUIRE(stable(),
+               "M/G/1 queue is overloaded (rho >= 1); the model only covers "
+               "the paper's 'normal status' regime");
+}
+
+double MG1::mean_waiting_time() const {
+  require_stable();
+  const double m2 = service_->second_moment();
+  COSM_REQUIRE(std::isfinite(m2),
+               "P-K mean needs a finite service second moment");
+  return arrival_rate_ * m2 / (2.0 * (1.0 - utilization()));
+}
+
+double MG1::mean_sojourn_time() const {
+  return mean_waiting_time() + service_->mean();
+}
+
+double MG1::idle_probability() const {
+  require_stable();
+  return 1.0 - utilization();
+}
+
+double MG1::mean_jobs() const { return arrival_rate_ * mean_sojourn_time(); }
+
+std::vector<double> MG1::queue_length_distribution(int max_n) const {
+  require_stable();
+  COSM_REQUIRE(max_n >= 0, "max_n must be non-negative");
+  const double r = arrival_rate_;
+  const double rho = utilization();
+  // Evaluate the P-K PGF on the unit circle and inverse-FFT: the n-th
+  // Fourier coefficient of Pi(e^{i theta}) is P[N = n].
+  std::size_t samples = 1;
+  while (samples < static_cast<std::size_t>(max_n + 1) * 8) samples <<= 1;
+  std::vector<std::complex<double>> values(samples);
+  for (std::size_t k = 0; k < samples; ++k) {
+    const double theta = 2.0 * std::numbers::pi *
+                         static_cast<double>(k) /
+                         static_cast<double>(samples);
+    const std::complex<double> z(std::cos(theta), std::sin(theta));
+    if (std::abs(z - 1.0) < 1e-12) {
+      values[k] = 1.0;  // Pi(1) = 1
+      continue;
+    }
+    const std::complex<double> lb = service_->laplace(r * (1.0 - z));
+    values[k] = (1.0 - rho) * (1.0 - z) * lb / (lb - z);
+  }
+  // p_n = (1/N) sum_k Pi(e^{i theta_k}) e^{-i theta_k n}: the *forward*
+  // DFT of the samples, scaled by 1/N.
+  numerics::fft(values, /*inverse=*/false);
+  std::vector<double> probabilities(max_n + 1);
+  for (int n = 0; n <= max_n; ++n) {
+    probabilities[n] =
+        std::max(0.0, values[static_cast<std::size_t>(n)].real() /
+                          static_cast<double>(samples));
+  }
+  return probabilities;
+}
+
+DistPtr MG1::waiting_time() const {
+  require_stable();
+  const double r = arrival_rate_;
+  const double rho = utilization();
+  const DistPtr service = service_;
+  numerics::LaplaceFn lt = [r, rho, service](std::complex<double> s) {
+    if (std::abs(s) < 1e-14) return std::complex<double>(1.0, 0.0);
+    return (1.0 - rho) * s / (r * service->laplace(s) + s - r);
+  };
+  double mean = std::numeric_limits<double>::quiet_NaN();
+  if (std::isfinite(service_->second_moment())) {
+    mean = arrival_rate_ * service_->second_moment() /
+           (2.0 * (1.0 - rho));
+  }
+  return std::make_shared<LaplaceDistribution>(
+      "mg1_waiting_time", std::move(lt), mean,
+      std::numeric_limits<double>::quiet_NaN());
+}
+
+DistPtr MG1::sojourn_time() const {
+  return numerics::convolve_dists({waiting_time(), service_});
+}
+
+}  // namespace cosm::queueing

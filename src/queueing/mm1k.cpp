@@ -1,0 +1,94 @@
+#include "queueing/mm1k.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace cosm::queueing {
+
+using numerics::DistPtr;
+using numerics::LaplaceDistribution;
+
+namespace {
+
+// u^i / sum_{j=0..K} u^j, evaluated stably for u near 1 (the geometric
+// form 0/0s at u = 1, where the distribution is uniform over states).
+double state_prob(double u, int i, int capacity) {
+  if (std::abs(u - 1.0) < 1e-9) {
+    return 1.0 / static_cast<double>(capacity + 1);
+  }
+  return (1.0 - u) * std::pow(u, i) /
+         (1.0 - std::pow(u, capacity + 1));
+}
+
+}  // namespace
+
+MM1K::MM1K(double arrival_rate, double service_rate, int capacity)
+    : arrival_rate_(arrival_rate),
+      service_rate_(service_rate),
+      capacity_(capacity) {
+  COSM_REQUIRE(arrival_rate > 0, "M/M/1/K arrival rate must be positive");
+  COSM_REQUIRE(service_rate > 0, "M/M/1/K service rate must be positive");
+  COSM_REQUIRE(capacity >= 1, "M/M/1/K capacity must be at least 1");
+}
+
+double MM1K::offered_utilization() const {
+  return arrival_rate_ / service_rate_;
+}
+
+double MM1K::state_probability(int i) const {
+  COSM_REQUIRE(i >= 0 && i <= capacity_, "state index out of [0, K]");
+  return state_prob(offered_utilization(), i, capacity_);
+}
+
+std::vector<double> MM1K::state_probabilities() const {
+  std::vector<double> probs(capacity_ + 1);
+  for (int i = 0; i <= capacity_; ++i) probs[i] = state_probability(i);
+  return probs;
+}
+
+double MM1K::blocking_probability() const {
+  return state_probability(capacity_);
+}
+
+double MM1K::mean_jobs() const {
+  // The closed form u(1-(K+1)u^K+Ku^{K+1}) / ((1-u)(1-u^{K+1})) cancels
+  // catastrophically near u = 1; the state-probability sum is exact and
+  // K+1 terms are cheap.
+  double n = 0.0;
+  for (int i = 1; i <= capacity_; ++i) n += i * state_probability(i);
+  return n;
+}
+
+double MM1K::mean_sojourn_time() const {
+  return mean_jobs() / (arrival_rate_ * (1.0 - blocking_probability()));
+}
+
+DistPtr MM1K::sojourn_time() const {
+  const double r = arrival_rate_;
+  const double v = service_rate_;
+  const int k = capacity_;
+  const double p0 = state_probability(0);
+  const double pk = blocking_probability();
+  // Closed-form second moment: the sojourn is an Erlang(i+1, v) mixture
+  // over the accepted-arrival state distribution, so
+  // E[S^2] = sum q_i (i+1)(i+2)/v^2.
+  double m2 = 0.0;
+  for (int i = 0; i < k; ++i) {
+    m2 += state_probability(i) / (1.0 - pk) * (i + 1.0) * (i + 2.0) /
+          (v * v);
+  }
+  numerics::LaplaceFn lt = [r, v, k, p0, pk](std::complex<double> s) {
+    // An accepted arrival that finds i jobs waits for i + 1 exponential
+    // services: L[S](s) = sum_{i<K} P_i/(1-P_K) (v/(v+s))^{i+1}, which the
+    // paper writes in the closed form below.
+    if (std::abs(s) < 1e-14) return std::complex<double>(1.0, 0.0);
+    const std::complex<double> ratio_pow = std::pow(r / (v + s), k);
+    return v * p0 / (1.0 - pk) * (1.0 - ratio_pow) / (v - r + s);
+  };
+  return std::make_shared<LaplaceDistribution>(
+      "mm1k_sojourn", std::move(lt), mean_sojourn_time(), m2);
+}
+
+}  // namespace cosm::queueing

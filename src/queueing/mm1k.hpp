@@ -1,0 +1,60 @@
+// M/M/1/K queue: the paper's approximation of the per-device disk queue
+// when N_be > 1 processes share one disk (Sec. III-B).
+//
+// K = N_be bounds the number of outstanding disk operations because each
+// blocking process contributes at most one.  The paper substitutes the
+// M/M/1/K sojourn-time distribution for the per-process "disk service
+// time":
+//
+//   L[S](s)  = v P0 / (1 - P_K) * (1 - (r / (v + s))^K) / (v - r + s)
+//   S̄        = N / (r (1 - P_K))
+//   P_i      = (1 - u) u^i / (1 - u^{K+1}),  u = r / v
+//   N        = u (1 - (K+1) u^K + K u^{K+1}) / ((1 - u)(1 - u^{K+1}))
+//
+// Unlike M/G/1, the finite buffer keeps every quantity well defined for
+// u >= 1 (the queue saturates instead of diverging).
+#pragma once
+
+#include <vector>
+
+#include "numerics/compose.hpp"
+#include "numerics/distribution.hpp"
+
+namespace cosm::queueing {
+
+class MM1K {
+ public:
+  // arrival_rate r > 0, service_rate v > 0, capacity K >= 1 (buffer
+  // including the job in service).
+  MM1K(double arrival_rate, double service_rate, int capacity);
+
+  double arrival_rate() const { return arrival_rate_; }
+  double service_rate() const { return service_rate_; }
+  int capacity() const { return capacity_; }
+
+  // Offered utilization u = r / v (may exceed 1; the buffer bounds it).
+  double offered_utilization() const;
+
+  // Steady-state probability of i jobs in the system, i in [0, K].
+  double state_probability(int i) const;
+  std::vector<double> state_probabilities() const;
+
+  // Blocking probability P_K (an arrival finds the buffer full).
+  double blocking_probability() const;
+
+  // Mean number in system N.
+  double mean_jobs() const;
+
+  // Mean sojourn time of accepted jobs, N / (r (1 - P_K)) (Little).
+  double mean_sojourn_time() const;
+
+  // Sojourn-time distribution of accepted jobs (transform-only).
+  numerics::DistPtr sojourn_time() const;
+
+ private:
+  double arrival_rate_;
+  double service_rate_;
+  int capacity_;
+};
+
+}  // namespace cosm::queueing

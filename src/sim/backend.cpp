@@ -1,0 +1,314 @@
+#include "sim/backend.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace cosm::sim {
+
+// ------------------------------ BackendProcess ---------------------------
+
+BackendProcess::BackendProcess(Engine& engine, const ClusterConfig& config,
+                               SimMetrics& metrics, BackendDevice& device,
+                               cosm::Rng rng)
+    : engine_(engine),
+      config_(config),
+      metrics_(metrics),
+      device_(device),
+      rng_(rng) {}
+
+void BackendProcess::signal_accept(bool coalesce) {
+  if (coalesce) {
+    if (accept_queued_) return;
+    accept_queued_ = true;
+  }
+  enqueue({Task::Kind::kAccept, nullptr});
+}
+
+void BackendProcess::enqueue_start_request(RequestPtr req) {
+  req->backend_enqueue_time = engine_.now();
+  enqueue({Task::Kind::kStartRequest, std::move(req)});
+}
+
+void BackendProcess::enqueue(Task task) {
+  if (config_.defer_accepts && task.kind == Task::Kind::kAccept) {
+    accept_tasks_.push_back(std::move(task));
+  } else {
+    tasks_.push_back(std::move(task));
+  }
+  if (!busy_) start_next();
+}
+
+void BackendProcess::start_next() {
+  // Ready request work first; the listening socket is only looked at when
+  // the loop has nothing else ready (config_.defer_accepts).
+  std::deque<Task>* source = nullptr;
+  if (!tasks_.empty()) {
+    source = &tasks_;
+  } else if (!accept_tasks_.empty()) {
+    source = &accept_tasks_;
+  } else {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  std::size_t pick = 0;
+  if (config_.service_order == ClusterConfig::ServiceOrder::kSiro &&
+      source->size() > 1) {
+    // epoll readiness order is uncorrelated with arrival order.
+    pick = rng_.uniform_index(source->size());
+  }
+  Task task = std::move((*source)[pick]);
+  source->erase(source->begin() + static_cast<std::ptrdiff_t>(pick));
+  execute(std::move(task));
+}
+
+void BackendProcess::execute(Task task) {
+  switch (task.kind) {
+    case Task::Kind::kAccept:
+      run_accept();
+      break;
+    case Task::Kind::kStartRequest:
+      run_start_request(std::move(task.req));
+      break;
+    case Task::Kind::kNextChunk:
+      run_next_chunk(std::move(task.req));
+      break;
+    case Task::Kind::kWriteChunk:
+      run_write_chunk(std::move(task.req));
+      break;
+  }
+}
+
+void BackendProcess::run_accept() {
+  accept_queued_ = false;
+  // Accept one connection or drain the pool depending on the configured
+  // strategy.  Another process's queued accept may find the pool empty —
+  // that is EAGAIN on a real server, effectively free.
+  std::deque<RequestPtr> accepted;
+  if (config_.accept_strategy == AcceptStrategy::kBatchDrain) {
+    accepted = device_.drain_pool();
+  } else if (RequestPtr one = device_.take_one_from_pool()) {
+    accepted.push_back(std::move(one));
+  }
+  const double now = engine_.now();
+  for (RequestPtr& req : accepted) {
+    req->accept_time = now;
+    // Frontend learns of the accept, then ships the HTTP request: two
+    // one-way latencies before the request enters this op queue.
+    RequestPtr captured = std::move(req);
+    engine_.schedule_after(
+        2.0 * config_.network_latency,
+        [this, captured = std::move(captured)]() mutable {
+          enqueue_start_request(std::move(captured));
+        });
+  }
+  // Only a successful accept pays the accept cost; EAGAIN is free.
+  const double cost = accepted.empty() ? 0.0 : config_.accept_cost;
+  engine_.schedule_after(cost, [this] { start_next(); });
+}
+
+void BackendProcess::access(AccessKind kind, const RequestPtr& req,
+                            std::uint32_t chunk_index,
+                            std::function<void()> cont) {
+  const bool hit =
+      device_.cache().lookup(kind, req->object_id, chunk_index, rng_);
+  metrics_.on_cache_access(device_.id(), kind, hit);
+  if (kind == AccessKind::kData) metrics_.on_data_read(device_.id());
+  if (hit) {
+    // Memory latency is approximated as zero, as in the model.
+    metrics_.on_operation_latency(device_.id(), kind, 0.0);
+    cont();
+    return;
+  }
+  const double start = engine_.now();
+  device_.disk().submit(
+      kind, [this, kind, req, chunk_index, cont = std::move(cont),
+             start](double service) {
+        metrics_.on_disk_op(device_.id(), kind, service);
+        metrics_.on_operation_latency(device_.id(), kind,
+                                      engine_.now() - start);
+        device_.cache().fill(kind, req->object_id, chunk_index);
+        cont();
+      });
+}
+
+void BackendProcess::run_start_request(RequestPtr req) {
+  ++requests_started_;
+  if (req->is_write) {
+    run_start_write(std::move(req));
+    return;
+  }
+  const double parse = config_.backend_parse->sample(rng_);
+  engine_.schedule_after(parse, [this, req = std::move(req)]() mutable {
+    access(AccessKind::kIndex, req, 0, [this, req] {
+      access(AccessKind::kMeta, req, 0, [this, req] {
+        read_chunk_then_transmit(req);
+      });
+    });
+  });
+}
+
+void BackendProcess::run_start_write(RequestPtr req) {
+  const double parse = config_.backend_parse->sample(rng_);
+  engine_.schedule_after(parse, [this, req = std::move(req)]() mutable {
+    // The first body chunk is still in flight from the frontend; the
+    // event loop moves on and the chunk's arrival enqueues the write.
+    schedule_chunk_arrival(std::move(req));
+    start_next();
+  });
+}
+
+void BackendProcess::schedule_chunk_arrival(RequestPtr req) {
+  const double transfer = chunk_transfer_time(*req, req->chunks_done);
+  RequestPtr captured = std::move(req);
+  engine_.schedule_after(transfer, [this, captured]() mutable {
+    enqueue({Task::Kind::kWriteChunk, std::move(captured)});
+  });
+}
+
+void BackendProcess::run_write_chunk(RequestPtr req) {
+  // Blocking disk write of the received chunk.
+  const std::uint32_t chunk = req->chunks_done;
+  const double start = engine_.now();
+  device_.disk().submit(
+      AccessKind::kWrite, [this, req, chunk, start](double service) {
+        metrics_.on_disk_op(device_.id(), AccessKind::kWrite, service);
+        metrics_.on_operation_latency(device_.id(), AccessKind::kWrite,
+                                      engine_.now() - start);
+        device_.cache().fill(AccessKind::kData, req->object_id, chunk);
+        ++req->chunks_done;
+        if (req->chunks_done < req->chunks_total) {
+          schedule_chunk_arrival(req);
+          start_next();
+          return;
+        }
+        // All chunks durable in the tmp file: commit (fsync + rename +
+        // xattr write), also blocking, then respond 201.
+        const double commit_start = engine_.now();
+        device_.disk().submit(
+            AccessKind::kCommit, [this, req, commit_start](double commit) {
+              metrics_.on_disk_op(device_.id(), AccessKind::kCommit,
+                                  commit);
+              metrics_.on_operation_latency(device_.id(),
+                                            AccessKind::kCommit,
+                                            engine_.now() - commit_start);
+              device_.cache().fill(AccessKind::kIndex, req->object_id, 0);
+              device_.cache().fill(AccessKind::kMeta, req->object_id, 0);
+              req->responded = true;
+              req->respond_time = engine_.now();
+              RequestPtr captured = req;
+              engine_.schedule_after(
+                  config_.network_latency,
+                  [this, captured] {
+                    device_.notify_response_started(captured);
+                  });
+              start_next();
+            });
+      });
+}
+
+void BackendProcess::run_next_chunk(RequestPtr req) {
+  read_chunk_then_transmit(std::move(req));
+}
+
+void BackendProcess::read_chunk_then_transmit(RequestPtr req) {
+  const std::uint32_t chunk = req->chunks_done;
+  access(AccessKind::kData, req, chunk, [this, req] {
+    if (!req->responded) {
+      // Headers are formed from the metadata and the response starts once
+      // the first data chunk is in hand (paper, Sec. III-B).
+      req->responded = true;
+      req->respond_time = engine_.now();
+      RequestPtr captured = req;
+      engine_.schedule_after(config_.network_latency, [this, captured] {
+        device_.notify_response_started(captured);
+      });
+    }
+    // Asynchronous transmission: the process moves on to its next queued
+    // task while the chunk is on the wire.
+    const double transfer = chunk_transfer_time(*req, req->chunks_done);
+    RequestPtr captured = req;
+    engine_.schedule_after(transfer, [this, captured]() {
+      on_chunk_transmitted(captured);
+    });
+    start_next();
+  });
+}
+
+void BackendProcess::on_chunk_transmitted(RequestPtr req) {
+  ++req->chunks_done;
+  if (req->chunks_done < req->chunks_total) {
+    enqueue({Task::Kind::kNextChunk, std::move(req)});
+  }
+}
+
+double BackendProcess::chunk_transfer_time(
+    const Request& req, std::uint32_t chunk_index) const {
+  const std::uint64_t offset =
+      static_cast<std::uint64_t>(chunk_index) * config_.chunk_bytes;
+  COSM_CHECK(offset < req.size_bytes || req.size_bytes == 0,
+             "chunk index beyond object size");
+  const std::uint64_t bytes =
+      std::min<std::uint64_t>(config_.chunk_bytes,
+                              req.size_bytes - offset);
+  return static_cast<double>(bytes) /
+         config_.network_bandwidth_bytes_per_sec;
+}
+
+// ------------------------------ BackendDevice ----------------------------
+
+BackendDevice::BackendDevice(Engine& engine, const ClusterConfig& config,
+                             SimMetrics& metrics, std::uint32_t device_id,
+                             cosm::Rng& seed_source)
+    : engine_(engine),
+      config_(config),
+      id_(device_id),
+      disk_(engine, config.disk, seed_source.fork()),
+      cache_(config.cache) {
+  COSM_REQUIRE(config.processes_per_device >= 1,
+               "device needs at least one process");
+  processes_.reserve(config.processes_per_device);
+  for (std::uint32_t i = 0; i < config.processes_per_device; ++i) {
+    processes_.push_back(std::make_unique<BackendProcess>(
+        engine, config, metrics, *this, seed_source.fork()));
+  }
+}
+
+void BackendDevice::connection_arrived(RequestPtr req) {
+  req->pool_enter_time = engine_.now();
+  const bool coalesce =
+      config_.accept_strategy == AcceptStrategy::kBatchDrain;
+  pool_.push_back(std::move(req));
+  // Rotate the wake order so ties between idle processes don't always
+  // favor the same one (kernels don't guarantee a wake order either).
+  const std::size_t start = next_wake_offset_++ % processes_.size();
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    processes_[(start + i) % processes_.size()]->signal_accept(coalesce);
+  }
+}
+
+std::deque<RequestPtr> BackendDevice::drain_pool() {
+  std::deque<RequestPtr> drained;
+  drained.swap(pool_);
+  return drained;
+}
+
+RequestPtr BackendDevice::take_one_from_pool() {
+  if (pool_.empty()) return nullptr;
+  RequestPtr req = std::move(pool_.front());
+  pool_.pop_front();
+  return req;
+}
+
+void BackendDevice::set_response_started_callback(ResponseStartedFn fn) {
+  response_started_ = std::move(fn);
+}
+
+void BackendDevice::notify_response_started(const RequestPtr& req) {
+  COSM_CHECK(response_started_ != nullptr,
+             "device response callback not wired");
+  response_started_(req);
+}
+
+}  // namespace cosm::sim

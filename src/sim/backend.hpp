@@ -1,0 +1,150 @@
+// Backend tier: storage devices with event-driven processes.
+//
+// Faithful to the mechanics the paper models rather than to the model
+// itself (DESIGN.md §5.2):
+//
+//  * Each device has one FCFS disk queue shared by its N_be processes and
+//    a connection pool in front of them.
+//  * A process runs an event loop over a FCFS task queue.  Tasks:
+//      Accept       — takes one connection from the pool (kAcceptOne) or
+//                     drains it (kBatchDrain; Fig. 4 shows both pooled
+//                     connections accepted together), assigning the
+//                     request(s) to this process (connection affinity —
+//                     the S16 load-imbalance mechanism the paper calls
+//                     out).  With defer_accepts, accepts only run when no
+//                     request work is ready, which is what makes W_a an
+//                     additive latency term (Sec. III-C).
+//      StartRequest — parse, index lookup, metadata read, first data
+//                     chunk, executed back to back (the event loop only
+//                     yields at network I/O); disk misses block the whole
+//                     process (Fig. 2).  Then the response starts and the
+//                     chunk transmission proceeds asynchronously.
+//      NextChunk    — enqueued when the previous chunk's transmission
+//                     completes; reads one chunk, restarts transmission.
+//    Interleaving of different requests' operations is *emergent* from
+//    this scheduling, exactly the behaviour the union operation abstracts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/cache.hpp"
+#include "sim/config.hpp"
+#include "sim/disk.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "sim/request.hpp"
+
+namespace cosm::sim {
+
+class BackendDevice;
+
+class BackendProcess {
+ public:
+  BackendProcess(Engine& engine, const ClusterConfig& config,
+                 SimMetrics& metrics, BackendDevice& device, cosm::Rng rng);
+
+  // Queue an accept task.  With `coalesce` (batch-drain strategy) at most
+  // one accept op is pending per process; without it (accept-one) every
+  // connection arrival contributes its own accept op, so each connection
+  // independently traverses the op queue — the mechanism behind the
+  // paper's additive W_a.
+  void signal_accept(bool coalesce);
+  void enqueue_start_request(RequestPtr req);
+
+  std::size_t queue_depth() const {
+    return tasks_.size() + accept_tasks_.size() + (busy_ ? 1 : 0);
+  }
+  std::uint64_t requests_started() const { return requests_started_; }
+
+ private:
+  struct Task {
+    enum class Kind { kAccept, kStartRequest, kNextChunk, kWriteChunk };
+    Kind kind;
+    RequestPtr req;
+  };
+
+  void enqueue(Task task);
+  void start_next();
+  void execute(Task task);
+  void run_accept();
+  void run_start_request(RequestPtr req);
+  void run_next_chunk(RequestPtr req);
+  // Write path (extension): parse, then chunk-by-chunk receive + blocking
+  // disk write, then a blocking commit (fsync/rename/xattr) and the 201
+  // response.
+  void run_start_write(RequestPtr req);
+  void run_write_chunk(RequestPtr req);
+  void schedule_chunk_arrival(RequestPtr req);
+
+  // Performs one index/meta/data access: cache lookup, disk on miss
+  // (blocking this process), then `cont`.
+  void access(AccessKind kind, const RequestPtr& req,
+              std::uint32_t chunk_index, std::function<void()> cont);
+  // Reads the due chunk, then starts its transmission and finishes the
+  // task.
+  void read_chunk_then_transmit(RequestPtr req);
+  void on_chunk_transmitted(RequestPtr req);
+  double chunk_transfer_time(const Request& req,
+                             std::uint32_t chunk_index) const;
+
+  Engine& engine_;
+  const ClusterConfig& config_;
+  SimMetrics& metrics_;
+  BackendDevice& device_;
+  cosm::Rng rng_;
+  std::deque<Task> tasks_;
+  // Low-priority accept queue used when config_.defer_accepts is set;
+  // drained only when tasks_ is empty.
+  std::deque<Task> accept_tasks_;
+  bool busy_ = false;
+  bool accept_queued_ = false;
+  std::uint64_t requests_started_ = 0;
+};
+
+class BackendDevice {
+ public:
+  using ResponseStartedFn = std::function<void(const RequestPtr&)>;
+
+  BackendDevice(Engine& engine, const ClusterConfig& config,
+                SimMetrics& metrics, std::uint32_t device_id,
+                cosm::Rng& seed_source);
+
+  // A TCP connect from the frontend tier reached this device.
+  void connection_arrived(RequestPtr req);
+
+  // Called by a process executing accept(): hands over the whole pool
+  // (kBatchDrain) ...
+  std::deque<RequestPtr> drain_pool();
+  // ... or just the oldest connection (kAcceptOne); null when empty.
+  RequestPtr take_one_from_pool();
+
+  // Cluster wiring: invoked when a request's response starts.
+  void set_response_started_callback(ResponseStartedFn fn);
+  void notify_response_started(const RequestPtr& req);
+
+  std::uint32_t id() const { return id_; }
+  Disk& disk() { return disk_; }
+  CacheBank& cache() { return cache_; }
+  std::size_t pool_depth() const { return pool_.size(); }
+  const std::vector<std::unique_ptr<BackendProcess>>& processes() const {
+    return processes_;
+  }
+
+ private:
+  Engine& engine_;
+  const ClusterConfig& config_;
+  std::uint32_t id_;
+  Disk disk_;
+  CacheBank cache_;
+  std::deque<RequestPtr> pool_;
+  std::vector<std::unique_ptr<BackendProcess>> processes_;
+  std::size_t next_wake_offset_ = 0;
+  ResponseStartedFn response_started_;
+};
+
+}  // namespace cosm::sim

@@ -1,0 +1,103 @@
+#include "sim/cache.hpp"
+
+#include "common/require.hpp"
+
+namespace cosm::sim {
+
+LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+bool LruCache::access(std::uint64_t key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  order_.splice(order_.begin(), order_, it->second);
+  return true;
+}
+
+void LruCache::insert(std::uint64_t key) {
+  if (capacity_ == 0) return;
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(order_.back());
+    order_.pop_back();
+  }
+  order_.push_front(key);
+  map_[key] = order_.begin();
+}
+
+bool LruCache::contains(std::uint64_t key) const {
+  return map_.find(key) != map_.end();
+}
+
+CacheBank::CacheBank(const CacheBankConfig& config)
+    : config_(config),
+      index_(config.index_entries),
+      meta_(config.meta_entries),
+      data_(config.data_chunks) {
+  COSM_REQUIRE(config.index_miss_ratio >= 0 && config.index_miss_ratio <= 1,
+               "index miss ratio must be in [0, 1]");
+  COSM_REQUIRE(config.meta_miss_ratio >= 0 && config.meta_miss_ratio <= 1,
+               "meta miss ratio must be in [0, 1]");
+  COSM_REQUIRE(config.data_miss_ratio >= 0 && config.data_miss_ratio <= 1,
+               "data miss ratio must be in [0, 1]");
+}
+
+std::uint64_t CacheBank::chunk_key(std::uint64_t object_id,
+                                   std::uint32_t chunk_index) {
+  // Objects are dense ranks well below 2^40; fold the chunk in the top
+  // bits so keys never collide across objects.
+  return (object_id << 24) ^ chunk_index;
+}
+
+bool CacheBank::lookup(AccessKind kind, std::uint64_t object_id,
+                       std::uint32_t chunk_index, cosm::Rng& rng) {
+  COSM_REQUIRE(kind == AccessKind::kIndex || kind == AccessKind::kMeta ||
+                   kind == AccessKind::kData,
+               "only read-path operations consult the caches");
+  if (config_.mode == CacheBankConfig::Mode::kProbabilistic) {
+    switch (kind) {
+      case AccessKind::kIndex:
+        return !rng.bernoulli(config_.index_miss_ratio);
+      case AccessKind::kMeta:
+        return !rng.bernoulli(config_.meta_miss_ratio);
+      case AccessKind::kData:
+        return !rng.bernoulli(config_.data_miss_ratio);
+      default:
+        break;
+    }
+  }
+  switch (kind) {
+    case AccessKind::kIndex:
+      return index_.access(object_id);
+    case AccessKind::kMeta:
+      return meta_.access(object_id);
+    case AccessKind::kData:
+      return data_.access(chunk_key(object_id, chunk_index));
+    default:
+      break;
+  }
+  return false;  // unreachable
+}
+
+void CacheBank::fill(AccessKind kind, std::uint64_t object_id,
+                     std::uint32_t chunk_index) {
+  if (config_.mode == CacheBankConfig::Mode::kProbabilistic) return;
+  switch (kind) {
+    case AccessKind::kIndex:
+      index_.insert(object_id);
+      break;
+    case AccessKind::kMeta:
+      meta_.insert(object_id);
+      break;
+    case AccessKind::kData:
+      data_.insert(chunk_key(object_id, chunk_index));
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace cosm::sim

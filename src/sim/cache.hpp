@@ -1,0 +1,85 @@
+// Caches at the backend server: index (inode), metadata (xattr) and page
+// (data chunk) caches.
+//
+// Two modes (DESIGN.md §5.3):
+//  * Probabilistic — every access misses i.i.d. with the configured ratio.
+//    Makes the simulator's miss ratio equal the model's parameter by
+//    construction, isolating queueing-model error from cache-model error.
+//  * LRU — a real capacity-bounded LRU; miss ratios *emerge* from object
+//    popularity and cache size, and the calibration pipeline has to
+//    estimate them the way the paper does (latency thresholding).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+
+namespace cosm::sim {
+
+// O(1) LRU over opaque 64-bit keys.
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity);
+
+  // Lookup with promotion.  Returns true on hit.
+  bool access(std::uint64_t key);
+  // Inserts (promoting if present), evicting the least recently used entry
+  // if at capacity.  A zero-capacity cache ignores inserts.
+  void insert(std::uint64_t key);
+  bool contains(std::uint64_t key) const;
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::uint64_t> order_;  // most recent at front
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+};
+
+// Operation kinds seen by the disk and the metrics.  The first three are
+// the paper's read-path operations and the only cacheable ones; kWrite
+// (a data-chunk write) and kCommit (the fsync/rename/xattr commit at the
+// end of a PUT) exist for the write-workload extension.
+enum class AccessKind { kIndex, kMeta, kData, kWrite, kCommit };
+inline constexpr std::size_t kAccessKindCount = 5;
+
+struct CacheBankConfig {
+  enum class Mode { kProbabilistic, kLru };
+  Mode mode = Mode::kProbabilistic;
+  // Probabilistic mode: per-kind miss ratios.
+  double index_miss_ratio = 0.3;
+  double meta_miss_ratio = 0.3;
+  double data_miss_ratio = 0.7;
+  // LRU mode: capacities in entries (chunks for the data cache).
+  std::size_t index_entries = 10000;
+  std::size_t meta_entries = 10000;
+  std::size_t data_chunks = 4000;
+};
+
+// The three caches of one storage device.
+class CacheBank {
+ public:
+  explicit CacheBank(const CacheBankConfig& config);
+
+  // Decides whether this access hits.  LRU mode: a lookup with promotion.
+  bool lookup(AccessKind kind, std::uint64_t object_id,
+              std::uint32_t chunk_index, cosm::Rng& rng);
+  // Called after a disk read to populate the cache (LRU mode only;
+  // probabilistic mode ignores it).
+  void fill(AccessKind kind, std::uint64_t object_id,
+            std::uint32_t chunk_index);
+
+ private:
+  static std::uint64_t chunk_key(std::uint64_t object_id,
+                                 std::uint32_t chunk_index);
+
+  CacheBankConfig config_;
+  LruCache index_;
+  LruCache meta_;
+  LruCache data_;
+};
+
+}  // namespace cosm::sim

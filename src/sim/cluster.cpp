@@ -1,0 +1,117 @@
+#include "sim/cluster.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace cosm::sim {
+
+void ClusterConfig::finalize() {
+  COSM_REQUIRE(frontend_processes >= 1, "need at least one frontend process");
+  COSM_REQUIRE(device_count >= 1, "need at least one device");
+  COSM_REQUIRE(processes_per_device >= 1,
+               "need at least one process per device");
+  COSM_REQUIRE(chunk_bytes > 0, "chunk size must be positive");
+  COSM_REQUIRE(accept_cost >= 0, "accept cost must be non-negative");
+  COSM_REQUIRE(network_latency >= 0, "network latency must be non-negative");
+  COSM_REQUIRE(network_bandwidth_bytes_per_sec > 0,
+               "network bandwidth must be positive");
+  if (!frontend_parse) {
+    frontend_parse = std::make_shared<numerics::Degenerate>(0.8e-3);
+  }
+  if (!backend_parse) {
+    backend_parse = std::make_shared<numerics::Degenerate>(0.5e-3);
+  }
+  if (!disk.index_service || !disk.meta_service || !disk.data_service) {
+    disk = default_hdd_profile();
+  }
+}
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)),
+      metrics_((config_.finalize(), config_.device_count)),
+      rng_(config_.seed) {
+  devices_.reserve(config_.device_count);
+  for (std::uint32_t d = 0; d < config_.device_count; ++d) {
+    devices_.push_back(std::make_unique<BackendDevice>(
+        engine_, config_, metrics_, d, rng_));
+    devices_.back()->set_response_started_callback(
+        [this](const RequestPtr& req) { on_response_started(req); });
+  }
+  frontends_.reserve(config_.frontend_processes);
+  for (std::uint32_t f = 0; f < config_.frontend_processes; ++f) {
+    frontends_.push_back(std::make_unique<FrontendProcess>(
+        engine_, config_,
+        [this](RequestPtr req) {
+          devices_[req->device]->connection_arrived(std::move(req));
+        },
+        rng_.fork()));
+  }
+}
+
+void Cluster::submit_request(std::uint64_t object_id,
+                             std::uint64_t size_bytes,
+                             std::uint32_t device, bool is_write) {
+  COSM_REQUIRE(device < devices_.size(), "device id out of range");
+  auto req = std::make_shared<Request>();
+  req->id = next_request_id_++;
+  req->is_write = is_write;
+  req->object_id = object_id;
+  req->size_bytes = size_bytes;
+  req->device = device;
+  req->chunks_total = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+      1, (size_bytes + config_.chunk_bytes - 1) / config_.chunk_bytes));
+  const auto frontend = rng_.uniform_index(frontends_.size());
+  // Arm the client-side timeout before handing the request over: if the
+  // response has not started by then, the request completes as a timeout
+  // sample (the backend's work continues and is wasted).
+  if (config_.request_timeout > 0.0) {
+    RequestPtr watched = req;
+    engine_.schedule_after(config_.request_timeout, [this, watched] {
+      if (!watched->responded && !watched->timed_out) {
+        watched->timed_out = true;
+        on_timeout(watched);
+      }
+    });
+  }
+  frontends_[frontend]->accept_request(std::move(req));
+}
+
+void Cluster::on_timeout(const RequestPtr& req) {
+  RequestSample sample;
+  sample.is_write = req->is_write;
+  sample.timed_out = true;
+  sample.frontend_arrival = req->frontend_arrival;
+  sample.response_latency = config_.request_timeout;
+  sample.backend_latency = 0.0;
+  sample.accept_wait =
+      req->accept_time > 0 ? req->accept_time - req->pool_enter_time : 0.0;
+  sample.device = req->device;
+  sample.chunks = req->chunks_total;
+  metrics_.on_request_complete(sample);
+}
+
+BackendDevice& Cluster::device(std::uint32_t id) {
+  COSM_REQUIRE(id < devices_.size(), "device id out of range");
+  return *devices_[id];
+}
+
+FrontendProcess& Cluster::frontend(std::uint32_t id) {
+  COSM_REQUIRE(id < frontends_.size(), "frontend id out of range");
+  return *frontends_[id];
+}
+
+void Cluster::on_response_started(const RequestPtr& req) {
+  if (req->timed_out) return;  // the client is gone; work was wasted
+  RequestSample sample;
+  sample.is_write = req->is_write;
+  sample.frontend_arrival = req->frontend_arrival;
+  sample.response_latency = engine_.now() - req->frontend_arrival;
+  sample.backend_latency = req->respond_time - req->backend_enqueue_time;
+  sample.accept_wait = req->accept_time - req->pool_enter_time;
+  sample.device = req->device;
+  sample.chunks = req->chunks_total;
+  metrics_.on_request_complete(sample);
+}
+
+}  // namespace cosm::sim

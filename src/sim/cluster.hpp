@@ -1,0 +1,57 @@
+// The assembled two-tier cluster: engine + frontends + devices + metrics.
+//
+// Client arrivals enter through submit_request(): the cluster picks a
+// random frontend process (the paper's ssbench load balancing) and the
+// request flows frontend parse -> backend connection pool -> accept ->
+// backend op queue -> disks -> response.  Response latency is recorded
+// when the first response bytes reach the frontend, matching the paper's
+// measurement point (Sec. V-A).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/backend.hpp"
+#include "sim/config.hpp"
+#include "sim/engine.hpp"
+#include "sim/frontend.hpp"
+#include "sim/metrics.hpp"
+
+namespace cosm::sim {
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  Engine& engine() { return engine_; }
+  SimMetrics& metrics() { return metrics_; }
+  const ClusterConfig& config() const { return config_; }
+
+  // Injects a request at the current simulated time; `device` is the
+  // chosen replica's storage device.  `is_write` selects the PUT path
+  // (write-workload extension); reads are the default.
+  void submit_request(std::uint64_t object_id, std::uint64_t size_bytes,
+                      std::uint32_t device, bool is_write = false);
+
+  BackendDevice& device(std::uint32_t id);
+  FrontendProcess& frontend(std::uint32_t id);
+  std::uint32_t frontend_count() const {
+    return static_cast<std::uint32_t>(frontends_.size());
+  }
+
+ private:
+  void on_response_started(const RequestPtr& req);
+  void on_timeout(const RequestPtr& req);
+
+  ClusterConfig config_;
+  Engine engine_;
+  SimMetrics metrics_;
+  cosm::Rng rng_;
+  std::vector<std::unique_ptr<BackendDevice>> devices_;
+  std::vector<std::unique_ptr<FrontendProcess>> frontends_;
+  std::uint64_t next_request_id_ = 0;
+};
+
+}  // namespace cosm::sim

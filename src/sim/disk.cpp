@@ -1,0 +1,81 @@
+#include "sim/disk.hpp"
+
+#include "common/require.hpp"
+
+namespace cosm::sim {
+
+DiskProfile default_hdd_profile() {
+  // Shapes/means consistent with the paper's Fig. 5: index lookups cost
+  // the most (directory walk + inode), metadata (xattr) slightly less,
+  // data chunk reads in between; all a few–tens of milliseconds.
+  return DiskProfile{
+      std::make_shared<numerics::Gamma>(3.0, 300.0),   // mean 10 ms
+      std::make_shared<numerics::Gamma>(2.5, 312.5),   // mean  8 ms
+      std::make_shared<numerics::Gamma>(2.8, 233.33),  // mean 12 ms
+      std::make_shared<numerics::Gamma>(2.2, 157.14),  // write: 14 ms
+      std::make_shared<numerics::Gamma>(1.8, 100.0),   // commit: 18 ms
+  };
+}
+
+Disk::Disk(Engine& engine, DiskProfile profile, cosm::Rng rng)
+    : engine_(engine), profile_(std::move(profile)), rng_(rng) {
+  COSM_REQUIRE(profile_.index_service && profile_.meta_service &&
+                   profile_.data_service,
+               "disk profile must provide the three read services");
+  // Read-only callers (the paper's workload) may omit the write-path
+  // services; fill the defaults so PUTs are well-defined if they appear.
+  if (!profile_.write_service) {
+    profile_.write_service =
+        std::make_shared<numerics::Gamma>(2.2, 157.14);  // mean 14 ms
+  }
+  if (!profile_.commit_service) {
+    profile_.commit_service =
+        std::make_shared<numerics::Gamma>(1.8, 100.0);   // mean 18 ms
+  }
+}
+
+void Disk::set_degradation(double factor) {
+  COSM_REQUIRE(factor > 0, "degradation factor must be positive");
+  degradation_ = factor;
+}
+
+double Disk::sample_service(AccessKind kind) {
+  switch (kind) {
+    case AccessKind::kIndex:
+      return profile_.index_service->sample(rng_);
+    case AccessKind::kMeta:
+      return profile_.meta_service->sample(rng_);
+    case AccessKind::kData:
+      return profile_.data_service->sample(rng_);
+    case AccessKind::kWrite:
+      return profile_.write_service->sample(rng_);
+    case AccessKind::kCommit:
+      return profile_.commit_service->sample(rng_);
+  }
+  return 0.0;  // unreachable
+}
+
+void Disk::submit(AccessKind kind, CompletionFn done) {
+  COSM_REQUIRE(done != nullptr, "disk completion callback required");
+  queue_.push_back({kind, std::move(done)});
+  if (!busy_) start_next();
+}
+
+void Disk::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  PendingOp op = std::move(queue_.front());
+  queue_.pop_front();
+  const double service = degradation_ * sample_service(op.kind);
+  busy_time_ += service;
+  engine_.schedule_after(service, [this, op = std::move(op), service] {
+    ++completed_;
+    op.done(service);
+    start_next();
+  });
+}
+
+}  // namespace cosm::sim

@@ -1,0 +1,76 @@
+// The storage device: one FCFS disk queue shared by all processes of the
+// device (paper Fig. 2).  Service times are drawn per operation kind from
+// the configured distributions (Gamma on the authors' testbed, Fig. 5).
+// At most N_be operations are ever outstanding because each blocking
+// process contributes one — the simulator does not enforce that cap, it
+// emerges from the blocking semantics in BackendProcess.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "numerics/distribution.hpp"
+#include "sim/cache.hpp"
+#include "sim/engine.hpp"
+
+namespace cosm::sim {
+
+struct DiskProfile {
+  numerics::DistPtr index_service;
+  numerics::DistPtr meta_service;
+  numerics::DistPtr data_service;
+  // Write-path services (extension; the paper's workload is read-only):
+  // chunk writes and the end-of-PUT commit (fsync + rename + xattr).
+  numerics::DistPtr write_service;
+  numerics::DistPtr commit_service;
+};
+
+// A Gamma-distributed HDD-like profile mirroring the paper's fitted disk
+// (Fig. 5 service times in the 5–80 ms range).
+DiskProfile default_hdd_profile();
+
+class Disk {
+ public:
+  using CompletionFn = std::function<void(double service_time)>;
+
+  Disk(Engine& engine, DiskProfile profile, cosm::Rng rng);
+
+  // Enqueues one operation; `done` fires at completion with the sampled
+  // raw service time (not including queueing).
+  void submit(AccessKind kind, CompletionFn done);
+
+  // Failure injection: multiplies every subsequent sampled service time
+  // (1.0 = healthy).  Models media degradation (pending sector remaps,
+  // vibration, misbehaving firmware) for bottleneck-identification
+  // experiments.
+  void set_degradation(double factor);
+  double degradation() const { return degradation_; }
+
+  std::size_t queue_depth() const {
+    return queue_.size() + (busy_ ? 1 : 0);
+  }
+  std::uint64_t ops_completed() const { return completed_; }
+  double busy_time() const { return busy_time_; }
+
+ private:
+  struct PendingOp {
+    AccessKind kind;
+    CompletionFn done;
+  };
+
+  void start_next();
+  double sample_service(AccessKind kind);
+
+  Engine& engine_;
+  DiskProfile profile_;
+  cosm::Rng rng_;
+  std::deque<PendingOp> queue_;
+  double degradation_ = 1.0;
+  bool busy_ = false;
+  std::uint64_t completed_ = 0;
+  double busy_time_ = 0.0;
+};
+
+}  // namespace cosm::sim

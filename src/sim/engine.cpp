@@ -1,0 +1,43 @@
+#include "sim/engine.hpp"
+
+#include "common/require.hpp"
+
+namespace cosm::sim {
+
+void Engine::schedule_at(double time, EventCallback fn) {
+  COSM_REQUIRE(time >= now_, "cannot schedule events in the past");
+  COSM_REQUIRE(fn != nullptr, "event callback must be callable");
+  calendar_.push({time, next_seq_++, std::move(fn)});
+}
+
+void Engine::schedule_after(double delay, EventCallback fn) {
+  COSM_REQUIRE(delay >= 0, "event delay must be non-negative");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::step() {
+  if (calendar_.empty()) return false;
+  // priority_queue::top is const; the callback must be moved out before
+  // pop, so copy the handle via const_cast-free extraction.
+  Event event = calendar_.top();
+  calendar_.pop();
+  now_ = event.time;
+  ++processed_;
+  event.fn();
+  return true;
+}
+
+void Engine::run_until(double end_time) {
+  COSM_REQUIRE(end_time >= now_, "end time precedes current time");
+  while (!calendar_.empty() && calendar_.top().time <= end_time) {
+    step();
+  }
+  now_ = end_time;
+}
+
+void Engine::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace cosm::sim

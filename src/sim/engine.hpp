@@ -1,0 +1,56 @@
+// Discrete-event simulation engine.
+//
+// A binary-heap scheduler over (time, sequence) keys: events at equal
+// timestamps run in scheduling order, which makes every simulation
+// deterministic for a fixed seed set.  Entities capture what they need in
+// the callback; the engine owns nothing but the calendar.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace cosm::sim {
+
+using EventCallback = std::function<void()>;
+
+class Engine {
+ public:
+  double now() const { return now_; }
+  std::uint64_t events_processed() const { return processed_; }
+  std::size_t events_pending() const { return calendar_.size(); }
+
+  // Schedules `fn` at absolute simulated time `time` (>= now).
+  void schedule_at(double time, EventCallback fn);
+  // Schedules `fn` after `delay` (>= 0) simulated seconds.
+  void schedule_after(double delay, EventCallback fn);
+
+  // Runs events in timestamp order until the calendar is empty or the next
+  // event is after `end_time`; the clock ends at min(end_time, last event).
+  void run_until(double end_time);
+  // Drains the calendar completely.
+  void run_all();
+  // Processes a single event; returns false if the calendar is empty.
+  bool step();
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    EventCallback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> calendar_;
+};
+
+}  // namespace cosm::sim

@@ -1,0 +1,43 @@
+#include "sim/frontend.hpp"
+
+#include "common/require.hpp"
+
+namespace cosm::sim {
+
+FrontendProcess::FrontendProcess(Engine& engine, const ClusterConfig& config,
+                                 ConnectFn connect, cosm::Rng rng)
+    : engine_(engine),
+      config_(config),
+      connect_(std::move(connect)),
+      rng_(rng) {
+  COSM_REQUIRE(connect_ != nullptr, "frontend connect callback required");
+}
+
+void FrontendProcess::accept_request(RequestPtr req) {
+  req->frontend_arrival = engine_.now();
+  queue_.push_back(std::move(req));
+  if (!busy_) start_next();
+}
+
+void FrontendProcess::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  RequestPtr req = std::move(queue_.front());
+  queue_.pop_front();
+  const double parse = config_.frontend_parse->sample(rng_);
+  engine_.schedule_after(parse, [this, req = std::move(req)]() mutable {
+    ++parsed_;
+    // TCP connect to the backend: one network latency to reach the pool.
+    RequestPtr captured = std::move(req);
+    engine_.schedule_after(config_.network_latency,
+                           [this, captured = std::move(captured)]() mutable {
+                             connect_(std::move(captured));
+                           });
+    start_next();
+  });
+}
+
+}  // namespace cosm::sim

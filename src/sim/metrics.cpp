@@ -1,0 +1,83 @@
+#include "sim/metrics.hpp"
+
+#include "common/require.hpp"
+
+namespace cosm::sim {
+
+namespace {
+std::size_t kind_index(AccessKind kind) {
+  return static_cast<std::size_t>(kind);
+}
+}  // namespace
+
+SimMetrics::SimMetrics(std::uint32_t device_count)
+    : devices_(device_count), op_samples_(device_count) {
+  COSM_REQUIRE(device_count > 0, "metrics need at least one device");
+}
+
+void SimMetrics::on_request_complete(const RequestSample& sample) {
+  COSM_REQUIRE(sample.device < devices_.size(), "device id out of range");
+  ++completed_;
+  if (sample.timed_out) ++timeouts_;
+  ++devices_[sample.device].requests;
+  if (keep_request_samples &&
+      sample.frontend_arrival >= sample_start_time) {
+    requests_.push_back(sample);
+  }
+}
+
+void SimMetrics::on_cache_access(std::uint32_t device, AccessKind kind,
+                                 bool hit) {
+  COSM_REQUIRE(device < devices_.size(), "device id out of range");
+  ++devices_[device].accesses[kind_index(kind)];
+  if (!hit) ++devices_[device].misses[kind_index(kind)];
+}
+
+void SimMetrics::on_disk_op(std::uint32_t device, AccessKind kind,
+                            double service_time) {
+  COSM_REQUIRE(device < devices_.size(), "device id out of range");
+  devices_[device].disk_service_sum[kind_index(kind)] += service_time;
+  ++devices_[device].disk_ops[kind_index(kind)];
+}
+
+void SimMetrics::on_data_read(std::uint32_t device) {
+  COSM_REQUIRE(device < devices_.size(), "device id out of range");
+  ++devices_[device].data_reads;
+}
+
+void SimMetrics::on_operation_latency(std::uint32_t device, AccessKind kind,
+                                      double latency) {
+  if (!keep_operation_samples) return;
+  COSM_REQUIRE(device < devices_.size(), "device id out of range");
+  op_samples_[device][kind_index(kind)].push_back(latency);
+}
+
+const DeviceCounters& SimMetrics::device(std::uint32_t id) const {
+  COSM_REQUIRE(id < devices_.size(), "device id out of range");
+  return devices_[id];
+}
+
+double SimMetrics::miss_ratio(std::uint32_t device, AccessKind kind) const {
+  const DeviceCounters& counters = this->device(device);
+  const std::uint64_t accesses = counters.accesses[kind_index(kind)];
+  if (accesses == 0) return 0.0;
+  return static_cast<double>(counters.misses[kind_index(kind)]) /
+         static_cast<double>(accesses);
+}
+
+double SimMetrics::mean_disk_service(std::uint32_t device,
+                                     AccessKind kind) const {
+  const DeviceCounters& counters = this->device(device);
+  const std::uint64_t ops = counters.disk_ops[kind_index(kind)];
+  if (ops == 0) return 0.0;
+  return counters.disk_service_sum[kind_index(kind)] /
+         static_cast<double>(ops);
+}
+
+const std::vector<double>& SimMetrics::operation_samples(
+    std::uint32_t device, AccessKind kind) const {
+  COSM_REQUIRE(device < devices_.size(), "device id out of range");
+  return op_samples_[device][kind_index(kind)];
+}
+
+}  // namespace cosm::sim

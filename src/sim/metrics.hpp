@@ -1,0 +1,90 @@
+// Simulation measurement taps.
+//
+// SimMetrics records everything the experiments and the calibration
+// pipeline need:
+//  * per-request response latencies (measured at the frontend, as in the
+//    paper) with their device, completion time, and accept()-wait;
+//  * per-device operation accounting: arrival counts, data-read (chunk)
+//    counts, cache hits/misses per kind — the "system online metrics" of
+//    Sec. IV-B;
+//  * per-device disk service-time samples per kind — the raw material of
+//    the Sec. IV-A benchmarking, available here for cross-checks;
+//  * per-operation latency samples (0 on cache hit) so the latency-
+//    threshold miss-ratio estimator can be exercised exactly as published.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/cache.hpp"
+
+namespace cosm::sim {
+
+struct RequestSample {
+  bool is_write = false;
+  bool timed_out = false;
+  double frontend_arrival = 0.0;
+  double response_latency = 0.0;  // first-byte-at-frontend - arrival
+  double backend_latency = 0.0;   // backend parse-queue entry -> respond
+  double accept_wait = 0.0;       // connection in pool -> accept()-ed
+  std::uint32_t device = 0;
+  std::uint32_t chunks = 0;
+};
+
+struct DeviceCounters {
+  std::uint64_t requests = 0;
+  std::uint64_t data_reads = 0;  // chunk reads, cache hits included
+  std::array<std::uint64_t, kAccessKindCount> accesses{};  // by AccessKind
+  std::array<std::uint64_t, kAccessKindCount> misses{};
+  std::array<double, kAccessKindCount> disk_service_sum{};
+  std::array<std::uint64_t, kAccessKindCount> disk_ops{};
+};
+
+class SimMetrics {
+ public:
+  explicit SimMetrics(std::uint32_t device_count);
+
+  // Set true to retain per-operation latency samples (memory-heavy; used
+  // by calibration tests, off by default).
+  bool keep_operation_samples = false;
+  // Set false to drop per-request samples and keep only counters.
+  bool keep_request_samples = true;
+  // Requests arriving before this simulated time are counted but not
+  // sampled — the paper's warmup/transition exclusion.
+  double sample_start_time = 0.0;
+
+  void on_request_complete(const RequestSample& sample);
+  void on_cache_access(std::uint32_t device, AccessKind kind, bool hit);
+  void on_disk_op(std::uint32_t device, AccessKind kind,
+                  double service_time);
+  void on_data_read(std::uint32_t device);
+  void on_operation_latency(std::uint32_t device, AccessKind kind,
+                            double latency);
+
+  const std::vector<RequestSample>& requests() const { return requests_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  const DeviceCounters& device(std::uint32_t id) const;
+  std::uint32_t device_count() const {
+    return static_cast<std::uint32_t>(devices_.size());
+  }
+  std::uint64_t completed_requests() const { return completed_; }
+
+  // Measured miss ratio of one access kind on one device.
+  double miss_ratio(std::uint32_t device, AccessKind kind) const;
+  // Mean raw disk service time of one kind on one device.
+  double mean_disk_service(std::uint32_t device, AccessKind kind) const;
+
+  const std::vector<double>& operation_samples(std::uint32_t device,
+                                               AccessKind kind) const;
+
+ private:
+  std::vector<DeviceCounters> devices_;
+  std::vector<RequestSample> requests_;
+  // op_samples_[device][kind]
+  std::vector<std::array<std::vector<double>, kAccessKindCount>> op_samples_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace cosm::sim

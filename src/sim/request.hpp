@@ -1,0 +1,32 @@
+// Per-request state threaded through the simulator.  Events hold a
+// shared_ptr so a request lives exactly as long as something still
+// references it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace cosm::sim {
+
+struct Request {
+  std::uint64_t id = 0;
+  bool is_write = false;  // PUT (write-workload extension) vs GET
+  std::uint64_t object_id = 0;
+  std::uint64_t size_bytes = 0;
+  std::uint32_t device = 0;
+  std::uint32_t chunks_total = 1;
+  std::uint32_t chunks_done = 0;
+
+  // Timeline (simulated seconds).
+  double frontend_arrival = 0.0;   // entered a frontend process queue
+  double pool_enter_time = 0.0;    // connection reached the backend pool
+  double accept_time = 0.0;        // accept()-ed by a backend process
+  double backend_enqueue_time = 0.0;  // HTTP request entered the op queue
+  double respond_time = 0.0;       // backend sent headers + first chunk
+  bool responded = false;
+  bool timed_out = false;          // client gave up before first byte
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+}  // namespace cosm::sim

@@ -1,0 +1,97 @@
+#include "sim/source.hpp"
+
+#include "common/require.hpp"
+
+namespace cosm::sim {
+
+OpenLoopSource::OpenLoopSource(Cluster& cluster,
+                               const workload::ObjectCatalog& catalog,
+                               const workload::Placement& placement,
+                               const workload::PhasePlan& plan,
+                               cosm::Rng rng, double write_fraction,
+                               workload::ArrivalProcessPtr arrivals)
+    : cluster_(cluster),
+      catalog_(catalog),
+      placement_(placement),
+      segments_(workload::expand_phases(plan)),
+      rng_(rng),
+      write_fraction_(write_fraction),
+      arrival_process_(arrivals
+                           ? std::move(arrivals)
+                           : std::make_shared<workload::PoissonArrivals>()) {
+  COSM_REQUIRE(!segments_.empty(), "phase plan expands to no segments");
+  COSM_REQUIRE(write_fraction >= 0 && write_fraction <= 1,
+               "write fraction must be in [0, 1]");
+  COSM_REQUIRE(placement_.device_count() == cluster_.config().device_count,
+               "placement and cluster disagree on device count");
+}
+
+double OpenLoopSource::horizon() const {
+  const auto& last = segments_.back();
+  return last.start_time + last.duration;
+}
+
+double OpenLoopSource::benchmark_start_time() const {
+  for (const auto& segment : segments_) {
+    if (segment.is_benchmark) return segment.start_time;
+  }
+  return horizon();
+}
+
+void OpenLoopSource::start() {
+  schedule_next(0, segments_.front().start_time);
+}
+
+void OpenLoopSource::schedule_next(std::size_t segment_index, double time) {
+  while (segment_index < segments_.size()) {
+    const auto& segment = segments_[segment_index];
+    const double gap = arrival_process_->next_gap(segment.rate, rng_);
+    const double at = std::max(time, segment.start_time) + gap;
+    if (at < segment.start_time + segment.duration) {
+      cluster_.engine().schedule_at(at, [this, segment_index, at] {
+        fire(segment_index, at);
+      });
+      return;
+    }
+    // This segment is exhausted; restart the clock at the next segment's
+    // boundary so each segment's Poisson process is fresh.
+    ++segment_index;
+    if (segment_index < segments_.size()) {
+      time = segments_[segment_index].start_time;
+    }
+  }
+}
+
+void OpenLoopSource::fire(std::size_t segment_index, double time) {
+  ++arrivals_;
+  const workload::ObjectId object = catalog_.sample_object(rng_);
+  const auto device = placement_.choose_replica(object, rng_);
+  const bool is_write =
+      write_fraction_ > 0.0 && rng_.bernoulli(write_fraction_);
+  if (is_write) ++write_arrivals_;
+  cluster_.submit_request(object, catalog_.size_of(object), device,
+                          is_write);
+  schedule_next(segment_index, time);
+}
+
+std::uint64_t replay_trace(Cluster& cluster,
+                           const std::vector<workload::TraceRecord>& trace,
+                           const workload::Placement& placement,
+                           cosm::Rng& rng) {
+  COSM_REQUIRE(placement.device_count() == cluster.config().device_count,
+               "placement and cluster disagree on device count");
+  std::uint64_t scheduled = 0;
+  for (const auto& record : trace) {
+    const auto device = placement.choose_replica(record.object_id, rng);
+    cluster.engine().schedule_at(
+        record.timestamp,
+        [&cluster, record, device] {
+          cluster.submit_request(record.object_id, record.size_bytes,
+                                 device);
+        });
+    ++scheduled;
+  }
+  return scheduled;
+}
+
+}  // namespace cosm::sim

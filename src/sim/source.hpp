@@ -1,0 +1,67 @@
+// Open-loop workload source.
+//
+// Drives a Cluster with Poisson arrivals through a workload::PhasePlan
+// without materializing the trace: each arrival event samples an object,
+// picks a replica (random, like Swift's proxy) and schedules the next
+// arrival.  Open loop means arrivals never wait for completions — exactly
+// the paper's modified-ssbench behaviour (Sec. V-A).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sim/cluster.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/catalog.hpp"
+#include "workload/placement.hpp"
+#include "workload/trace.hpp"
+
+namespace cosm::sim {
+
+class OpenLoopSource {
+ public:
+  // `arrivals` defaults to Poisson (the model's assumption); pass a
+  // Deterministic or Mmpp process for sensitivity studies.
+  OpenLoopSource(Cluster& cluster, const workload::ObjectCatalog& catalog,
+                 const workload::Placement& placement,
+                 const workload::PhasePlan& plan, cosm::Rng rng,
+                 double write_fraction = 0.0,
+                 workload::ArrivalProcessPtr arrivals = nullptr);
+
+  // Schedules the first arrival; the chain then sustains itself.  Call
+  // before Engine::run_until.
+  void start();
+
+  std::uint64_t arrivals() const { return arrivals_; }
+  std::uint64_t write_arrivals() const { return write_arrivals_; }
+  // End of the last phase segment (the natural run horizon).
+  double horizon() const;
+
+  // The simulated time at which the benchmark phase begins (samples before
+  // it are warmup; feed to SimMetrics::sample_start_time).
+  double benchmark_start_time() const;
+
+ private:
+  void schedule_next(std::size_t segment_index, double time);
+  void fire(std::size_t segment_index, double time);
+
+  Cluster& cluster_;
+  const workload::ObjectCatalog& catalog_;
+  const workload::Placement& placement_;
+  std::vector<workload::PhaseSegment> segments_;
+  cosm::Rng rng_;
+  double write_fraction_;
+  workload::ArrivalProcessPtr arrival_process_;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t write_arrivals_ = 0;
+};
+
+// Replays a pre-materialized trace (e.g. read from CSV) against a cluster;
+// returns the number of scheduled arrivals.  Each record's replica is
+// chosen randomly among the placement's replicas.
+std::uint64_t replay_trace(Cluster& cluster,
+                           const std::vector<workload::TraceRecord>& trace,
+                           const workload::Placement& placement,
+                           cosm::Rng& rng);
+
+}  // namespace cosm::sim

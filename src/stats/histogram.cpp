@@ -1,0 +1,96 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace cosm::stats {
+
+LogHistogram::LogHistogram(double min_value, double max_value,
+                           int buckets_per_decade)
+    : min_value_(min_value) {
+  COSM_REQUIRE(min_value > 0, "log histogram minimum must be positive");
+  COSM_REQUIRE(max_value > min_value, "histogram range must be non-empty");
+  COSM_REQUIRE(buckets_per_decade >= 1, "need at least 1 bucket per decade");
+  log_min_ = std::log10(min_value);
+  log_step_ = 1.0 / static_cast<double>(buckets_per_decade);
+  inv_log_step_ = static_cast<double>(buckets_per_decade);
+  const double decades = std::log10(max_value) - log_min_;
+  const auto core = static_cast<std::size_t>(
+      std::ceil(decades * buckets_per_decade));
+  // +2 clamp buckets: index 0 for underflow, last for overflow.
+  counts_.assign(core + 2, 0);
+}
+
+std::size_t LogHistogram::bucket_index(double value) const {
+  if (!(value >= min_value_)) return 0;  // underflow (also NaN-safe)
+  const double offset = (std::log10(value) - log_min_) * inv_log_step_;
+  const auto index = static_cast<std::size_t>(offset) + 1;
+  return std::min(index, counts_.size() - 1);
+}
+
+double LogHistogram::bucket_lower_edge(std::size_t index) const {
+  if (index == 0) return 0.0;
+  return std::pow(10.0,
+                  log_min_ + static_cast<double>(index - 1) * log_step_);
+}
+
+void LogHistogram::add(double value) {
+  ++counts_[bucket_index(value)];
+  ++total_;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  COSM_REQUIRE(counts_.size() == other.counts_.size() &&
+                   min_value_ == other.min_value_,
+               "histograms must share the bucket layout");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+double LogHistogram::quantile(double p) const {
+  COSM_REQUIRE(p >= 0 && p <= 1, "quantile level must be in [0, 1]");
+  COSM_REQUIRE(total_ > 0, "quantile of an empty histogram");
+  const double target = p * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double lower = bucket_lower_edge(i);
+      const double upper = (i + 1 < counts_.size())
+                               ? bucket_lower_edge(i + 1)
+                               : lower;
+      const double inside =
+          counts_[i] > 0
+              ? (target - cumulative) / static_cast<double>(counts_[i])
+              : 0.0;
+      return lower + (upper - lower) * inside;
+    }
+    cumulative = next;
+  }
+  return bucket_lower_edge(counts_.size() - 1);
+}
+
+double LogHistogram::fraction_below(double threshold) const {
+  COSM_REQUIRE(total_ > 0, "empirical CDF of an empty histogram");
+  const std::size_t limit = bucket_index(threshold);
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < limit; ++i) below += counts_[i];
+  // Interpolate inside the threshold's own bucket.
+  const double lower = bucket_lower_edge(limit);
+  const double upper = (limit + 1 < counts_.size())
+                           ? bucket_lower_edge(limit + 1)
+                           : lower;
+  double partial = 0.0;
+  if (upper > lower && threshold > lower) {
+    partial = std::min(1.0, (threshold - lower) / (upper - lower)) *
+              static_cast<double>(counts_[limit]);
+  }
+  return (static_cast<double>(below) + partial) /
+         static_cast<double>(total_);
+}
+
+}  // namespace cosm::stats

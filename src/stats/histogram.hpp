@@ -1,0 +1,45 @@
+// Log-bucketed latency histogram: constant-memory percentile estimation
+// for long simulator runs where retaining raw samples is wasteful.
+// Buckets grow geometrically, so relative quantile error is bounded by the
+// per-decade resolution.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cosm::stats {
+
+class LogHistogram {
+ public:
+  // Values in [min_value, max_value] are bucketed geometrically with
+  // `buckets_per_decade` resolution; values below/above go to clamp
+  // buckets.
+  LogHistogram(double min_value, double max_value,
+               int buckets_per_decade = 100);
+
+  void add(double value);
+  void merge(const LogHistogram& other);
+
+  std::uint64_t count() const { return total_; }
+  // Quantile estimate (bucket lower edge + linear interpolation); exact to
+  // within one bucket width.
+  double quantile(double p) const;
+  // Fraction of recorded values <= threshold.
+  double fraction_below(double threshold) const;
+
+  std::size_t bucket_count() const { return counts_.size(); }
+
+ private:
+  std::size_t bucket_index(double value) const;
+  double bucket_lower_edge(std::size_t index) const;
+
+  double min_value_;
+  double log_min_;
+  double inv_log_step_;
+  double log_step_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace cosm::stats

@@ -1,0 +1,91 @@
+#include "stats/p2_quantile.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace cosm::stats {
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  COSM_REQUIRE(p > 0 && p < 1, "quantile level must be in (0, 1)");
+  desired_ = {1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0};
+  increment_ = {0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0};
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  // Jain & Chlamtac's piecewise-parabolic prediction formula.
+  return q_[i] +
+         d / (n_[i + 1] - n_[i - 1]) *
+             ((n_[i] - n_[i - 1] + d) * (q_[i + 1] - q_[i]) /
+                  (n_[i + 1] - n_[i]) +
+              (n_[i + 1] - n_[i] - d) * (q_[i] - q_[i - 1]) /
+                  (n_[i] - n_[i - 1]));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const int j = i + static_cast<int>(d);
+  return q_[i] + d * (q_[j] - q_[i]) / (n_[j] - n_[i]);
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    q_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(q_.begin(), q_.end());
+      for (int i = 0; i < 5; ++i) n_[i] = i + 1;
+    }
+    return;
+  }
+  ++count_;
+  // Locate the cell and update extreme markers.
+  int cell;
+  if (x < q_[0]) {
+    q_[0] = x;
+    cell = 0;
+  } else if (x < q_[1]) {
+    cell = 0;
+  } else if (x < q_[2]) {
+    cell = 1;
+  } else if (x < q_[3]) {
+    cell = 2;
+  } else if (x <= q_[4]) {
+    cell = 3;
+  } else {
+    q_[4] = x;
+    cell = 3;
+  }
+  for (int i = cell + 1; i < 5; ++i) n_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) {
+    desired_[i] += increment_[i];
+  }
+  // Adjust interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double gap = desired_[i] - n_[i];
+    if ((gap >= 1.0 && n_[i + 1] - n_[i] > 1.0) ||
+        (gap <= -1.0 && n_[i - 1] - n_[i] < -1.0)) {
+      const double direction = gap >= 1.0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, direction);
+      if (!(q_[i - 1] < candidate && candidate < q_[i + 1])) {
+        candidate = linear(i, direction);
+      }
+      q_[i] = candidate;
+      n_[i] += direction;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  COSM_REQUIRE(count_ > 0, "no observations");
+  if (count_ < 5) {
+    // Exact order statistic over the few samples seen so far.
+    std::array<double, 5> copy = q_;
+    std::sort(copy.begin(), copy.begin() + count_);
+    const auto index = static_cast<std::uint64_t>(
+        p_ * static_cast<double>(count_ - 1) + 0.5);
+    return copy[index];
+  }
+  return q_[2];
+}
+
+}  // namespace cosm::stats

@@ -1,0 +1,41 @@
+// P² (piecewise-parabolic) streaming quantile estimator, Jain & Chlamtac
+// 1985: tracks a single quantile in O(1) memory without storing samples.
+//
+// The SLA counters answer "fraction under a FIXED latency bound"; P² is
+// the dual — "what latency bound does the p-th percentile sit at right
+// now" — which is what a production monitoring agent exports when it
+// cannot afford per-request samples.  LogHistogram covers the same need
+// with bounded relative error; P² needs no prior range.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cosm::stats {
+
+class P2Quantile {
+ public:
+  // p in (0, 1): the tracked quantile level.
+  explicit P2Quantile(double p);
+
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  // Current estimate; requires at least 5 observations (exact order
+  // statistics are used below that).
+  double value() const;
+
+ private:
+  double parabolic(int i, double direction) const;
+  double linear(int i, double direction) const;
+
+  double p_;
+  std::uint64_t count_ = 0;
+  // Marker heights, positions, and desired positions (classic notation).
+  std::array<double, 5> q_{};
+  std::array<double, 5> n_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> increment_{};
+};
+
+}  // namespace cosm::stats

@@ -1,0 +1,100 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace cosm::stats {
+
+void StreamingStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingStats::mean() const { return count_ ? mean_ : 0.0; }
+
+double StreamingStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double StreamingStats::min() const {
+  COSM_REQUIRE(count_ > 0, "min of an empty stream");
+  return min_;
+}
+
+double StreamingStats::max() const {
+  COSM_REQUIRE(count_ > 0, "max of an empty stream");
+  return max_;
+}
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+const std::vector<double>& SampleSet::sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return sorted_;
+}
+
+double SampleSet::quantile(double p) const {
+  COSM_REQUIRE(p >= 0 && p <= 1, "quantile level must be in [0, 1]");
+  COSM_REQUIRE(!samples_.empty(), "quantile of an empty sample set");
+  const auto& s = sorted();
+  if (s.size() == 1) return s.front();
+  const double position = p * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(position);
+  if (lo + 1 >= s.size()) return s.back();
+  const double frac = position - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[lo + 1] * frac;
+}
+
+double SampleSet::fraction_below(double threshold) const {
+  COSM_REQUIRE(!samples_.empty(), "empirical CDF of an empty sample set");
+  const auto& s = sorted();
+  const auto it = std::upper_bound(s.begin(), s.end(), threshold);
+  return static_cast<double>(it - s.begin()) /
+         static_cast<double>(s.size());
+}
+
+double SampleSet::mean() const {
+  COSM_REQUIRE(!samples_.empty(), "mean of an empty sample set");
+  double sum = 0.0;
+  for (const double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+}  // namespace cosm::stats

@@ -1,0 +1,59 @@
+// Streaming summary statistics (Welford) and latency sample collections
+// with exact quantiles — the measurement side of every experiment.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cosm::stats {
+
+// Numerically stable streaming mean/variance/min/max.
+class StreamingStats {
+ public:
+  void add(double x);
+  void merge(const StreamingStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  // Unbiased sample variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Collects raw samples and answers exact order-statistics queries.
+// Sorting is deferred and cached.
+class SampleSet {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Exact p-quantile (nearest-rank with linear interpolation).
+  double quantile(double p) const;
+  // Fraction of samples <= threshold (empirical CDF).
+  double fraction_below(double threshold) const;
+  double mean() const;
+
+  const std::vector<double>& raw() const { return samples_; }
+  // Sorted view (sorts on first use).
+  const std::vector<double>& sorted() const;
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace cosm::stats

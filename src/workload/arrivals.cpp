@@ -1,0 +1,48 @@
+#include "workload/arrivals.hpp"
+
+#include "common/require.hpp"
+
+namespace cosm::workload {
+
+double PoissonArrivals::next_gap(double mean_rate, cosm::Rng& rng) {
+  COSM_REQUIRE(mean_rate > 0, "arrival rate must be positive");
+  return rng.exponential(mean_rate);
+}
+
+double DeterministicArrivals::next_gap(double mean_rate, cosm::Rng&) {
+  COSM_REQUIRE(mean_rate > 0, "arrival rate must be positive");
+  return 1.0 / mean_rate;
+}
+
+MmppArrivals::MmppArrivals(double amplitude, double dwell)
+    : amplitude_(amplitude), dwell_(dwell) {
+  COSM_REQUIRE(amplitude >= 0 && amplitude < 1,
+               "MMPP amplitude must be in [0, 1)");
+  COSM_REQUIRE(dwell > 0, "MMPP dwell must be positive");
+}
+
+double MmppArrivals::next_gap(double mean_rate, cosm::Rng& rng) {
+  COSM_REQUIRE(mean_rate > 0, "arrival rate must be positive");
+  // Walk across state boundaries until a gap completes.  Within a state
+  // the process is Poisson at the modulated rate; a gap spanning a state
+  // change accumulates the time spent in each state (thinning by
+  // memorylessness within states).
+  double gap = 0.0;
+  for (;;) {
+    if (state_left_ <= 0.0) {
+      storm_ = !storm_;
+      state_left_ = rng.exponential(1.0 / dwell_);
+    }
+    const double rate =
+        mean_rate * (storm_ ? 1.0 + amplitude_ : 1.0 - amplitude_);
+    const double candidate = rng.exponential(rate);
+    if (candidate <= state_left_) {
+      state_left_ -= candidate;
+      return gap + candidate;
+    }
+    gap += state_left_;
+    state_left_ = 0.0;
+  }
+}
+
+}  // namespace cosm::workload

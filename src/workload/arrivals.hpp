@@ -1,0 +1,63 @@
+// Arrival processes.
+//
+// The model assumes Poisson arrivals (paper Sec. III-A, citing Meisner et
+// al. that Poisson approximates scale-out workloads well).  To test how
+// much of the model's accuracy hangs on that assumption, the simulator
+// can also be driven by:
+//  * Deterministic  — evenly spaced arrivals (CV = 0, smoother than
+//                     Poisson);
+//  * MMPP(2)        — a two-state Markov-modulated Poisson process
+//                     (bursty: a "calm" and a "storm" rate with
+//                     exponential dwell times), parameterized by a
+//                     burstiness factor while preserving the long-run
+//                     mean rate.
+// All processes hand out successive inter-arrival gaps for a given mean
+// rate, so OpenLoopSource can swap them freely.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace cosm::workload {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  // Next inter-arrival gap (seconds) for the given long-run mean rate.
+  virtual double next_gap(double mean_rate, cosm::Rng& rng) = 0;
+  virtual const char* name() const = 0;
+};
+
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  double next_gap(double mean_rate, cosm::Rng& rng) override;
+  const char* name() const override { return "poisson"; }
+};
+
+class DeterministicArrivals final : public ArrivalProcess {
+ public:
+  double next_gap(double mean_rate, cosm::Rng& rng) override;
+  const char* name() const override { return "deterministic"; }
+};
+
+// Two-state MMPP: rates (1 ± amplitude) * mean_rate with mean state dwell
+// `dwell` seconds.  amplitude in [0, 1); amplitude 0 degenerates to
+// Poisson.  The long-run rate equals mean_rate because the two states are
+// symmetric.
+class MmppArrivals final : public ArrivalProcess {
+ public:
+  MmppArrivals(double amplitude, double dwell);
+  double next_gap(double mean_rate, cosm::Rng& rng) override;
+  const char* name() const override { return "mmpp2"; }
+
+ private:
+  double amplitude_;
+  double dwell_;
+  bool storm_ = false;
+  double state_left_ = 0.0;  // remaining dwell in the current state
+};
+
+using ArrivalProcessPtr = std::shared_ptr<ArrivalProcess>;
+
+}  // namespace cosm::workload

@@ -1,0 +1,68 @@
+// Object catalog: the population of data objects ("blobs") the workload
+// reads.
+//
+// Mirrors the paper's trace characteristics (Sec. V-A): object sizes are
+// long-tailed with a small mean (~32KB objects, ~10KB mean request), and
+// popularity follows a heavy-tailed (Zipf) law — which is what makes the
+// index/metadata caches miss in the first place (Sec. II's long-tail
+// argument).  Object identity is a dense rank; rank 0 is the most popular.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "numerics/distribution.hpp"
+
+namespace cosm::workload {
+
+using ObjectId = std::uint64_t;
+
+struct CatalogConfig {
+  std::uint64_t object_count = 100000;
+  double zipf_skew = 0.9;
+  // Object sizes are drawn i.i.d. from this distribution (bytes) at
+  // catalog construction, then fixed — an object always has one size.
+  numerics::DistPtr size_distribution;
+  std::uint64_t min_object_bytes = 256;
+  std::uint64_t max_object_bytes = 64ull << 20;  // 64 MiB cap
+  std::uint64_t seed = 1;
+};
+
+// A lognormal with the given mean and sigma(log) — the shape observed for
+// web media objects; mean defaults to the paper's ~32KB.
+numerics::DistPtr default_size_distribution(double mean_bytes = 32.0 * 1024,
+                                            double sigma_log = 1.2);
+
+class ObjectCatalog {
+ public:
+  explicit ObjectCatalog(const CatalogConfig& config);
+
+  // Empirical catalog: explicit per-object sizes (bytes) and popularity
+  // weights (any non-negative values; normalized internally).  This is
+  // how a *real* trace feeds the simulator — see
+  // workload::catalog_from_trace in trace_stats.hpp.
+  ObjectCatalog(std::vector<std::uint64_t> sizes,
+                const std::vector<double>& popularity_weights);
+
+  std::uint64_t object_count() const { return sizes_.size(); }
+  std::uint64_t size_of(ObjectId id) const;
+
+  // Popularity-weighted object draw.
+  ObjectId sample_object(cosm::Rng& rng) const;
+  double popularity(ObjectId id) const;
+
+  double mean_object_size() const { return mean_size_; }
+
+  // Expected number of data chunks per request given a chunk size, i.e.
+  // the popularity-weighted E[ceil(size / chunk)] — this is what turns the
+  // request arrival rate r into the data-read rate r_data of the model.
+  double expected_chunks_per_request(std::uint64_t chunk_bytes) const;
+
+ private:
+  std::vector<std::uint64_t> sizes_;
+  cosm::WeightedSampler popularity_;
+  double mean_size_;
+};
+
+}  // namespace cosm::workload

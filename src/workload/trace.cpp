@@ -1,0 +1,105 @@
+#include "workload/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace cosm::workload {
+
+void write_trace_csv(std::ostream& os,
+                     const std::vector<TraceRecord>& trace) {
+  os << "timestamp,object_id,size_bytes\n";
+  for (const auto& rec : trace) {
+    os << rec.timestamp << ',' << rec.object_id << ',' << rec.size_bytes
+       << '\n';
+  }
+}
+
+std::vector<TraceRecord> read_trace_csv(std::istream& is) {
+  std::vector<TraceRecord> trace;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      COSM_REQUIRE(line == "timestamp,object_id,size_bytes",
+                   "unrecognized trace CSV header: " + line);
+      continue;
+    }
+    std::istringstream fields(line);
+    TraceRecord rec;
+    char comma1 = 0;
+    char comma2 = 0;
+    fields >> rec.timestamp >> comma1 >> rec.object_id >> comma2 >>
+        rec.size_bytes;
+    COSM_REQUIRE(!fields.fail() && comma1 == ',' && comma2 == ',',
+                 "malformed trace CSV line: " + line);
+    trace.push_back(rec);
+  }
+  return trace;
+}
+
+std::vector<PhaseSegment> expand_phases(const PhasePlan& plan) {
+  COSM_REQUIRE(plan.warmup_duration >= 0 && plan.transition_duration >= 0,
+               "phase durations must be non-negative");
+  COSM_REQUIRE(plan.benchmark_step_duration > 0,
+               "benchmark step duration must be positive");
+  COSM_REQUIRE(plan.benchmark_rate_step > 0,
+               "benchmark rate step must be positive");
+  COSM_REQUIRE(plan.benchmark_start_rate > 0 &&
+                   plan.benchmark_end_rate >= plan.benchmark_start_rate,
+               "benchmark rate range must be increasing");
+  std::vector<PhaseSegment> segments;
+  double now = 0.0;
+  if (plan.warmup_duration > 0) {
+    COSM_REQUIRE(plan.warmup_rate > 0, "warmup rate must be positive");
+    segments.push_back({now, plan.warmup_duration, plan.warmup_rate, false});
+    now += plan.warmup_duration;
+  }
+  if (plan.transition_duration > 0) {
+    COSM_REQUIRE(plan.transition_rate > 0,
+                 "transition rate must be positive");
+    segments.push_back(
+        {now, plan.transition_duration, plan.transition_rate, false});
+    now += plan.transition_duration;
+  }
+  for (double rate = plan.benchmark_start_rate;
+       rate <= plan.benchmark_end_rate + 1e-9;
+       rate += plan.benchmark_rate_step) {
+    segments.push_back({now, plan.benchmark_step_duration, rate, true});
+    now += plan.benchmark_step_duration;
+  }
+  return segments;
+}
+
+std::uint64_t generate_trace(
+    const PhasePlan& plan, const ObjectCatalog& catalog, cosm::Rng& rng,
+    const std::function<void(const TraceRecord&)>& sink) {
+  COSM_REQUIRE(sink != nullptr, "trace sink must be callable");
+  std::uint64_t count = 0;
+  for (const PhaseSegment& segment : expand_phases(plan)) {
+    double t = segment.start_time + rng.exponential(segment.rate);
+    const double end = segment.start_time + segment.duration;
+    while (t < end) {
+      const ObjectId id = catalog.sample_object(rng);
+      sink({t, id, catalog.size_of(id)});
+      ++count;
+      t += rng.exponential(segment.rate);
+    }
+  }
+  return count;
+}
+
+std::vector<TraceRecord> generate_trace_vector(const PhasePlan& plan,
+                                               const ObjectCatalog& catalog,
+                                               cosm::Rng& rng) {
+  std::vector<TraceRecord> trace;
+  generate_trace(plan, catalog, rng,
+                 [&trace](const TraceRecord& rec) { trace.push_back(rec); });
+  return trace;
+}
+
+}  // namespace cosm::workload

@@ -1,0 +1,65 @@
+// Request traces: the record format, CSV persistence, and the synthetic
+// phase-structured generator that stands in for the paper's rewritten
+// Wikipedia trace.
+//
+// The paper controls load by rewriting trace timestamps into three phases
+// (Sec. V-B): a warmup at a fixed rate, a transition at a trickle rate,
+// and a benchmarking phase whose rate steps up every five minutes.  The
+// generator reproduces exactly that structure with Poisson arrivals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/catalog.hpp"
+
+namespace cosm::workload {
+
+struct TraceRecord {
+  double timestamp = 0.0;  // seconds from trace start
+  ObjectId object_id = 0;
+  std::uint64_t size_bytes = 0;
+};
+
+// CSV persistence ("timestamp,object_id,size_bytes" with a header line).
+void write_trace_csv(std::ostream& os, const std::vector<TraceRecord>& trace);
+std::vector<TraceRecord> read_trace_csv(std::istream& is);
+
+struct PhasePlan {
+  double warmup_rate = 300.0;       // requests/s
+  double warmup_duration = 10800.0; // paper: 3 hours
+  double transition_rate = 10.0;
+  double transition_duration = 3600.0;  // paper: 1 hour
+  double benchmark_start_rate = 10.0;
+  double benchmark_end_rate = 350.0;    // inclusive
+  double benchmark_rate_step = 5.0;
+  double benchmark_step_duration = 300.0;  // paper: 5 minutes per rate
+};
+
+struct PhaseSegment {
+  double start_time;
+  double duration;
+  double rate;
+  bool is_benchmark;  // only benchmark segments enter accuracy scoring
+};
+
+// Expands a PhasePlan into its constant-rate segments.
+std::vector<PhaseSegment> expand_phases(const PhasePlan& plan);
+
+// Streams Poisson arrivals through the phase plan, drawing objects from
+// the catalog, and hands each record to `sink`.  Returns the number of
+// requests generated.
+std::uint64_t generate_trace(const PhasePlan& plan,
+                             const ObjectCatalog& catalog, cosm::Rng& rng,
+                             const std::function<void(const TraceRecord&)>& sink);
+
+// Convenience: materialize the whole trace in memory.
+std::vector<TraceRecord> generate_trace_vector(const PhasePlan& plan,
+                                               const ObjectCatalog& catalog,
+                                               cosm::Rng& rng);
+
+}  // namespace cosm::workload

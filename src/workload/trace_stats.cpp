@@ -1,0 +1,117 @@
+#include "workload/trace_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace cosm::workload {
+
+std::unordered_map<ObjectId, std::uint64_t> object_counts(
+    std::span<const TraceRecord> trace) {
+  std::unordered_map<ObjectId, std::uint64_t> counts;
+  counts.reserve(trace.size() / 4 + 1);
+  for (const auto& record : trace) ++counts[record.object_id];
+  return counts;
+}
+
+TraceSummary summarize_trace(std::span<const TraceRecord> trace) {
+  COSM_REQUIRE(!trace.empty(), "cannot summarize an empty trace");
+  TraceSummary summary;
+  summary.requests = trace.size();
+  summary.duration = trace.back().timestamp - trace.front().timestamp;
+  summary.mean_rate = summary.duration > 0
+                          ? static_cast<double>(trace.size()) /
+                                summary.duration
+                          : 0.0;
+  std::vector<double> sizes;
+  sizes.reserve(trace.size());
+  double size_sum = 0.0;
+  for (const auto& record : trace) {
+    sizes.push_back(static_cast<double>(record.size_bytes));
+    size_sum += static_cast<double>(record.size_bytes);
+  }
+  summary.mean_size = size_sum / static_cast<double>(trace.size());
+  std::sort(sizes.begin(), sizes.end());
+  summary.median_size = sizes[sizes.size() / 2];
+  summary.p95_size = sizes[static_cast<std::size_t>(
+      0.95 * static_cast<double>(sizes.size() - 1))];
+
+  auto counts = object_counts(trace);
+  summary.distinct_objects = counts.size();
+  std::vector<std::uint64_t> frequencies;
+  frequencies.reserve(counts.size());
+  for (const auto& [id, count] : counts) frequencies.push_back(count);
+  std::sort(frequencies.begin(), frequencies.end(),
+            std::greater<std::uint64_t>());
+  const std::size_t head =
+      std::max<std::size_t>(1, frequencies.size() / 100);
+  std::uint64_t head_requests = 0;
+  for (std::size_t i = 0; i < head; ++i) head_requests += frequencies[i];
+  summary.top_percent_share = static_cast<double>(head_requests) /
+                              static_cast<double>(trace.size());
+  return summary;
+}
+
+EmpiricalCatalog catalog_from_trace(std::span<const TraceRecord> trace) {
+  COSM_REQUIRE(!trace.empty(), "cannot build a catalog from an empty trace");
+  auto counts = object_counts(trace);
+  // Record each object's (last observed) size.
+  std::unordered_map<ObjectId, std::uint64_t> sizes;
+  sizes.reserve(counts.size());
+  for (const auto& record : trace) sizes[record.object_id] = record.size_bytes;
+  // Order by popularity, most popular first.
+  std::vector<std::pair<ObjectId, std::uint64_t>> ordered(counts.begin(),
+                                                          counts.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<std::uint64_t> catalog_sizes;
+  std::vector<double> weights;
+  catalog_sizes.reserve(ordered.size());
+  weights.reserve(ordered.size());
+  std::unordered_map<ObjectId, ObjectId> rank_of;
+  rank_of.reserve(ordered.size());
+  for (std::size_t rank = 0; rank < ordered.size(); ++rank) {
+    const auto& [id, count] = ordered[rank];
+    rank_of[id] = static_cast<ObjectId>(rank);
+    catalog_sizes.push_back(std::max<std::uint64_t>(1, sizes[id]));
+    weights.push_back(static_cast<double>(count));
+  }
+  return {ObjectCatalog(std::move(catalog_sizes), weights),
+          std::move(rank_of)};
+}
+
+double estimate_zipf_skew(std::span<const TraceRecord> trace,
+                          std::uint64_t min_count) {
+  COSM_REQUIRE(!trace.empty(), "cannot estimate skew of an empty trace");
+  auto counts = object_counts(trace);
+  std::vector<std::uint64_t> frequencies;
+  frequencies.reserve(counts.size());
+  for (const auto& [id, count] : counts) {
+    if (count >= min_count) frequencies.push_back(count);
+  }
+  COSM_REQUIRE(frequencies.size() >= 3,
+               "too few frequently-accessed objects for a skew estimate; "
+               "lower min_count or use a longer trace");
+  std::sort(frequencies.begin(), frequencies.end(),
+            std::greater<std::uint64_t>());
+  // Least squares of log(freq) on log(rank): slope = -skew.
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  const double n = static_cast<double>(frequencies.size());
+  for (std::size_t rank = 0; rank < frequencies.size(); ++rank) {
+    const double x = std::log(static_cast<double>(rank + 1));
+    const double y = std::log(static_cast<double>(frequencies[rank]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  return std::max(0.0, -slope);
+}
+
+}  // namespace cosm::workload

@@ -1,0 +1,51 @@
+// Trace analysis: the measurements an operator runs on a *real* trace
+// (e.g. the paper's wikibench-derived Wikipedia trace) before synthesizing
+// comparable workloads — request rate, size mixture, working-set size, and
+// the Zipf popularity skew that drives cache miss ratios.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "workload/trace.hpp"
+
+namespace cosm::workload {
+
+struct TraceSummary {
+  std::uint64_t requests = 0;
+  double duration = 0.0;        // last - first timestamp
+  double mean_rate = 0.0;       // requests / duration
+  double mean_size = 0.0;       // bytes
+  double median_size = 0.0;
+  double p95_size = 0.0;
+  std::uint64_t distinct_objects = 0;
+  // Fraction of requests going to the most popular 1% of objects — the
+  // quick long-tail diagnostic.
+  double top_percent_share = 0.0;
+};
+
+TraceSummary summarize_trace(std::span<const TraceRecord> trace);
+
+// Estimates the Zipf skew of object popularity by least-squares on the
+// log(frequency) vs log(rank) line over objects with at least
+// `min_count` hits (rank-1 regression is the standard quick estimator;
+// a skew of 0 means uniform popularity).
+double estimate_zipf_skew(std::span<const TraceRecord> trace,
+                          std::uint64_t min_count = 5);
+
+// Per-object request counts (popularity histogram input).
+std::unordered_map<ObjectId, std::uint64_t> object_counts(
+    std::span<const TraceRecord> trace);
+
+// Builds an empirical ObjectCatalog from a trace: one catalog entry per
+// distinct object, with its observed size and its observed request count
+// as the popularity weight.  Returns the catalog and the mapping from
+// trace object ids to catalog ranks (most popular = rank 0).
+struct EmpiricalCatalog {
+  ObjectCatalog catalog;
+  std::unordered_map<ObjectId, ObjectId> rank_of;
+};
+EmpiricalCatalog catalog_from_trace(std::span<const TraceRecord> trace);
+
+}  // namespace cosm::workload

@@ -1,0 +1,216 @@
+// Calibration pipeline tests (Sec. IV): the disk and parse benchmarks
+// must recover the ground-truth parameters they were generated from, and
+// the online estimators must reproduce the known configuration of a
+// simulated run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "calibration/disk_benchmark.hpp"
+#include "calibration/online_metrics.hpp"
+#include "calibration/parse_benchmark.hpp"
+#include "sim/cluster.hpp"
+#include "sim/source.hpp"
+
+namespace cosm::calibration {
+namespace {
+
+using numerics::Degenerate;
+using numerics::Gamma;
+
+sim::DiskProfile ground_truth_profile() {
+  return {std::make_shared<Gamma>(3.0, 300.0),
+          std::make_shared<Gamma>(2.5, 312.5),
+          std::make_shared<Gamma>(2.8, 233.33), nullptr, nullptr};
+}
+
+TEST(DiskBenchmark, GammaWinsAndParametersRecovered) {
+  DiskBenchmarkConfig config;
+  config.objects = 20000;
+  const DiskCalibration calibration =
+      benchmark_disk(ground_truth_profile(), config);
+  ASSERT_EQ(calibration.index.samples.size(), 20000u);
+  // Fig. 5's selection: Gamma fits disk service times best.
+  EXPECT_EQ(calibration.index.selection.best().name, "gamma");
+  EXPECT_EQ(calibration.meta.selection.best().name, "gamma");
+  EXPECT_EQ(calibration.data.selection.best().name, "gamma");
+  // Fitted means close to the profile means.
+  EXPECT_NEAR(calibration.index.mean, 0.010, 0.0004);
+  EXPECT_NEAR(calibration.meta.mean, 0.008, 0.0004);
+  EXPECT_NEAR(calibration.data.mean, 2.8 / 233.33, 0.0005);
+  // Fitted Gamma shape near ground truth.
+  const auto* fitted = dynamic_cast<const Gamma*>(
+      calibration.index.selection.best().dist.get());
+  ASSERT_NE(fitted, nullptr);
+  EXPECT_NEAR(fitted->shape(), 3.0, 0.15);
+}
+
+TEST(DiskBenchmark, ProportionsSumToOneAndOrderCorrectly) {
+  const DiskCalibration calibration =
+      benchmark_disk(ground_truth_profile(), {.objects = 5000, .seed = 3});
+  const double total = calibration.index_proportion() +
+                       calibration.meta_proportion() +
+                       calibration.data_proportion();
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // data (12 ms) > index (10 ms) > meta (8 ms).
+  EXPECT_GT(calibration.data_proportion(), calibration.index_proportion());
+  EXPECT_GT(calibration.index_proportion(), calibration.meta_proportion());
+}
+
+TEST(DiskBenchmark, RejectsTinySampleCounts) {
+  EXPECT_THROW(benchmark_disk(ground_truth_profile(), {.objects = 5}),
+               std::invalid_argument);
+}
+
+TEST(ParseBenchmark, RecoversDegenerateParseCosts) {
+  sim::ClusterConfig config;
+  config.frontend_processes = 1;
+  config.device_count = 1;
+  config.processes_per_device = 1;
+  config.frontend_parse = std::make_shared<Degenerate>(0.0008);
+  config.backend_parse = std::make_shared<Degenerate>(0.0005);
+  config.accept_cost = 0.0;
+  config.network_latency = 0.0;
+  const ParseCalibration calibration =
+      benchmark_parse(config, {.requests = 500});
+  ASSERT_EQ(calibration.backend_samples.size(), 500u);
+  // Backend parse recovered exactly (D_bp is pure parse here).
+  EXPECT_EQ(calibration.backend_fit.best().name, "degenerate");
+  EXPECT_NEAR(calibration.backend_fit.best().dist->mean(), 0.0005, 1e-9);
+  // Frontend parse = D_fp - D_bp - D_net: with zero network latency the
+  // estimate is exact up to the (tiny) D_net subtraction.
+  EXPECT_NEAR(calibration.frontend_fit.best().dist->mean(), 0.0008, 5e-5);
+}
+
+TEST(ParseBenchmark, NetworkHopsBiasTheFrontendEstimate) {
+  // With real network latency the calibration inherits the paper's own
+  // bias: the accept/connect hops are attributed to frontend parsing.
+  sim::ClusterConfig config;
+  config.frontend_processes = 1;
+  config.device_count = 1;
+  config.frontend_parse = std::make_shared<Degenerate>(0.0008);
+  config.backend_parse = std::make_shared<Degenerate>(0.0005);
+  config.accept_cost = 0.0;
+  config.network_latency = 0.0002;
+  const ParseCalibration calibration =
+      benchmark_parse(config, {.requests = 200});
+  // 4 one-way hops land in the frontend estimate.
+  EXPECT_NEAR(calibration.frontend_fit.best().dist->mean(),
+              0.0008 + 4 * 0.0002, 5e-5);
+}
+
+TEST(EstimateMissRatio, ThresholdSeparatesHitsFromMisses) {
+  std::vector<double> latencies;
+  for (int i = 0; i < 700; ++i) latencies.push_back(0.0);      // hits
+  for (int i = 0; i < 300; ++i) latencies.push_back(0.008);    // disk
+  EXPECT_NEAR(estimate_miss_ratio(latencies), 0.3, 1e-12);
+  EXPECT_THROW(estimate_miss_ratio({}), std::invalid_argument);
+  EXPECT_THROW(estimate_miss_ratio(latencies, 0.0), std::invalid_argument);
+}
+
+TEST(SplitDiskService, RecoversPerKindMeans) {
+  // Ground truth: b_i = 10, b_m = 8, b_d = 12 ms with the paper's
+  // proportion assumption p_k ∝ b_k.
+  const double bi = 0.010;
+  const double bm = 0.008;
+  const double bd = 0.012;
+  const double sum = bi + bm + bd;
+  const double mi = 0.3;
+  const double mm = 0.2;
+  const double md = 0.7;
+  const double r = 50.0;
+  const double rd = 65.0;
+  const double disk_rate = mi * r + mm * r + md * rd;
+  const double aggregate =
+      (mi * r * bi + mm * r * bm + md * rd * bd) / disk_rate;
+  const ServiceSplit split =
+      split_disk_service(aggregate, bi / sum, bm / sum, bd / sum, mi, mm,
+                         md, r, rd);
+  EXPECT_NEAR(split.index_mean, bi, 1e-12);
+  EXPECT_NEAR(split.meta_mean, bm, 1e-12);
+  EXPECT_NEAR(split.data_mean, bd, 1e-12);
+}
+
+TEST(SplitDiskService, Validation) {
+  EXPECT_THROW(split_disk_service(0.0, 0.3, 0.3, 0.4, 0.1, 0.1, 0.1, 1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(
+      split_disk_service(0.01, 0.0, 0.5, 0.5, 0.1, 0.1, 0.1, 1, 1),
+      std::invalid_argument);
+  // All-zero miss ratios leave nothing to split.
+  EXPECT_THROW(
+      split_disk_service(0.01, 0.3, 0.3, 0.4, 0.0, 0.0, 0.0, 1, 1),
+      std::invalid_argument);
+}
+
+TEST(ObserveDevice, ReadsRatesAndMissRatiosFromSimulation) {
+  sim::ClusterConfig config;
+  config.frontend_processes = 1;
+  config.device_count = 1;
+  config.processes_per_device = 1;
+  config.cache.index_miss_ratio = 0.25;
+  config.cache.meta_miss_ratio = 0.35;
+  config.cache.data_miss_ratio = 0.6;
+  config.seed = 21;
+  sim::Cluster cluster(config);
+
+  workload::CatalogConfig cat_config;
+  cat_config.object_count = 3000;
+  cat_config.size_distribution = workload::default_size_distribution();
+  const workload::ObjectCatalog catalog(cat_config);
+  const workload::Placement placement({.partition_count = 64,
+                                       .replica_count = 1,
+                                       .device_count = 1,
+                                       .seed = 2});
+  workload::PhasePlan plan;
+  plan.warmup_duration = 0.0;
+  plan.transition_duration = 0.0;
+  plan.benchmark_start_rate = 20.0;
+  plan.benchmark_end_rate = 20.0;
+  plan.benchmark_step_duration = 120.0;
+  sim::OpenLoopSource source(cluster, catalog, placement, plan,
+                             cosm::Rng(4));
+  source.start();
+  cluster.engine().run_until(source.horizon());
+  cluster.engine().run_all();
+
+  const DeviceObservation obs =
+      observe_device(cluster.metrics(), 0, source.horizon());
+  EXPECT_NEAR(obs.request_rate, 20.0, 2.0);
+  EXPECT_GE(obs.data_read_rate, obs.request_rate);
+  EXPECT_NEAR(obs.index_miss_ratio, 0.25, 0.03);
+  EXPECT_NEAR(obs.meta_miss_ratio, 0.35, 0.03);
+  EXPECT_NEAR(obs.data_miss_ratio, 0.6, 0.03);
+}
+
+TEST(BuildDeviceParams, AssemblesValidModelInputs) {
+  const DiskCalibration calibration =
+      benchmark_disk(ground_truth_profile(), {.objects = 5000, .seed = 5});
+  DeviceObservation obs;
+  obs.request_rate = 30.0;
+  obs.data_read_rate = 36.0;
+  obs.index_miss_ratio = 0.3;
+  obs.meta_miss_ratio = 0.3;
+  obs.data_miss_ratio = 0.7;
+  // Aggregate disk service consistent with the ground truth means.
+  const double disk_rate = 0.3 * 30 + 0.3 * 30 + 0.7 * 36;
+  const double aggregate = (0.3 * 30 * 0.010 + 0.3 * 30 * 0.008 +
+                            0.7 * 36 * (2.8 / 233.33)) /
+                           disk_rate;
+  const core::DeviceParams params = build_device_params(
+      obs, calibration, std::make_shared<Degenerate>(0.0005), 1, aggregate);
+  EXPECT_NO_THROW(params.validate());
+  // Rescaled means should land near the ground truth per-kind means.
+  EXPECT_NEAR(params.index_disk->mean(), 0.010, 0.0005);
+  EXPECT_NEAR(params.meta_disk->mean(), 0.008, 0.0005);
+  EXPECT_NEAR(params.data_disk->mean(), 2.8 / 233.33, 0.0006);
+  // The rescaling preserves the fitted Gamma shape.
+  const auto* gamma =
+      dynamic_cast<const Gamma*>(params.index_disk.get());
+  ASSERT_NE(gamma, nullptr);
+  EXPECT_NEAR(gamma->shape(), 3.0, 0.3);
+}
+
+}  // namespace
+}  // namespace cosm::calibration

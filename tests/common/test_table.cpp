@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace cosm {
+namespace {
+
+TEST(Table, PrintsAlignedColumnsWithTitle) {
+  Table table({"rate", "observed", "predicted"});
+  table.add_row({"10", "0.95", "0.94"});
+  table.add_row({"350", "0.41", "0.45"});
+  std::ostringstream os;
+  table.print(os, "Fig. 6 (a)");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Fig. 6 (a)"), std::string::npos);
+  EXPECT_NE(out.find("rate"), std::string::npos);
+  EXPECT_NE(out.find("0.45"), std::string::npos);
+  // Header precedes data rows.
+  EXPECT_LT(out.find("observed"), out.find("0.95"));
+}
+
+TEST(Table, PadsShortRows) {
+  Table table({"a", "b", "c"});
+  table.add_row({"1"});
+  EXPECT_EQ(table.rows(), 1u);
+  std::ostringstream os;
+  table.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,,\n");
+}
+
+TEST(Table, RejectsOversizedRows) {
+  Table table({"a"});
+  EXPECT_THROW(table.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table table({"name", "value"});
+  table.add_row({"a,b", "say \"hi\""});
+  std::ostringstream os;
+  table.write_csv(os);
+  EXPECT_EQ(os.str(), "name,value\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(0.0444, 4), "0.0444");
+  EXPECT_EQ(Table::percent(0.0444), "4.44%");
+  EXPECT_EQ(Table::num(std::nan(""), 3), "nan");
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cosm

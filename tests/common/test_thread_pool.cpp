@@ -1,0 +1,77 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace cosm {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> touched(kN);
+  pool.parallel_for_index(kN, [&](std::size_t i) {
+    touched[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(touched[i].load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for_index(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstError) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_index(
+                   100,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("index 37");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillCompletesWork) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.parallel_for_index(100, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, ManyTasksCompleteBeforeDestruction) {
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 500; ++i) {
+      futures.push_back(pool.submit([&done] { done.fetch_add(1); }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(done.load(), 500);
+}
+
+}  // namespace
+}  // namespace cosm

@@ -1,0 +1,207 @@
+// Backend model tests (Sec. III-B): the union operation's moments, the
+// N_be = 1 M/G/1 path, the N_be > 1 M/M/1/K substitution, and the ODOPR
+// baseline rewrite.
+#include "core/backend_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "queueing/mg1.hpp"
+
+namespace cosm::core {
+namespace {
+
+using numerics::Degenerate;
+using numerics::DistPtr;
+using numerics::Gamma;
+
+DeviceParams typical_params() {
+  DeviceParams params;
+  params.arrival_rate = 30.0;
+  params.data_read_rate = 36.0;  // p = 0.2 extra reads per request
+  params.index_miss_ratio = 0.3;
+  params.meta_miss_ratio = 0.3;
+  params.data_miss_ratio = 0.7;
+  params.index_disk = std::make_shared<Gamma>(3.0, 300.0);    // 10 ms
+  params.meta_disk = std::make_shared<Gamma>(2.5, 312.5);     //  8 ms
+  params.data_disk = std::make_shared<Gamma>(2.8, 233.33);    // 12 ms
+  params.backend_parse = std::make_shared<Degenerate>(0.0005);
+  params.processes = 1;
+  return params;
+}
+
+TEST(BackendModel, UnionServiceMeanMatchesPaperFormula) {
+  const BackendModel model(typical_params());
+  // B̄ = parse + m_i b_i + m_m b_m + (1 + p) m_d b_d.
+  const double expected = 0.0005 + 0.3 * 0.010 + 0.3 * 0.008 +
+                          1.2 * 0.7 * (2.8 / 233.33);
+  EXPECT_NEAR(model.union_service()->mean(), expected, 1e-9);
+  EXPECT_NEAR(model.extra_data_reads(), 0.2, 1e-12);
+}
+
+TEST(BackendModel, ResponseTimeIsEq1Convolution) {
+  const BackendModel model(typical_params());
+  // S̄_be = W̄ + parse + index + meta + data (single data read in Eq. 1).
+  const double op_mean = 0.0005 + 0.3 * 0.010 + 0.3 * 0.008 +
+                         0.7 * (2.8 / 233.33);
+  EXPECT_NEAR(model.response_time()->mean(),
+              model.waiting_time()->mean() + op_mean, 1e-9);
+  // CDF is a proper distribution function at the SLA points.
+  double prev = 0.0;
+  for (double sla : {0.010, 0.050, 0.100, 0.400}) {
+    const double c = model.response_time()->cdf(sla);
+    EXPECT_GE(c, prev - 1e-9);
+    EXPECT_LE(c, 1.0 + 1e-9);
+    prev = c;
+  }
+  EXPECT_GT(model.response_time()->cdf(1.0), 0.999);
+}
+
+TEST(BackendModel, MatchesPlainMG1WhenNoExtraReads) {
+  // With r_data = r the union operation is an ordinary convolution and
+  // the model must coincide with queueing::MG1 on the same service chain.
+  DeviceParams params = typical_params();
+  params.data_read_rate = params.arrival_rate;
+  const BackendModel model(params);
+  const queueing::MG1 reference(
+      params.arrival_rate, model.union_service());
+  EXPECT_NEAR(model.waiting_time()->mean(),
+              reference.mean_waiting_time(), 1e-12);
+  for (double t : {0.01, 0.05, 0.1}) {
+    EXPECT_NEAR(model.waiting_time()->cdf(t),
+                reference.waiting_time()->cdf(t), 1e-9)
+        << t;
+  }
+}
+
+TEST(BackendModel, UtilizationGrowsWithLoadAndRejectsOverload) {
+  DeviceParams params = typical_params();
+  const BackendModel light(params);
+  params.arrival_rate = 55.0;
+  params.data_read_rate = 66.0;
+  const BackendModel heavy(params);
+  EXPECT_GT(heavy.utilization(), light.utilization());
+  params.arrival_rate = 80.0;  // rho > 1 for this service mix
+  params.data_read_rate = 96.0;
+  EXPECT_THROW(BackendModel{params}, std::invalid_argument);
+}
+
+TEST(BackendModel, OdoprBaselineIsOptimistic) {
+  const BackendModel full(typical_params());
+  const BackendModel odopr(typical_params(), {.odopr = true});
+  // ODOPR ignores index/meta/extra-read disk work entirely.
+  EXPECT_LT(odopr.union_service()->mean(), full.union_service()->mean());
+  EXPECT_NEAR(odopr.extra_data_reads(), 0.0, 1e-12);
+  EXPECT_NEAR(odopr.effective_index()->mean(), 0.0, 1e-12);
+  EXPECT_NEAR(odopr.effective_meta()->mean(), 0.0, 1e-12);
+  // It therefore predicts more requests under any SLA.
+  for (double sla : {0.010, 0.050, 0.100}) {
+    EXPECT_GE(odopr.response_time()->cdf(sla),
+              full.response_time()->cdf(sla) - 1e-9)
+        << sla;
+  }
+}
+
+TEST(BackendModel, MultiProcessUsesMM1KDiskSubstitution) {
+  DeviceParams params = typical_params();
+  params.arrival_rate = 50.0;
+  params.data_read_rate = 60.0;
+  params.processes = 16;
+  const BackendModel model(params);
+  // Disk arrival rate: (m_i + m_m) r + m_d r_data.
+  EXPECT_NEAR(model.disk_arrival_rate(), 0.3 * 50 + 0.3 * 50 + 0.7 * 60,
+              1e-9);
+  // Aggregate mean service: rate-weighted mix of the three kinds.
+  const double expected_mean =
+      (0.3 * 50 * 0.010 + 0.3 * 50 * 0.008 + 0.7 * 60 * (2.8 / 233.33)) /
+      model.disk_arrival_rate();
+  EXPECT_NEAR(model.disk_mean_service(), expected_mean, 1e-9);
+  // All three effective operation distributions collapse to the same
+  // M/M/1/K sojourn mixture mean: m_k * S̄_diskN.
+  const double sojourn_mean = model.effective_index()->mean() / 0.3;
+  EXPECT_NEAR(model.effective_meta()->mean() / 0.3, sojourn_mean, 1e-9);
+  EXPECT_NEAR(model.effective_data()->mean() / 0.7, sojourn_mean, 1e-9);
+  // The M/M/1/K sojourn exceeds the raw mean service (queueing).
+  EXPECT_GT(sojourn_mean, expected_mean);
+  EXPECT_TRUE(model.stable());
+  EXPECT_GT(model.response_time()->cdf(0.5), 0.99);
+}
+
+TEST(BackendModel, MultiProcessModelHasFiniteMoments) {
+  // Regression: the M/M/1/K sojourn used to carry a NaN second moment,
+  // which poisoned the P-K mean and every mean/quantile query for
+  // N_be > 1 configurations.
+  DeviceParams params = typical_params();
+  params.arrival_rate = 40.0;
+  params.data_read_rate = 48.0;
+  params.processes = 16;
+  const BackendModel model(params);
+  EXPECT_TRUE(std::isfinite(model.union_service()->second_moment()));
+  EXPECT_TRUE(std::isfinite(model.waiting_time()->mean()));
+  EXPECT_TRUE(std::isfinite(model.response_time()->mean()));
+  const BackendModel exact(
+      params, {.disk_queue = core::ModelOptions::DiskQueue::kMG1K});
+  EXPECT_TRUE(std::isfinite(exact.response_time()->mean()));
+}
+
+TEST(BackendModel, SixteenProcessesCarryMoreLoadThanOne) {
+  // The S16 scenario exists because N_be = 16 keeps the device stable at
+  // rates impossible for S1: the union-operation queue of a single process
+  // saturates just above r = 63 for this service mix, while 16 processes
+  // share the load (the disk itself is not yet saturated).
+  DeviceParams params = typical_params();
+  params.arrival_rate = 65.0;
+  params.data_read_rate = 78.0;
+  params.processes = 1;
+  EXPECT_THROW(BackendModel{params}, std::invalid_argument);
+  params.processes = 16;
+  EXPECT_NO_THROW(BackendModel{params});
+}
+
+TEST(BackendModel, ExactDiskQueueVariantIsLessPessimistic) {
+  // With Gamma (CV^2 < 1) disks, the M/M/1/K substitution overestimates
+  // disk sojourns, so the kMG1K variant must predict a higher percentile
+  // meeting any SLA; for N_be = 1 the option must be a no-op.
+  DeviceParams params = typical_params();
+  params.arrival_rate = 50.0;
+  params.data_read_rate = 60.0;
+  params.processes = 16;
+  const BackendModel paper(params);
+  const BackendModel exact(
+      params, {.disk_queue = core::ModelOptions::DiskQueue::kMG1K});
+  EXPECT_LT(exact.effective_data()->mean(), paper.effective_data()->mean());
+  for (double sla : {0.050, 0.100}) {
+    EXPECT_GE(exact.response_time()->cdf(sla),
+              paper.response_time()->cdf(sla) - 1e-9)
+        << sla;
+  }
+  // N_be = 1: no disk-queue substitution at all, options coincide.
+  params.processes = 1;
+  params.arrival_rate = 30.0;
+  params.data_read_rate = 36.0;
+  const BackendModel one_paper(params);
+  const BackendModel one_exact(
+      params, {.disk_queue = core::ModelOptions::DiskQueue::kMG1K});
+  EXPECT_NEAR(one_paper.response_time()->cdf(0.05),
+              one_exact.response_time()->cdf(0.05), 1e-12);
+}
+
+TEST(BackendModel, ParameterValidation) {
+  DeviceParams params = typical_params();
+  params.data_read_rate = 10.0;  // < arrival rate
+  EXPECT_THROW(BackendModel{params}, std::invalid_argument);
+  params = typical_params();
+  params.index_miss_ratio = 1.5;
+  EXPECT_THROW(BackendModel{params}, std::invalid_argument);
+  params = typical_params();
+  params.index_disk = nullptr;
+  EXPECT_THROW(BackendModel{params}, std::invalid_argument);
+  params = typical_params();
+  params.processes = 0;
+  EXPECT_THROW(BackendModel{params}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cosm::core

@@ -1,0 +1,205 @@
+// Tests for the distribution combinators that implement the paper's model
+// algebra: mixtures (cache hit/miss), convolutions (latency components in
+// sequence), and the compound-Poisson union-operation kernel.
+#include "numerics/compose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+namespace cosm::numerics {
+namespace {
+
+TEST(Mixture, WeightsMustSumToOne) {
+  const auto e = std::make_shared<Exponential>(1.0);
+  EXPECT_THROW(Mixture({{0.5, e}, {0.6, e}}), std::invalid_argument);
+  EXPECT_THROW(Mixture({{-0.1, e}, {1.1, e}}), std::invalid_argument);
+  EXPECT_THROW(Mixture({}), std::invalid_argument);
+}
+
+TEST(Mixture, MomentsAreWeightedAverages) {
+  const auto fast = std::make_shared<Exponential>(10.0);  // mean 0.1
+  const auto slow = std::make_shared<Exponential>(1.0);   // mean 1.0
+  const Mixture mix({{0.7, fast}, {0.3, slow}});
+  EXPECT_NEAR(mix.mean(), 0.7 * 0.1 + 0.3 * 1.0, 1e-14);
+  EXPECT_NEAR(mix.second_moment(), 0.7 * 0.02 + 0.3 * 2.0, 1e-14);
+}
+
+TEST(Mixture, CdfIsWeightedCdf) {
+  const auto a = std::make_shared<Degenerate>(1.0);
+  const auto b = std::make_shared<Degenerate>(3.0);
+  const Mixture mix({{0.25, a}, {0.75, b}});
+  EXPECT_EQ(mix.cdf(0.5), 0.0);
+  EXPECT_EQ(mix.cdf(2.0), 0.25);
+  EXPECT_EQ(mix.cdf(3.0), 1.0);
+}
+
+TEST(AtomAtZeroMixture, ModelsTheCacheEquation) {
+  // Paper Sec. III-B: index(t) = m * index_d(t) + (1 - m) * delta(t).
+  const double miss = 0.2;
+  const auto disk = std::make_shared<Gamma>(2.0, 100.0);
+  const DistPtr op = atom_at_zero_mixture(miss, disk);
+  EXPECT_NEAR(op->mean(), miss * disk->mean(), 1e-14);
+  // CDF at 0+ already includes the cache-hit atom.
+  EXPECT_NEAR(op->cdf(1e-12), 1.0 - miss, 1e-9);
+  // L(s) = (1 - m) + m * L_disk(s).
+  const auto s = std::complex<double>(3.0, 1.0);
+  const auto expected = (1.0 - miss) + miss * disk->laplace(s);
+  const auto got = op->laplace(s);
+  EXPECT_NEAR(got.real(), expected.real(), 1e-12);
+  EXPECT_NEAR(got.imag(), expected.imag(), 1e-12);
+}
+
+TEST(AtomAtZeroMixture, RejectsBadMissRatio) {
+  const auto d = std::make_shared<Exponential>(1.0);
+  EXPECT_THROW(atom_at_zero_mixture(-0.1, d), std::invalid_argument);
+  EXPECT_THROW(atom_at_zero_mixture(1.2, d), std::invalid_argument);
+}
+
+TEST(Convolution, GammaPlusGammaIsGamma) {
+  // Gamma(a1, l) * Gamma(a2, l) = Gamma(a1 + a2, l): the convolution's
+  // transform and CDF must match the closed-form sum.
+  const auto g1 = std::make_shared<Gamma>(1.5, 8.0);
+  const auto g2 = std::make_shared<Gamma>(2.5, 8.0);
+  const Convolution conv({g1, g2});
+  const Gamma sum(4.0, 8.0);
+  EXPECT_NEAR(conv.mean(), sum.mean(), 1e-14);
+  EXPECT_NEAR(conv.second_moment(), sum.second_moment(), 1e-12);
+  for (double t : {0.1, 0.5, 1.0, 2.0}) {
+    // Convolution::cdf goes through numeric LT inversion.
+    EXPECT_NEAR(conv.cdf(t), sum.cdf(t), 1e-7) << t;
+  }
+}
+
+TEST(Convolution, SamplesAddComponents) {
+  const auto d1 = std::make_shared<Degenerate>(0.25);
+  const auto d2 = std::make_shared<Degenerate>(0.5);
+  const Convolution conv({d1, d2});
+  Rng rng(1);
+  EXPECT_EQ(conv.sample(rng), 0.75);
+}
+
+TEST(Convolution, MeanAndTransformConsistent) {
+  const auto parts = std::vector<DistPtr>{
+      std::make_shared<Degenerate>(0.002),
+      std::make_shared<Gamma>(2.0, 150.0),
+      std::make_shared<Exponential>(90.0)};
+  const Convolution conv(parts);
+  const double h = 1e-7;
+  const double derivative =
+      (conv.laplace({h, 0.0}).real() - conv.laplace({-h, 0.0}).real()) /
+      (2.0 * h);
+  EXPECT_NEAR(-derivative, conv.mean(), 1e-6);
+}
+
+TEST(CompoundPoisson, ZeroRateDegeneratesToBase) {
+  const auto base = std::make_shared<Gamma>(2.0, 10.0);
+  const auto extra = std::make_shared<Exponential>(5.0);
+  const CompoundPoissonConvolution cp(base, 0.0, extra);
+  EXPECT_NEAR(cp.mean(), base->mean(), 1e-14);
+  const auto s = std::complex<double>(1.0, 0.5);
+  EXPECT_NEAR(std::abs(cp.laplace(s) - base->laplace(s)), 0.0, 1e-14);
+}
+
+TEST(CompoundPoisson, MeanMatchesPaperFormula) {
+  // Paper: mean = base_mean + p * extra_mean (B̄_be expression, Sec. III-B).
+  const auto base = std::make_shared<Degenerate>(0.01);
+  const auto extra = std::make_shared<Gamma>(1.5, 100.0);
+  const double p = 2.3;
+  const CompoundPoissonConvolution cp(base, p, extra);
+  EXPECT_NEAR(cp.mean(), 0.01 + p * 0.015, 1e-14);
+}
+
+TEST(CompoundPoisson, TransformMatchesExplicitSeries) {
+  // L(s) = L_base(s) sum_j p^j e^{-p}/j! L_extra(s)^j, truncated at j = 60.
+  const auto base = std::make_shared<Gamma>(1.0, 50.0);
+  const auto extra = std::make_shared<Gamma>(2.0, 80.0);
+  const double p = 1.7;
+  const CompoundPoissonConvolution cp(base, p, extra);
+  for (const auto s : {std::complex<double>(2.0, 0.0),
+                       std::complex<double>(5.0, 30.0)}) {
+    std::complex<double> series = 0.0;
+    std::complex<double> extra_pow = 1.0;
+    double log_fact = 0.0;
+    for (int j = 0; j < 60; ++j) {
+      if (j > 0) log_fact += std::log(static_cast<double>(j));
+      series += std::exp(j * std::log(p) - p - log_fact) * extra_pow;
+      extra_pow *= extra->laplace(s);
+    }
+    series *= base->laplace(s);
+    const auto closed = cp.laplace(s);
+    EXPECT_NEAR(closed.real(), series.real(), 1e-10);
+    EXPECT_NEAR(closed.imag(), series.imag(), 1e-10);
+  }
+}
+
+TEST(CompoundPoisson, SampleMomentsMatch) {
+  const auto base = std::make_shared<Degenerate>(0.5);
+  const auto extra = std::make_shared<Exponential>(4.0);
+  const double p = 3.0;
+  const CompoundPoissonConvolution cp(base, p, extra);
+  Rng rng(31);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 300000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = cp.sample(rng);
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, cp.mean(), 0.01 * cp.mean());
+  EXPECT_NEAR(sum_sq / kN, cp.second_moment(), 0.03 * cp.second_moment());
+}
+
+TEST(LaplaceDistribution, WrapsTransform) {
+  const Exponential ref(2.0);
+  const LaplaceDistribution wrapped(
+      "wrapped_exp",
+      [&ref](std::complex<double> s) { return ref.laplace(s); }, ref.mean(),
+      ref.second_moment());
+  EXPECT_EQ(wrapped.name(), "wrapped_exp");
+  EXPECT_NEAR(wrapped.mean(), 0.5, 1e-15);
+  // CDF must fall back to LT inversion and agree with the closed form.
+  for (double t : {0.2, 0.5, 1.5}) {
+    EXPECT_NEAR(wrapped.cdf(t), ref.cdf(t), 1e-8) << t;
+  }
+  Rng rng(1);
+  EXPECT_THROW(wrapped.sample(rng), std::logic_error);
+}
+
+TEST(ThirdMoments, ClosedFormsMatchSampling) {
+  // E[X^3] by 1M-sample Monte Carlo vs the closed forms, for the
+  // combinators the M/G/1/K residual moments rely on.
+  const auto base = std::make_shared<Gamma>(2.5, 120.0);
+  const auto extra = std::make_shared<Exponential>(90.0);
+  const Convolution conv({base, extra, std::make_shared<Degenerate>(0.003)});
+  const CompoundPoissonConvolution cp(base, 1.4, extra);
+  const Mixture mix({{0.3, base}, {0.7, extra}});
+  Rng rng(20170704);
+  double conv_sum = 0.0;
+  double cp_sum = 0.0;
+  double mix_sum = 0.0;
+  constexpr int kN = 1000000;
+  for (int i = 0; i < kN; ++i) {
+    const double a = conv.sample(rng);
+    conv_sum += a * a * a;
+    const double b = cp.sample(rng);
+    cp_sum += b * b * b;
+    const double c = mix.sample(rng);
+    mix_sum += c * c * c;
+  }
+  EXPECT_NEAR(conv_sum / kN, conv.third_moment(),
+              0.03 * conv.third_moment());
+  EXPECT_NEAR(cp_sum / kN, cp.third_moment(), 0.05 * cp.third_moment());
+  EXPECT_NEAR(mix_sum / kN, mix.third_moment(),
+              0.05 * mix.third_moment());
+}
+
+TEST(ConvolveDists, SinglePartPassesThrough) {
+  const auto g = std::make_shared<Gamma>(2.0, 1.0);
+  EXPECT_EQ(convolve_dists({g}), g);
+}
+
+}  // namespace
+}  // namespace cosm::numerics

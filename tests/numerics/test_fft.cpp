@@ -1,0 +1,124 @@
+#include "numerics/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+
+namespace cosm::numerics {
+namespace {
+
+using Complex = std::complex<double>;
+
+// Naive O(n^2) DFT reference.
+std::vector<Complex> dft_reference(const std::vector<Complex>& in,
+                                   bool inverse) {
+  const std::size_t n = in.size();
+  std::vector<Complex> out(n, Complex{0.0, 0.0});
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = sign * 2.0 * std::numbers::pi *
+                           static_cast<double>(k * j) / static_cast<double>(n);
+      out[k] += in[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    if (inverse) out[k] /= static_cast<double>(n);
+  }
+  return out;
+}
+
+class FftSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeTest, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  cosm::Rng rng(n);
+  std::vector<Complex> data(n);
+  for (auto& v : data) v = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  const auto expected = dft_reference(data, false);
+  const auto got = fft_forward(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(got[i].real(), expected[i].real(), 1e-9) << "n=" << n;
+    EXPECT_NEAR(got[i].imag(), expected[i].imag(), 1e-9) << "n=" << n;
+  }
+}
+
+TEST_P(FftSizeTest, RoundTripsThroughInverse) {
+  const std::size_t n = GetParam();
+  cosm::Rng rng(1000 + n);
+  std::vector<Complex> data(n);
+  for (auto& v : data) v = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  const auto round_trip = fft_inverse(fft_forward(data));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(round_trip[i].real(), data[i].real(), 1e-10);
+    EXPECT_NEAR(round_trip[i].imag(), data[i].imag(), 1e-10);
+  }
+}
+
+// Power-of-two sizes use radix-2; the rest exercise Bluestein.
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeTest,
+                         ::testing::Values(1, 2, 4, 8, 64, 3, 5, 7, 12, 17,
+                                           100, 127));
+
+TEST(Fft, ParsevalHolds) {
+  cosm::Rng rng(4242);
+  std::vector<Complex> data(256);
+  double time_energy = 0.0;
+  for (auto& v : data) {
+    v = Complex(rng.normal(0, 1), 0.0);
+    time_energy += std::norm(v);
+  }
+  const auto freq = fft_forward(data);
+  double freq_energy = 0.0;
+  for (const auto& v : freq) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(data.size()), time_energy,
+              1e-8);
+}
+
+TEST(Convolve, MatchesDirectConvolution) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {0.5, 0.25};
+  const auto c = convolve(a, b);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_NEAR(c[0], 0.5, 1e-12);
+  EXPECT_NEAR(c[1], 1.25, 1e-12);
+  EXPECT_NEAR(c[2], 2.0, 1e-12);
+  EXPECT_NEAR(c[3], 0.75, 1e-12);
+}
+
+TEST(Convolve, PreservesProbabilityMass) {
+  cosm::Rng rng(9);
+  std::vector<double> a(100);
+  std::vector<double> b(257);
+  double sa = 0.0;
+  double sb = 0.0;
+  for (auto& v : a) {
+    v = rng.uniform();
+    sa += v;
+  }
+  for (auto& v : b) {
+    v = rng.uniform();
+    sb += v;
+  }
+  for (auto& v : a) v /= sa;
+  for (auto& v : b) v /= sb;
+  const auto c = convolve(a, b);
+  double total = 0.0;
+  for (const double v : c) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(Convolve, RejectsEmptyInput) {
+  EXPECT_THROW(convolve({}, {1.0}), std::invalid_argument);
+}
+
+TEST(NextPow2, Values) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+}  // namespace
+}  // namespace cosm::numerics

@@ -1,0 +1,118 @@
+// Golden-value tests for the special functions; references computed with
+// mpmath at 50 digits.
+#include "numerics/special.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace cosm::numerics {
+namespace {
+
+constexpr double kEulerMascheroni = 0.57721566490153286060651209008240243;
+
+TEST(Digamma, KnownValues) {
+  EXPECT_NEAR(digamma(1.0), -kEulerMascheroni, 1e-12);
+  EXPECT_NEAR(digamma(0.5), -kEulerMascheroni - 2.0 * std::numbers::ln2,
+              1e-12);
+  EXPECT_NEAR(digamma(2.0), 1.0 - kEulerMascheroni, 1e-12);
+  EXPECT_NEAR(digamma(10.0), 2.2517525890667211076474561638858515, 1e-12);
+  EXPECT_NEAR(digamma(100.0), 4.6001618527380874001986055855758507, 1e-12);
+}
+
+TEST(Digamma, SatisfiesRecurrence) {
+  // psi(x + 1) = psi(x) + 1/x.
+  for (double x : {0.1, 0.7, 1.3, 2.9, 5.5, 17.0}) {
+    EXPECT_NEAR(digamma(x + 1.0), digamma(x) + 1.0 / x, 1e-12) << x;
+  }
+}
+
+TEST(Trigamma, KnownValues) {
+  EXPECT_NEAR(trigamma(1.0), std::numbers::pi * std::numbers::pi / 6.0,
+              1e-12);
+  EXPECT_NEAR(trigamma(0.5), std::numbers::pi * std::numbers::pi / 2.0,
+              1e-11);
+  EXPECT_NEAR(trigamma(5.0), 0.22132295573711532536210756323152, 1e-12);
+}
+
+TEST(Trigamma, SatisfiesRecurrence) {
+  for (double x : {0.2, 0.9, 1.8, 4.4, 12.0}) {
+    EXPECT_NEAR(trigamma(x + 1.0), trigamma(x) - 1.0 / (x * x), 1e-12) << x;
+  }
+}
+
+TEST(GammaP, KnownValues) {
+  // P(1, x) = 1 - e^{-x}.
+  for (double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-13) << x;
+  }
+  // Chi-squared(4)/2 at its median-ish points (mpmath references).
+  EXPECT_NEAR(gamma_p(2.0, 1.0), 0.26424111765711535680895245967707, 1e-12);
+  EXPECT_NEAR(gamma_p(2.0, 5.0), 0.95957231800548719742018366210601, 1e-12);
+  EXPECT_NEAR(gamma_p(0.5, 0.25), 0.52049987781304653768274665389197, 1e-12);
+  EXPECT_NEAR(gamma_p(10.0, 10.0), 0.54207028552814779168583514294066, 1e-12);
+}
+
+TEST(GammaP, ComplementsGammaQ) {
+  for (double a : {0.3, 1.0, 2.5, 8.0}) {
+    for (double x : {0.1, 1.0, 4.0, 20.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-13)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaP, BoundaryBehaviour) {
+  EXPECT_EQ(gamma_p(3.0, 0.0), 0.0);
+  EXPECT_EQ(gamma_q(3.0, 0.0), 1.0);
+  EXPECT_NEAR(gamma_p(3.0, 1e4), 1.0, 1e-14);
+  EXPECT_THROW(gamma_p(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(gamma_p(1.0, -1.0), std::invalid_argument);
+}
+
+class GammaPInvTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(GammaPInvTest, RoundTripsThroughGammaP) {
+  const double a = std::get<0>(GetParam());
+  const double p = std::get<1>(GetParam());
+  const double x = gamma_p_inv(a, p);
+  EXPECT_NEAR(gamma_p(a, x), p, 1e-10) << "a=" << a << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeAndLevelSweep, GammaPInvTest,
+    ::testing::Combine(::testing::Values(0.2, 0.5, 1.0, 2.0, 5.0, 25.0,
+                                         150.0),
+                       ::testing::Values(0.01, 0.1, 0.5, 0.9, 0.95, 0.99,
+                                         0.999)));
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.84134474606854292578480817623591, 1e-13);
+  EXPECT_NEAR(normal_cdf(-1.959963984540054), 0.025, 1e-12);
+  EXPECT_NEAR(normal_cdf(3.0), 0.99865010196836990537120191936092, 1e-13);
+}
+
+TEST(NormalCdfInv, RoundTrips) {
+  for (double p : {1e-6, 0.001, 0.025, 0.3, 0.5, 0.7, 0.975, 0.999,
+                   1.0 - 1e-6}) {
+    EXPECT_NEAR(normal_cdf(normal_cdf_inv(p)), p, 1e-12) << p;
+  }
+  EXPECT_THROW(normal_cdf_inv(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_cdf_inv(1.0), std::invalid_argument);
+}
+
+TEST(GeneralizedHarmonic, MatchesDirectSums) {
+  EXPECT_NEAR(generalized_harmonic(1, 1.0), 1.0, 1e-15);
+  EXPECT_NEAR(generalized_harmonic(4, 1.0), 1.0 + 0.5 + 1.0 / 3.0 + 0.25,
+              1e-14);
+  EXPECT_NEAR(generalized_harmonic(10, 0.0), 10.0, 1e-13);
+  // H_{100, 2} approaches pi^2/6.
+  EXPECT_NEAR(generalized_harmonic(100000, 2.0),
+              std::numbers::pi * std::numbers::pi / 6.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace cosm::numerics

@@ -1,0 +1,153 @@
+// M/G/1/K embedded-chain solver tests: it must collapse to M/M/1/K for
+// exponential service, to the insensitive Erlang loss result for K = 1,
+// and it must quantify the M/M/1/K approximation gap for non-exponential
+// service (the paper's S16 systematic error source).
+#include "queueing/mg1k.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "queueing/mm1k.hpp"
+
+namespace cosm::queueing {
+namespace {
+
+using numerics::Degenerate;
+using numerics::Exponential;
+using numerics::Gamma;
+
+TEST(MG1K, StateProbabilitiesSumToOne) {
+  const MG1K q(50.0, std::make_shared<Gamma>(2.0, 200.0), 6);
+  double total = 0.0;
+  for (int i = 0; i <= 6; ++i) total += q.state_probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+class MG1KvsMM1K : public ::testing::TestWithParam<std::tuple<double, int>> {
+};
+
+TEST_P(MG1KvsMM1K, ExponentialServiceCollapsesToMM1K) {
+  const double u = std::get<0>(GetParam());
+  const int k = std::get<1>(GetParam());
+  const double v = 100.0;
+  const MG1K general(u * v, std::make_shared<Exponential>(v), k);
+  const MM1K markov(u * v, v, k);
+  for (int i = 0; i <= k; ++i) {
+    EXPECT_NEAR(general.state_probability(i), markov.state_probability(i),
+                2e-4)
+        << "u=" << u << " K=" << k << " i=" << i;
+  }
+  EXPECT_NEAR(general.blocking_probability(), markov.blocking_probability(),
+              2e-4);
+  EXPECT_NEAR(general.mean_sojourn_time(), markov.mean_sojourn_time(),
+              2e-3 * markov.mean_sojourn_time() + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadAndCapacity, MG1KvsMM1K,
+                         ::testing::Combine(::testing::Values(0.3, 0.7, 1.0,
+                                                              1.8),
+                                            ::testing::Values(1, 4, 16)));
+
+TEST(MG1K, K1BlockingIsInsensitiveToServiceShape) {
+  // M/G/1/1 blocking depends only on rho (Erlang loss insensitivity).
+  const double r = 70.0;
+  const double mean_service = 0.01;
+  const double rho = r * mean_service;
+  for (const numerics::DistPtr& service :
+       {numerics::DistPtr(std::make_shared<Exponential>(100.0)),
+        numerics::DistPtr(std::make_shared<Degenerate>(0.01)),
+        numerics::DistPtr(std::make_shared<Gamma>(0.5, 50.0))}) {
+    const MG1K q(r, service, 1);
+    EXPECT_NEAR(q.blocking_probability(), rho / (1.0 + rho), 1e-4)
+        << service->name();
+  }
+}
+
+TEST(MG1K, LowVarianceServiceBlocksLessThanMM1K) {
+  // Deterministic service (CV = 0) blocks less than exponential (CV = 1)
+  // at equal utilization — the direction of the paper's approximation
+  // error.
+  const double r = 90.0;
+  const double v = 100.0;
+  const int k = 4;
+  const MG1K deterministic(r, std::make_shared<Degenerate>(1.0 / v), k);
+  const MM1K exponential(r, v, k);
+  EXPECT_LT(deterministic.blocking_probability(),
+            exponential.blocking_probability());
+  EXPECT_LT(deterministic.mean_sojourn_time(),
+            exponential.mean_sojourn_time());
+}
+
+TEST(MG1K, HighVarianceServiceBlocksMoreThanMM1K) {
+  const double r = 90.0;
+  const double v = 100.0;  // mean service 0.01
+  const int k = 4;
+  // Gamma shape 0.25 => CV^2 = 4.
+  const MG1K bursty(r, std::make_shared<Gamma>(0.25, 25.0), k);
+  const MM1K exponential(r, v, k);
+  EXPECT_GT(bursty.mean_sojourn_time(), exponential.mean_sojourn_time());
+}
+
+TEST(MG1KSojourn, CollapsesToMM1KForExponentialService) {
+  const double r = 70.0;
+  const double v = 100.0;
+  const int k = 6;
+  const MG1K general(r, std::make_shared<Exponential>(v), k);
+  const MM1K markov(r, v, k);
+  const auto s_general = general.sojourn_time();
+  const auto s_markov = markov.sojourn_time();
+  EXPECT_NEAR(s_general->mean(), s_markov->mean(),
+              2e-3 * s_markov->mean());
+  for (double t : {0.005, 0.02, 0.05, 0.15}) {
+    EXPECT_NEAR(s_general->cdf(t), s_markov->cdf(t), 2e-3) << t;
+  }
+}
+
+TEST(MG1KSojourn, TransformIsProperAndMatchesLittleApproximately) {
+  const MG1K q(80.0, std::make_shared<Gamma>(2.8, 280.0), 8);
+  const auto sojourn = q.sojourn_time();
+  // L(0+) = 1 and the CDF is a proper distribution function.
+  EXPECT_NEAR(sojourn->laplace({1e-6, 0.0}).real(), 1.0, 1e-6);
+  double prev = 0.0;
+  for (double t : {0.005, 0.01, 0.02, 0.05, 0.1, 0.3}) {
+    const double c = sojourn->cdf(t);
+    EXPECT_GE(c, prev - 1e-9);
+    EXPECT_LE(c, 1.0 + 1e-9);
+    prev = c;
+  }
+  EXPECT_GT(prev, 0.999);
+  // The residual approximation's mean stays within a few percent of the
+  // exact Little's-law mean.
+  EXPECT_NEAR(sojourn->mean(), q.mean_sojourn_time(),
+              0.06 * q.mean_sojourn_time());
+}
+
+TEST(MG1KSojourn, LowVarianceServiceIsFasterThanMM1K) {
+  // The direction that matters for the S16 extension: with CV^2 < 1 the
+  // exact sojourn is shorter in the mean and in the upper body/tail.
+  // (Pointwise CDF dominance need not hold near zero, where the
+  // exponential's density peak puts extra early mass.)
+  const double r = 90.0;
+  const double mean_service = 0.01;
+  const int k = 8;
+  const MG1K exact(r, std::make_shared<Gamma>(3.0, 300.0), k);
+  const MM1K markov(r, 1.0 / mean_service, k);
+  const auto s_exact = exact.sojourn_time();
+  const auto s_markov = markov.sojourn_time();
+  EXPECT_LT(s_exact->mean(), s_markov->mean());
+  for (double t : {0.05, 0.08, 0.12}) {
+    EXPECT_GE(s_exact->cdf(t), s_markov->cdf(t) - 1e-6) << t;
+  }
+}
+
+TEST(MG1K, Validation) {
+  EXPECT_THROW(MG1K(0.0, std::make_shared<Exponential>(1.0), 1),
+               std::invalid_argument);
+  EXPECT_THROW(MG1K(1.0, nullptr, 1), std::invalid_argument);
+  EXPECT_THROW(MG1K(1.0, std::make_shared<Exponential>(1.0), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cosm::queueing

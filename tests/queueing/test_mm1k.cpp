@@ -1,0 +1,121 @@
+#include "queueing/mm1k.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace cosm::queueing {
+namespace {
+
+TEST(MM1K, StateProbabilitiesSumToOne) {
+  for (double u : {0.2, 0.8, 1.0, 1.5, 3.0}) {
+    const MM1K q(u * 100.0, 100.0, 8);
+    double total = 0.0;
+    for (int i = 0; i <= 8; ++i) total += q.state_probability(i);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "u=" << u;
+  }
+}
+
+TEST(MM1K, GeometricShapeBelowSaturation) {
+  const MM1K q(50.0, 100.0, 5);  // u = 0.5
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_NEAR(q.state_probability(i) / q.state_probability(i - 1), 0.5,
+                1e-12);
+  }
+}
+
+TEST(MM1K, CriticalLoadIsUniform) {
+  const MM1K q(100.0, 100.0, 4);
+  for (int i = 0; i <= 4; ++i) {
+    EXPECT_NEAR(q.state_probability(i), 0.2, 1e-9);
+  }
+  EXPECT_NEAR(q.mean_jobs(), 2.0, 1e-9);
+}
+
+TEST(MM1K, K1IsErlangLoss) {
+  // M/M/1/1: blocking = u / (1 + u).
+  const MM1K q(80.0, 100.0, 1);
+  EXPECT_NEAR(q.blocking_probability(), 0.8 / 1.8, 1e-12);
+  // Accepted jobs never queue: sojourn = service.
+  EXPECT_NEAR(q.mean_sojourn_time(), 0.01, 1e-12);
+}
+
+TEST(MM1K, LargeKApproachesMM1) {
+  const double r = 60.0;
+  const double v = 100.0;
+  const MM1K q(r, v, 200);
+  EXPECT_NEAR(q.blocking_probability(), 0.0, 1e-12);
+  // M/M/1 mean sojourn 1/(v - r).
+  EXPECT_NEAR(q.mean_sojourn_time(), 1.0 / (v - r), 1e-9);
+}
+
+TEST(MM1K, SojournTransformMatchesMeanAndCdf) {
+  const MM1K q(90.0, 100.0, 6);
+  const auto sojourn = q.sojourn_time();
+  EXPECT_NEAR(sojourn->mean(), q.mean_sojourn_time(), 1e-12);
+  // CDF via inversion must match the explicit Erlang mixture: an accepted
+  // arrival seeing i jobs waits i+1 exponential stages.
+  const double u = q.offered_utilization();
+  const double norm = 1.0 - q.blocking_probability();
+  for (double t : {0.005, 0.02, 0.05, 0.15}) {
+    double expected = 0.0;
+    for (int i = 0; i < 6; ++i) {
+      // Erlang(i+1, v) CDF = P(i+1, v t).
+      double tail = 0.0;
+      double term = 1.0;
+      for (int j = 0; j <= i; ++j) {
+        tail += term;
+        term *= 100.0 * t / (j + 1.0);
+      }
+      const double erlang_cdf = 1.0 - std::exp(-100.0 * t) * tail;
+      expected += q.state_probability(i) / norm * erlang_cdf;
+    }
+    EXPECT_NEAR(sojourn->cdf(t), expected, 1e-6) << t << " u=" << u;
+  }
+}
+
+TEST(MM1K, SojournSecondMomentMatchesErlangMixture) {
+  const MM1K q(70.0, 100.0, 5);
+  const auto sojourn = q.sojourn_time();
+  double expected = 0.0;
+  const double norm = 1.0 - q.blocking_probability();
+  for (int i = 0; i < 5; ++i) {
+    expected += q.state_probability(i) / norm * (i + 1.0) * (i + 2.0) /
+                (100.0 * 100.0);
+  }
+  EXPECT_NEAR(sojourn->second_moment(), expected, 1e-15);
+  EXPECT_TRUE(std::isfinite(sojourn->second_moment()));
+}
+
+TEST(MM1K, SaturatedQueueStillWellDefined) {
+  const MM1K q(300.0, 100.0, 4);  // u = 3
+  EXPECT_GT(q.blocking_probability(), 0.6);
+  EXPECT_LT(q.mean_jobs(), 4.0 + 1e-12);
+  EXPECT_GT(q.mean_sojourn_time(), 0.0);
+  const auto sojourn = q.sojourn_time();
+  EXPECT_NEAR(sojourn->cdf(1.0), 1.0, 1e-6);
+}
+
+TEST(MM1K, MeanJobsMatchesStateSum) {
+  for (double u : {0.4, 0.999999, 2.0}) {
+    const MM1K q(u * 50.0, 50.0, 10);
+    double n = 0.0;
+    for (int i = 0; i <= 10; ++i) n += i * q.state_probability(i);
+    EXPECT_NEAR(q.mean_jobs(), n, 1e-9) << u;
+  }
+}
+
+TEST(MM1K, Validation) {
+  EXPECT_THROW(MM1K(0.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(MM1K(1.0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(MM1K(1.0, 1.0, 0), std::invalid_argument);
+  const MM1K q(1.0, 2.0, 3);
+  EXPECT_THROW(q.state_probability(-1), std::invalid_argument);
+  EXPECT_THROW(q.state_probability(4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cosm::queueing

@@ -1,0 +1,177 @@
+// Tests for the event-loop policy knobs: accept strategy (one vs batch
+// drain), accept deferral, and service order — including the conservation
+// property that motivated them: on a work-conserving FIFO server, total
+// response latency is invariant to how the accept wait is accounted.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/cluster.hpp"
+#include "stats/summary.hpp"
+
+namespace cosm::sim {
+namespace {
+
+ClusterConfig base_config() {
+  ClusterConfig config;
+  config.frontend_processes = 1;
+  config.device_count = 1;
+  config.processes_per_device = 1;
+  config.cache.index_miss_ratio = 0.3;
+  config.cache.meta_miss_ratio = 0.3;
+  config.cache.data_miss_ratio = 0.7;
+  config.network_latency = 0.0;
+  config.accept_cost = 0.0;
+  config.seed = 91;
+  return config;
+}
+
+struct RunStats {
+  double mean_response = 0.0;
+  double mean_accept_wait = 0.0;
+  std::uint64_t completed = 0;
+};
+
+RunStats run(const ClusterConfig& config, double rate, double duration) {
+  Cluster cluster(config);
+  cosm::Rng arrivals(12345);
+  double t = 0.0;
+  while (t < duration) {
+    t += arrivals.exponential(rate);
+    cluster.engine().schedule_at(t, [&cluster] {
+      cluster.submit_request(1, 20000, 0);
+    });
+  }
+  cluster.engine().run_all();
+  stats::SampleSet responses;
+  stats::SampleSet waits;
+  for (const auto& sample : cluster.metrics().requests()) {
+    if (sample.frontend_arrival < 0.1 * duration) continue;
+    responses.add(sample.response_latency);
+    waits.add(sample.accept_wait);
+  }
+  return {responses.mean(), waits.mean(),
+          cluster.metrics().completed_requests()};
+}
+
+TEST(AcceptSemantics, AllPoliciesCompleteEveryRequest) {
+  for (const auto strategy :
+       {AcceptStrategy::kAcceptOne, AcceptStrategy::kBatchDrain}) {
+    for (const bool defer : {false, true}) {
+      ClusterConfig config = base_config();
+      config.accept_strategy = strategy;
+      config.defer_accepts = defer;
+      const RunStats stats = run(config, 40.0, 100.0);
+      EXPECT_NEAR(static_cast<double>(stats.completed), 4000.0, 400.0)
+          << "strategy=" << static_cast<int>(strategy)
+          << " defer=" << defer;
+    }
+  }
+}
+
+TEST(AcceptSemantics, TotalLatencyInvariantToAcceptAccounting) {
+  // Work conservation: deferring accepts or batching them shifts delay
+  // between "pool wait" and "op-queue wait" but cannot change the total
+  // on a FIFO server.
+  ClusterConfig fifo_inline = base_config();
+  fifo_inline.defer_accepts = false;
+  ClusterConfig fifo_deferred = base_config();
+  fifo_deferred.defer_accepts = true;
+  const RunStats inline_stats = run(fifo_inline, 50.0, 300.0);
+  const RunStats deferred_stats = run(fifo_deferred, 50.0, 300.0);
+  EXPECT_NEAR(deferred_stats.mean_response, inline_stats.mean_response,
+              0.15 * inline_stats.mean_response);
+  // ...but the accept wait itself is larger when accepts are deferred.
+  EXPECT_GT(deferred_stats.mean_accept_wait,
+            inline_stats.mean_accept_wait * 0.9);
+}
+
+TEST(AcceptSemantics, DeferredAcceptWaitGrowsWithLoad) {
+  ClusterConfig config = base_config();
+  config.defer_accepts = true;
+  const RunStats light = run(config, 20.0, 300.0);
+  const RunStats heavy = run(config, 52.0, 300.0);
+  EXPECT_GT(heavy.mean_accept_wait, 2.0 * light.mean_accept_wait);
+}
+
+TEST(AcceptSemantics, SixteenProcessesCollapseTheAcceptWait) {
+  // Paper Sec. V-C: "the WTA itself decreases in the scenario S16 ...
+  // there are 16 processes accept()-ing connecting requests".
+  auto mean_wait = [](unsigned processes) {
+    ClusterConfig config = base_config();
+    config.processes_per_device = processes;
+    const RunStats stats = run(config, 50.0, 200.0);
+    return stats.mean_accept_wait;
+  };
+  const double s1 = mean_wait(1);
+  const double s16 = mean_wait(16);
+  EXPECT_GT(s1, 5e-3);        // single process: multi-ms accept waits
+  EXPECT_LT(s16, 0.05 * s1);  // 16 processes: waits collapse
+}
+
+TEST(AcceptSemantics, SiroKeepsMeanLatency) {
+  // SIRO is a reordering of ready tasks: the mean must be conserved
+  // (within noise); only the tail may widen.
+  ClusterConfig fifo = base_config();
+  fifo.service_order = ClusterConfig::ServiceOrder::kFifo;
+  ClusterConfig siro = base_config();
+  siro.service_order = ClusterConfig::ServiceOrder::kSiro;
+  const RunStats fifo_stats = run(fifo, 45.0, 300.0);
+  const RunStats siro_stats = run(siro, 45.0, 300.0);
+  EXPECT_NEAR(siro_stats.mean_response, fifo_stats.mean_response,
+              0.12 * fifo_stats.mean_response);
+}
+
+TEST(AcceptSemantics, BatchDrainAssignsWholePoolToOneProcess) {
+  // With 2 processes, batch drain: stall both processes with a long
+  // request each, then send a burst; one accept should grab the whole
+  // pool (connection affinity).
+  ClusterConfig config = base_config();
+  config.processes_per_device = 2;
+  config.accept_strategy = AcceptStrategy::kBatchDrain;
+  config.cache.index_miss_ratio = 1.0;
+  config.cache.meta_miss_ratio = 1.0;
+  config.cache.data_miss_ratio = 1.0;
+  Cluster cluster(config);
+  cluster.engine().schedule_at(0.0, [&cluster] {
+    cluster.submit_request(1, 20000, 0);
+    cluster.submit_request(2, 20000, 0);
+  });
+  // Burst lands while both processes block on disk.
+  cluster.engine().schedule_at(0.005, [&cluster] {
+    for (int i = 0; i < 6; ++i) cluster.submit_request(10 + i, 20000, 0);
+  });
+  cluster.engine().run_all();
+  EXPECT_EQ(cluster.metrics().completed_requests(), 8u);
+  const auto& processes = cluster.device(0).processes();
+  const auto started_0 = processes[0]->requests_started();
+  const auto started_1 = processes[1]->requests_started();
+  EXPECT_EQ(started_0 + started_1, 8u);
+  // The burst of 6 went to a single process: imbalance of at least 6-2.
+  EXPECT_GE(std::max(started_0, started_1), 7u);
+}
+
+TEST(AcceptSemantics, AcceptOneSpreadsBurstAcrossProcesses) {
+  ClusterConfig config = base_config();
+  config.processes_per_device = 4;
+  config.accept_strategy = AcceptStrategy::kAcceptOne;
+  config.cache.index_miss_ratio = 0.0;
+  config.cache.meta_miss_ratio = 0.0;
+  config.cache.data_miss_ratio = 0.0;
+  Cluster cluster(config);
+  cluster.engine().schedule_at(0.0, [&cluster] {
+    for (int i = 0; i < 8; ++i) cluster.submit_request(i, 20000, 0);
+  });
+  cluster.engine().run_all();
+  EXPECT_EQ(cluster.metrics().completed_requests(), 8u);
+  // With idle processes and one-connection accepts, no process should
+  // hoard the whole burst.
+  std::uint64_t busiest = 0;
+  for (const auto& process : cluster.device(0).processes()) {
+    busiest = std::max(busiest, process->requests_started());
+  }
+  EXPECT_LT(busiest, 8u);
+}
+
+}  // namespace
+}  // namespace cosm::sim

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/disk.hpp"
+#include "sim/engine.hpp"
+
+namespace cosm::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 3.0);
+  EXPECT_EQ(engine.events_processed(), 3u);
+}
+
+TEST(Engine, TiesBreakInSchedulingOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine engine;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) engine.schedule_after(1.0, chain);
+  };
+  engine.schedule_at(0.0, chain);
+  engine.run_all();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(engine.now(), 4.0);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  engine.schedule_at(2.0, [&] { ++fired; });
+  engine.schedule_at(5.0, [&] { ++fired; });
+  engine.run_until(2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.now(), 2.0);
+  EXPECT_EQ(engine.events_pending(), 1u);
+  engine.run_until(10.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(engine.now(), 10.0);
+}
+
+TEST(Engine, RejectsPastEventsAndNullCallbacks) {
+  Engine engine;
+  engine.schedule_at(5.0, [] {});
+  engine.run_all();
+  EXPECT_THROW(engine.schedule_at(4.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_after(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_after(1.0, nullptr), std::invalid_argument);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  cache.insert(1);
+  cache.insert(2);
+  EXPECT_TRUE(cache.access(1));  // promotes 1
+  cache.insert(3);               // evicts 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, ReinsertPromotesInsteadOfDuplicating) {
+  LruCache cache(2);
+  cache.insert(1);
+  cache.insert(2);
+  cache.insert(1);  // promote, no growth
+  EXPECT_EQ(cache.size(), 2u);
+  cache.insert(3);  // evicts 2 (LRU), not 1
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(LruCache, ZeroCapacityNeverStores) {
+  LruCache cache(0);
+  cache.insert(1);
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CacheBank, ProbabilisticModeMatchesConfiguredRatios) {
+  CacheBankConfig config;
+  config.mode = CacheBankConfig::Mode::kProbabilistic;
+  config.index_miss_ratio = 0.25;
+  config.meta_miss_ratio = 0.5;
+  config.data_miss_ratio = 0.9;
+  CacheBank bank(config);
+  cosm::Rng rng(8);
+  int index_misses = 0;
+  int meta_misses = 0;
+  int data_misses = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    index_misses += bank.lookup(AccessKind::kIndex, 1, 0, rng) ? 0 : 1;
+    meta_misses += bank.lookup(AccessKind::kMeta, 1, 0, rng) ? 0 : 1;
+    data_misses += bank.lookup(AccessKind::kData, 1, 0, rng) ? 0 : 1;
+  }
+  EXPECT_NEAR(index_misses / static_cast<double>(kN), 0.25, 0.01);
+  EXPECT_NEAR(meta_misses / static_cast<double>(kN), 0.5, 0.01);
+  EXPECT_NEAR(data_misses / static_cast<double>(kN), 0.9, 0.01);
+}
+
+TEST(CacheBank, LruModeIsDeterministicGivenAccessPattern) {
+  CacheBankConfig config;
+  config.mode = CacheBankConfig::Mode::kLru;
+  config.index_entries = 2;
+  config.meta_entries = 2;
+  config.data_chunks = 2;
+  CacheBank bank(config);
+  cosm::Rng rng(1);
+  // Cold: miss, fill; then hit.
+  EXPECT_FALSE(bank.lookup(AccessKind::kIndex, 7, 0, rng));
+  bank.fill(AccessKind::kIndex, 7, 0);
+  EXPECT_TRUE(bank.lookup(AccessKind::kIndex, 7, 0, rng));
+  // Data cache keys include the chunk index.
+  bank.fill(AccessKind::kData, 7, 0);
+  EXPECT_TRUE(bank.lookup(AccessKind::kData, 7, 0, rng));
+  EXPECT_FALSE(bank.lookup(AccessKind::kData, 7, 1, rng));
+}
+
+TEST(CacheBank, RejectsBadRatios) {
+  CacheBankConfig config;
+  config.index_miss_ratio = 1.5;
+  EXPECT_THROW(CacheBank{config}, std::invalid_argument);
+}
+
+TEST(Disk, ServesFcfsAndTracksUtilization) {
+  Engine engine;
+  DiskProfile profile{std::make_shared<numerics::Degenerate>(0.010),
+                      std::make_shared<numerics::Degenerate>(0.008),
+                      std::make_shared<numerics::Degenerate>(0.012),
+                      nullptr, nullptr};
+  Disk disk(engine, profile, cosm::Rng(1));
+  std::vector<std::pair<int, double>> completions;
+  engine.schedule_at(0.0, [&] {
+    disk.submit(AccessKind::kIndex,
+                [&](double s) { completions.push_back({0, s}); });
+    disk.submit(AccessKind::kMeta,
+                [&](double s) { completions.push_back({1, s}); });
+    disk.submit(AccessKind::kData,
+                [&](double s) { completions.push_back({2, s}); });
+  });
+  engine.run_all();
+  ASSERT_EQ(completions.size(), 3u);
+  // FCFS order with deterministic service times 10, 8, 12 ms.
+  EXPECT_EQ(completions[0].first, 0);
+  EXPECT_EQ(completions[1].first, 1);
+  EXPECT_EQ(completions[2].first, 2);
+  EXPECT_NEAR(completions[0].second, 0.010, 1e-12);
+  EXPECT_NEAR(engine.now(), 0.030, 1e-12);
+  EXPECT_EQ(disk.ops_completed(), 3u);
+  EXPECT_NEAR(disk.busy_time(), 0.030, 1e-12);
+}
+
+TEST(Disk, GammaServiceMeansMatchProfile) {
+  Engine engine;
+  Disk disk(engine, default_hdd_profile(), cosm::Rng(77));
+  double total = 0.0;
+  int done = 0;
+  constexpr int kN = 20000;
+  std::function<void()> submit_next = [&] {
+    if (done >= kN) return;
+    disk.submit(AccessKind::kIndex, [&](double s) {
+      total += s;
+      ++done;
+      submit_next();
+    });
+  };
+  engine.schedule_at(0.0, submit_next);
+  engine.run_all();
+  EXPECT_EQ(done, kN);
+  EXPECT_NEAR(total / kN, 0.010, 0.0003);  // profile index mean 10 ms
+}
+
+TEST(Disk, RequiresCompleteProfile) {
+  Engine engine;
+  DiskProfile missing{nullptr, nullptr, nullptr, nullptr, nullptr};
+  EXPECT_THROW(Disk(engine, missing, cosm::Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cosm::sim

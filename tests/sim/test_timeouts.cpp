@@ -1,0 +1,98 @@
+// Client-timeout tests (the "normal status" boundary, paper Sec. III-A /
+// V-B): timeouts must fire exactly when the first response byte misses
+// the deadline, be counted once, and appear/disappear with load.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/cluster.hpp"
+#include "sim/source.hpp"
+
+namespace cosm::sim {
+namespace {
+
+ClusterConfig timeout_config(double timeout) {
+  ClusterConfig config;
+  config.frontend_processes = 1;
+  config.device_count = 1;
+  config.processes_per_device = 1;
+  config.frontend_parse = std::make_shared<numerics::Degenerate>(0.001);
+  config.backend_parse = std::make_shared<numerics::Degenerate>(0.0005);
+  config.accept_cost = 0.0;
+  config.network_latency = 0.0;
+  config.disk = {std::make_shared<numerics::Degenerate>(0.010),
+                 std::make_shared<numerics::Degenerate>(0.008),
+                 std::make_shared<numerics::Degenerate>(0.012),
+                 nullptr, nullptr};
+  config.cache.index_miss_ratio = 1.0;
+  config.cache.meta_miss_ratio = 1.0;
+  config.cache.data_miss_ratio = 1.0;
+  config.request_timeout = timeout;
+  return config;
+}
+
+TEST(Timeouts, FastRequestDoesNotTimeOut) {
+  // Single request completes in ~31.5 ms; a 100 ms deadline never fires.
+  Cluster cluster(timeout_config(0.100));
+  cluster.engine().schedule_at(0.0, [&] {
+    cluster.submit_request(1, 1000, 0);
+  });
+  cluster.engine().run_all();
+  ASSERT_EQ(cluster.metrics().completed_requests(), 1u);
+  EXPECT_EQ(cluster.metrics().timeouts(), 0u);
+  EXPECT_FALSE(cluster.metrics().requests().front().timed_out);
+}
+
+TEST(Timeouts, SlowRequestTimesOutExactlyOnce) {
+  // The same request against a 10 ms deadline: the client gives up before
+  // the 30.5 ms backend path completes.
+  Cluster cluster(timeout_config(0.010));
+  cluster.engine().schedule_at(0.0, [&] {
+    cluster.submit_request(1, 1000, 0);
+  });
+  cluster.engine().run_all();
+  ASSERT_EQ(cluster.metrics().completed_requests(), 1u);
+  EXPECT_EQ(cluster.metrics().timeouts(), 1u);
+  const RequestSample& sample = cluster.metrics().requests().front();
+  EXPECT_TRUE(sample.timed_out);
+  EXPECT_EQ(sample.response_latency, 0.010);
+  // The backend still did the wasted work.
+  EXPECT_EQ(cluster.device(0).disk().ops_completed(), 3u);
+}
+
+TEST(Timeouts, AppearWithLoadAndDefineTheAnalysisBoundary) {
+  // At light load no timeouts; near saturation they appear — the paper's
+  // truncation criterion becomes measurable.
+  auto timeouts_at = [](double rate) {
+    ClusterConfig config = timeout_config(0.250);
+    config.cache.index_miss_ratio = 0.3;
+    config.cache.meta_miss_ratio = 0.3;
+    config.cache.data_miss_ratio = 0.7;
+    config.seed = 77;
+    Cluster cluster(config);
+    cosm::Rng arrivals(5);
+    double t = 0.0;
+    while (t < 120.0) {
+      t += arrivals.exponential(rate);
+      cluster.engine().schedule_at(t, [&cluster] {
+        cluster.submit_request(1, 20000, 0);
+      });
+    }
+    cluster.engine().run_all();
+    return cluster.metrics().timeouts();
+  };
+  EXPECT_EQ(timeouts_at(20.0), 0u);
+  EXPECT_GT(timeouts_at(70.0), 20u);  // beyond saturation (~63/s)
+}
+
+TEST(Timeouts, ZeroTimeoutDisablesTheMechanism) {
+  Cluster cluster(timeout_config(0.0));
+  cluster.engine().schedule_at(0.0, [&] {
+    cluster.submit_request(1, 1000, 0);
+  });
+  cluster.engine().run_all();
+  EXPECT_EQ(cluster.metrics().timeouts(), 0u);
+}
+
+}  // namespace
+}  // namespace cosm::sim

@@ -1,0 +1,180 @@
+// Write-path (PUT) extension tests: deterministic timeline, disk-op
+// accounting, cache population, and read/write interference.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/cluster.hpp"
+#include "sim/source.hpp"
+#include "stats/summary.hpp"
+
+namespace cosm::sim {
+namespace {
+
+ClusterConfig write_config() {
+  ClusterConfig config;
+  config.frontend_processes = 1;
+  config.device_count = 1;
+  config.processes_per_device = 1;
+  config.frontend_parse = std::make_shared<numerics::Degenerate>(0.001);
+  config.backend_parse = std::make_shared<numerics::Degenerate>(0.0005);
+  config.accept_cost = 0.0;
+  config.network_latency = 0.0001;
+  config.network_bandwidth_bytes_per_sec = 1e8;  // 10 us per KB
+  config.chunk_bytes = 65536;
+  config.disk = {std::make_shared<numerics::Degenerate>(0.010),
+                 std::make_shared<numerics::Degenerate>(0.008),
+                 std::make_shared<numerics::Degenerate>(0.012),
+                 std::make_shared<numerics::Degenerate>(0.014),
+                 std::make_shared<numerics::Degenerate>(0.018)};
+  config.cache.index_miss_ratio = 1.0;
+  config.cache.meta_miss_ratio = 1.0;
+  config.cache.data_miss_ratio = 1.0;
+  return config;
+}
+
+TEST(Writes, SingleWriteDeterministicTimeline) {
+  Cluster cluster(write_config());
+  cluster.engine().schedule_at(0.0, [&] {
+    cluster.submit_request(/*object_id=*/1, /*size_bytes=*/100000,
+                           /*device=*/0, /*is_write=*/true);
+  });
+  cluster.engine().run_all();
+  ASSERT_EQ(cluster.metrics().completed_requests(), 1u);
+  const RequestSample& sample = cluster.metrics().requests().front();
+  EXPECT_TRUE(sample.is_write);
+  EXPECT_EQ(sample.chunks, 2u);  // 100 KB over 64 KiB chunks
+  // Timeline: fe parse (1 ms) + connect (0.1 ms) + accept (0) + 2 hops
+  // (0.2 ms) + be parse (0.5 ms) + chunk1 transfer (65536/1e8 = 0.655 ms)
+  // + write (14 ms) + chunk2 transfer (34464/1e8 = 0.345 ms) + write
+  // (14 ms) + commit (18 ms) + response hop (0.1 ms).
+  const double expected = 0.001 + 0.0001 + 0.0002 + 0.0005 +
+                          65536.0 / 1e8 + 0.014 + 34464.0 / 1e8 + 0.014 +
+                          0.018 + 0.0001;
+  EXPECT_NEAR(sample.response_latency, expected, 1e-9);
+  // Disk accounting: two chunk writes + one commit, no reads.
+  const auto& counters = cluster.metrics().device(0);
+  EXPECT_EQ(counters.disk_ops[static_cast<int>(AccessKind::kWrite)], 2u);
+  EXPECT_EQ(counters.disk_ops[static_cast<int>(AccessKind::kCommit)], 1u);
+  EXPECT_EQ(counters.disk_ops[static_cast<int>(AccessKind::kIndex)], 0u);
+  EXPECT_EQ(counters.data_reads, 0u);
+}
+
+TEST(Writes, PutPopulatesLruCachesForSubsequentReads) {
+  ClusterConfig config = write_config();
+  config.cache.mode = CacheBankConfig::Mode::kLru;
+  config.cache.index_entries = 100;
+  config.cache.meta_entries = 100;
+  config.cache.data_chunks = 100;
+  Cluster cluster(config);
+  cluster.engine().schedule_at(0.0, [&] {
+    cluster.submit_request(7, 1000, 0, /*is_write=*/true);
+  });
+  cluster.engine().schedule_at(1.0, [&] {
+    cluster.submit_request(7, 1000, 0, /*is_write=*/false);
+  });
+  cluster.engine().run_all();
+  ASSERT_EQ(cluster.metrics().completed_requests(), 2u);
+  // The read after the write hits index, meta, and data caches.
+  EXPECT_EQ(cluster.metrics().miss_ratio(0, AccessKind::kIndex), 0.0);
+  EXPECT_EQ(cluster.metrics().miss_ratio(0, AccessKind::kMeta), 0.0);
+  EXPECT_EQ(cluster.metrics().miss_ratio(0, AccessKind::kData), 0.0);
+}
+
+TEST(Writes, WritesInflateReadLatencies) {
+  // Reads at a fixed rate; adding writes must push read latencies up
+  // (shared disk), which is exactly the sensitivity the model cannot see.
+  auto run = [](double write_fraction) {
+    ClusterConfig config = write_config();
+    config.cache.index_miss_ratio = 0.3;
+    config.cache.meta_miss_ratio = 0.3;
+    config.cache.data_miss_ratio = 0.7;
+    config.seed = 17;
+    Cluster cluster(config);
+    workload::CatalogConfig cat_config;
+    cat_config.object_count = 2000;
+    cat_config.size_distribution = workload::default_size_distribution();
+    cat_config.seed = 3;
+    const workload::ObjectCatalog catalog(cat_config);
+    const workload::Placement placement({.partition_count = 64,
+                                         .replica_count = 1,
+                                         .device_count = 1,
+                                         .seed = 9});
+    workload::PhasePlan plan;
+    plan.warmup_duration = 0.0;
+    plan.transition_duration = 0.0;
+    plan.benchmark_start_rate = 30.0;
+    plan.benchmark_end_rate = 30.0;
+    plan.benchmark_step_duration = 200.0;
+    OpenLoopSource source(cluster, catalog, placement, plan, cosm::Rng(5),
+                          write_fraction);
+    source.start();
+    cluster.engine().run_until(source.horizon());
+    cluster.engine().run_all();
+    stats::SampleSet reads;
+    std::uint64_t writes_seen = 0;
+    for (const auto& sample : cluster.metrics().requests()) {
+      if (sample.is_write) {
+        ++writes_seen;
+      } else if (sample.frontend_arrival > 20.0) {
+        reads.add(sample.response_latency);
+      }
+    }
+    EXPECT_EQ(writes_seen, source.write_arrivals());
+    return reads.mean();
+  };
+  const double read_only = run(0.0);
+  const double with_writes = run(0.2);
+  EXPECT_GT(with_writes, read_only * 1.1);
+}
+
+TEST(Writes, SourceWriteFractionIsRespected) {
+  ClusterConfig config = write_config();
+  config.cache.index_miss_ratio = 0.0;
+  config.cache.meta_miss_ratio = 0.0;
+  config.cache.data_miss_ratio = 0.0;
+  Cluster cluster(config);
+  workload::CatalogConfig cat_config;
+  cat_config.object_count = 500;
+  cat_config.size_distribution = workload::default_size_distribution();
+  const workload::ObjectCatalog catalog(cat_config);
+  const workload::Placement placement({.partition_count = 16,
+                                       .replica_count = 1,
+                                       .device_count = 1,
+                                       .seed = 2});
+  workload::PhasePlan plan;
+  plan.warmup_duration = 0.0;
+  plan.transition_duration = 0.0;
+  plan.benchmark_start_rate = 50.0;
+  plan.benchmark_end_rate = 50.0;
+  plan.benchmark_step_duration = 100.0;
+  OpenLoopSource source(cluster, catalog, placement, plan, cosm::Rng(5),
+                        0.05);
+  source.start();
+  cluster.engine().run_until(source.horizon());
+  cluster.engine().run_all();
+  const double fraction = static_cast<double>(source.write_arrivals()) /
+                          static_cast<double>(source.arrivals());
+  EXPECT_NEAR(fraction, 0.05, 0.015);
+  EXPECT_EQ(cluster.metrics().completed_requests(), source.arrivals());
+}
+
+TEST(Writes, RejectsInvalidWriteFraction) {
+  ClusterConfig config = write_config();
+  Cluster cluster(config);
+  workload::CatalogConfig cat_config;
+  cat_config.object_count = 10;
+  cat_config.size_distribution = workload::default_size_distribution();
+  const workload::ObjectCatalog catalog(cat_config);
+  const workload::Placement placement({.partition_count = 4,
+                                       .replica_count = 1,
+                                       .device_count = 1,
+                                       .seed = 2});
+  workload::PhasePlan plan;
+  EXPECT_THROW(OpenLoopSource(cluster, catalog, placement, plan,
+                              cosm::Rng(1), 1.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cosm::sim

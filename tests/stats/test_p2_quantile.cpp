@@ -1,0 +1,81 @@
+#include "stats/p2_quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace cosm::stats {
+namespace {
+
+class P2AccuracyTest
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(P2AccuracyTest, TracksExactQuantileOnSkewedData) {
+  const double level = std::get<0>(GetParam());
+  const int seed = std::get<1>(GetParam());
+  P2Quantile estimator(level);
+  SampleSet exact;
+  cosm::Rng rng(static_cast<std::uint64_t>(seed));
+  for (int i = 0; i < 200000; ++i) {
+    // Latency-like skewed data.
+    const double x = rng.gamma(2.0, 100.0);
+    estimator.add(x);
+    exact.add(x);
+  }
+  const double truth = exact.quantile(level);
+  EXPECT_NEAR(estimator.value() / truth, 1.0, 0.05)
+      << "level=" << level << " truth=" << truth;
+}
+
+INSTANTIATE_TEST_SUITE_P(LevelsAndSeeds, P2AccuracyTest,
+                         ::testing::Combine(::testing::Values(0.5, 0.9,
+                                                              0.95, 0.99),
+                                            ::testing::Values(1, 7)));
+
+TEST(P2Quantile, SmallSamplesUseExactOrderStatistics) {
+  P2Quantile median(0.5);
+  median.add(3.0);
+  EXPECT_EQ(median.value(), 3.0);
+  median.add(1.0);
+  median.add(2.0);
+  EXPECT_EQ(median.value(), 2.0);
+  EXPECT_EQ(median.count(), 3u);
+}
+
+TEST(P2Quantile, MonotoneShiftIsFollowed) {
+  // Distribution shifts upward mid-stream; the estimate must follow.
+  P2Quantile p90(0.9);
+  cosm::Rng rng(5);
+  for (int i = 0; i < 50000; ++i) p90.add(rng.exponential(100.0));
+  const double before = p90.value();
+  for (int i = 0; i < 200000; ++i) p90.add(0.05 + rng.exponential(100.0));
+  EXPECT_GT(p90.value(), before + 0.02);
+}
+
+TEST(P2Quantile, ExtremesAreBracketedByData) {
+  P2Quantile p99(0.99);
+  cosm::Rng rng(11);
+  double max_seen = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    max_seen = std::max(max_seen, x);
+    p99.add(x);
+  }
+  EXPECT_GT(p99.value(), 0.9);
+  EXPECT_LE(p99.value(), max_seen);
+}
+
+TEST(P2Quantile, Validation) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  const P2Quantile empty(0.5);
+  EXPECT_THROW(empty.value(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cosm::stats

@@ -1,0 +1,99 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace cosm::stats {
+namespace {
+
+TEST(StreamingStats, MatchesDirectComputation) {
+  StreamingStats st;
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (const double x : xs) st.add(x);
+  EXPECT_EQ(st.count(), 8u);
+  EXPECT_NEAR(st.mean(), 5.0, 1e-14);
+  EXPECT_NEAR(st.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_EQ(st.min(), 2.0);
+  EXPECT_EQ(st.max(), 9.0);
+}
+
+TEST(StreamingStats, EmptyAndSingle) {
+  StreamingStats st;
+  EXPECT_EQ(st.count(), 0u);
+  EXPECT_EQ(st.mean(), 0.0);
+  EXPECT_THROW(st.min(), std::invalid_argument);
+  st.add(3.0);
+  EXPECT_EQ(st.variance(), 0.0);
+  EXPECT_EQ(st.min(), 3.0);
+}
+
+TEST(StreamingStats, MergeEqualsPooledStream) {
+  cosm::Rng rng(5);
+  StreamingStats a;
+  StreamingStats b;
+  StreamingStats pooled;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    (i % 3 == 0 ? a : b).add(x);
+    pooled.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_NEAR(a.mean(), pooled.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), pooled.variance(), 1e-8);
+  EXPECT_EQ(a.min(), pooled.min());
+  EXPECT_EQ(a.max(), pooled.max());
+}
+
+TEST(StreamingStats, MergeWithEmptySides) {
+  StreamingStats a;
+  StreamingStats b;
+  b.add(1.0);
+  a.merge(b);  // empty.merge(nonempty)
+  EXPECT_EQ(a.count(), 1u);
+  StreamingStats c;
+  a.merge(c);  // nonempty.merge(empty)
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(SampleSet, ExactQuantiles) {
+  SampleSet s;
+  for (int i = 100; i >= 1; --i) s.add(static_cast<double>(i));
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_NEAR(s.quantile(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(s.quantile(1.0), 100.0, 1e-12);
+  EXPECT_NEAR(s.quantile(0.5), 50.5, 1e-12);
+  EXPECT_NEAR(s.quantile(0.95), 95.05, 1e-12);
+}
+
+TEST(SampleSet, FractionBelow) {
+  SampleSet s;
+  for (int i = 1; i <= 10; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.fraction_below(5.0), 0.5, 1e-14);   // inclusive
+  EXPECT_NEAR(s.fraction_below(0.5), 0.0, 1e-14);
+  EXPECT_NEAR(s.fraction_below(10.0), 1.0, 1e-14);
+}
+
+TEST(SampleSet, StaysCorrectAfterInterleavedAdds) {
+  SampleSet s;
+  s.add(3.0);
+  EXPECT_NEAR(s.quantile(1.0), 3.0, 1e-14);
+  s.add(1.0);  // invalidates the sorted cache
+  s.add(2.0);
+  EXPECT_NEAR(s.quantile(0.0), 1.0, 1e-14);
+  EXPECT_NEAR(s.quantile(0.5), 2.0, 1e-14);
+  EXPECT_NEAR(s.mean(), 2.0, 1e-14);
+}
+
+TEST(SampleSet, EmptyThrows) {
+  const SampleSet s;
+  EXPECT_THROW(s.quantile(0.5), std::invalid_argument);
+  EXPECT_THROW(s.fraction_below(1.0), std::invalid_argument);
+  EXPECT_THROW(s.mean(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cosm::stats

@@ -1,0 +1,80 @@
+#include "workload/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+namespace cosm::workload {
+namespace {
+
+// Index of dispersion of counts over windows — 1 for Poisson, 0 for
+// deterministic, > 1 for bursty processes.
+double dispersion(ArrivalProcess& process, double rate, double window,
+                  int windows, std::uint64_t seed) {
+  cosm::Rng rng(seed);
+  std::vector<double> counts(windows, 0.0);
+  double t = 0.0;
+  const double horizon = window * windows;
+  while (true) {
+    t += process.next_gap(rate, rng);
+    if (t >= horizon) break;
+    ++counts[static_cast<std::size_t>(t / window)];
+  }
+  double mean = 0.0;
+  for (const double c : counts) mean += c;
+  mean /= windows;
+  double var = 0.0;
+  for (const double c : counts) var += (c - mean) * (c - mean);
+  var /= windows - 1;
+  return var / mean;
+}
+
+double mean_rate(ArrivalProcess& process, double rate, double duration,
+                 std::uint64_t seed) {
+  cosm::Rng rng(seed);
+  double t = 0.0;
+  std::uint64_t n = 0;
+  while (t < duration) {
+    t += process.next_gap(rate, rng);
+    ++n;
+  }
+  return static_cast<double>(n) / duration;
+}
+
+TEST(PoissonArrivals, UnitDispersionAndCorrectRate) {
+  PoissonArrivals poisson;
+  EXPECT_NEAR(mean_rate(poisson, 200.0, 500.0, 3), 200.0, 4.0);
+  EXPECT_NEAR(dispersion(poisson, 200.0, 1.0, 400, 5), 1.0, 0.25);
+}
+
+TEST(DeterministicArrivals, ZeroDispersionExactRate) {
+  DeterministicArrivals fixed;
+  EXPECT_NEAR(mean_rate(fixed, 100.0, 100.0, 1), 100.0, 0.2);
+  EXPECT_LT(dispersion(fixed, 100.0, 1.0, 100, 1), 0.05);
+}
+
+TEST(MmppArrivals, PreservesMeanRateAndAddsBurstiness) {
+  MmppArrivals bursty(0.8, 2.0);
+  EXPECT_NEAR(mean_rate(bursty, 200.0, 1000.0, 7), 200.0, 6.0);
+  // Dispersion well above Poisson's 1 at window ~ dwell scale.
+  EXPECT_GT(dispersion(bursty, 200.0, 2.0, 400, 9), 2.0);
+}
+
+TEST(MmppArrivals, ZeroAmplitudeIsPoissonLike) {
+  MmppArrivals calm(0.0, 1.0);
+  EXPECT_NEAR(dispersion(calm, 200.0, 1.0, 400, 11), 1.0, 0.25);
+}
+
+TEST(MmppArrivals, Validation) {
+  EXPECT_THROW(MmppArrivals(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(MmppArrivals(-0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(MmppArrivals(0.5, 0.0), std::invalid_argument);
+  PoissonArrivals poisson;
+  cosm::Rng rng(1);
+  EXPECT_THROW(poisson.next_gap(0.0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cosm::workload
