@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mg1k.dir/ablation_mg1k.cpp.o"
+  "CMakeFiles/ablation_mg1k.dir/ablation_mg1k.cpp.o.d"
+  "ablation_mg1k"
+  "ablation_mg1k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mg1k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

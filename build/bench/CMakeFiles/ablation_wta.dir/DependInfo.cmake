@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_wta.cpp" "bench/CMakeFiles/ablation_wta.dir/ablation_wta.cpp.o" "gcc" "bench/CMakeFiles/ablation_wta.dir/ablation_wta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/cosm_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/calibration/CMakeFiles/cosm_calibration.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cosm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/cosm_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cosm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cosm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/cosm_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cosm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

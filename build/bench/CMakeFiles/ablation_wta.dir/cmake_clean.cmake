@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wta.dir/ablation_wta.cpp.o"
+  "CMakeFiles/ablation_wta.dir/ablation_wta.cpp.o.d"
+  "ablation_wta"
+  "ablation_wta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

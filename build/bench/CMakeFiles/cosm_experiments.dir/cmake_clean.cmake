@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libcosm_experiments.a"
+  "../lib/libcosm_experiments.pdb"
+  "CMakeFiles/cosm_experiments.dir/common/experiment.cpp.o"
+  "CMakeFiles/cosm_experiments.dir/common/experiment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosm_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_burstiness.dir/extension_burstiness.cpp.o"
+  "CMakeFiles/extension_burstiness.dir/extension_burstiness.cpp.o.d"
+  "extension_burstiness"
+  "extension_burstiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_calibration_cost.dir/extension_calibration_cost.cpp.o"
+  "CMakeFiles/extension_calibration_cost.dir/extension_calibration_cost.cpp.o.d"
+  "extension_calibration_cost"
+  "extension_calibration_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_calibration_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_disk_queue.dir/extension_disk_queue.cpp.o"
+  "CMakeFiles/extension_disk_queue.dir/extension_disk_queue.cpp.o.d"
+  "extension_disk_queue"
+  "extension_disk_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_disk_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

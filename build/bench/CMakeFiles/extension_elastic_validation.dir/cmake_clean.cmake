@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_elastic_validation.dir/extension_elastic_validation.cpp.o"
+  "CMakeFiles/extension_elastic_validation.dir/extension_elastic_validation.cpp.o.d"
+  "extension_elastic_validation"
+  "extension_elastic_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_elastic_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

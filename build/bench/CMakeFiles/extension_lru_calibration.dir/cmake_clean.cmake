@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_lru_calibration.dir/extension_lru_calibration.cpp.o"
+  "CMakeFiles/extension_lru_calibration.dir/extension_lru_calibration.cpp.o.d"
+  "extension_lru_calibration"
+  "extension_lru_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_lru_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_mean_baseline.dir/extension_mean_baseline.cpp.o"
+  "CMakeFiles/extension_mean_baseline.dir/extension_mean_baseline.cpp.o.d"
+  "extension_mean_baseline"
+  "extension_mean_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_mean_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

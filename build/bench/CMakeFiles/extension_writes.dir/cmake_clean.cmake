@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_writes.dir/extension_writes.cpp.o"
+  "CMakeFiles/extension_writes.dir/extension_writes.cpp.o.d"
+  "extension_writes"
+  "extension_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

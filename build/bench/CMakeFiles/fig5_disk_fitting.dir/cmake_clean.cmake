@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_disk_fitting.dir/fig5_disk_fitting.cpp.o"
+  "CMakeFiles/fig5_disk_fitting.dir/fig5_disk_fitting.cpp.o.d"
+  "fig5_disk_fitting"
+  "fig5_disk_fitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_disk_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_continuous_run.dir/fig6_continuous_run.cpp.o"
+  "CMakeFiles/fig6_continuous_run.dir/fig6_continuous_run.cpp.o.d"
+  "fig6_continuous_run"
+  "fig6_continuous_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_continuous_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

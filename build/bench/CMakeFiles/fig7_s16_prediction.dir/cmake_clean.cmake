@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_s16_prediction.dir/fig7_s16_prediction.cpp.o"
+  "CMakeFiles/fig7_s16_prediction.dir/fig7_s16_prediction.cpp.o.d"
+  "fig7_s16_prediction"
+  "fig7_s16_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_s16_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

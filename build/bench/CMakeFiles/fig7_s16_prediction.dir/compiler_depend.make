@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_s16_prediction.
+# This may be replaced when dependencies are built.

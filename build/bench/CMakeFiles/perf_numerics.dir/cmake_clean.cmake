@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_numerics.dir/perf_numerics.cpp.o"
+  "CMakeFiles/perf_numerics.dir/perf_numerics.cpp.o.d"
+  "perf_numerics"
+  "perf_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_fig6_s1_prediction "/root/repo/build/bench/fig6_s1_prediction" "--scale=0.03")
+set_tests_properties(bench_smoke_fig6_s1_prediction PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;41;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig7_s16_prediction "/root/repo/build/bench/fig7_s16_prediction" "--scale=0.03")
+set_tests_properties(bench_smoke_fig7_s16_prediction PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;41;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table1_prediction_errors "/root/repo/build/bench/table1_prediction_errors" "--scale=0.03")
+set_tests_properties(bench_smoke_table1_prediction_errors PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;41;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table2_model_comparison "/root/repo/build/bench/table2_model_comparison" "--scale=0.03")
+set_tests_properties(bench_smoke_table2_model_comparison PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;41;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_extension_disk_queue "/root/repo/build/bench/extension_disk_queue" "--scale=0.03")
+set_tests_properties(bench_smoke_extension_disk_queue PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;41;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig6_continuous_run "/root/repo/build/bench/fig6_continuous_run" "--scale=0.03")
+set_tests_properties(bench_smoke_fig6_continuous_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;41;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig5 "/root/repo/build/bench/fig5_disk_fitting")
+set_tests_properties(bench_smoke_fig5 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;43;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bottleneck_identification.dir/bottleneck_identification.cpp.o"
+  "CMakeFiles/bottleneck_identification.dir/bottleneck_identification.cpp.o.d"
+  "bottleneck_identification"
+  "bottleneck_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bottleneck_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

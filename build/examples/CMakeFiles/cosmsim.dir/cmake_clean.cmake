@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmsim.dir/cosmsim.cpp.o"
+  "CMakeFiles/cosmsim.dir/cosmsim.cpp.o.d"
+  "cosmsim"
+  "cosmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

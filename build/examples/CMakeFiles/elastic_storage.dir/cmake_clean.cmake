@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_storage.dir/elastic_storage.cpp.o"
+  "CMakeFiles/elastic_storage.dir/elastic_storage.cpp.o.d"
+  "elastic_storage"
+  "elastic_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

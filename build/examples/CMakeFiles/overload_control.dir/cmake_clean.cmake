@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overload_control.dir/overload_control.cpp.o"
+  "CMakeFiles/overload_control.dir/overload_control.cpp.o.d"
+  "overload_control"
+  "overload_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overload_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_deployment.dir/validate_deployment.cpp.o"
+  "CMakeFiles/validate_deployment.dir/validate_deployment.cpp.o.d"
+  "validate_deployment"
+  "validate_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calibration/disk_benchmark.cpp" "src/calibration/CMakeFiles/cosm_calibration.dir/disk_benchmark.cpp.o" "gcc" "src/calibration/CMakeFiles/cosm_calibration.dir/disk_benchmark.cpp.o.d"
+  "/root/repo/src/calibration/online_metrics.cpp" "src/calibration/CMakeFiles/cosm_calibration.dir/online_metrics.cpp.o" "gcc" "src/calibration/CMakeFiles/cosm_calibration.dir/online_metrics.cpp.o.d"
+  "/root/repo/src/calibration/parse_benchmark.cpp" "src/calibration/CMakeFiles/cosm_calibration.dir/parse_benchmark.cpp.o" "gcc" "src/calibration/CMakeFiles/cosm_calibration.dir/parse_benchmark.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cosm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cosm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cosm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cosm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/cosm_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/cosm_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

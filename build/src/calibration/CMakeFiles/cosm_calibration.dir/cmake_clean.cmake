@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosm_calibration.dir/disk_benchmark.cpp.o"
+  "CMakeFiles/cosm_calibration.dir/disk_benchmark.cpp.o.d"
+  "CMakeFiles/cosm_calibration.dir/online_metrics.cpp.o"
+  "CMakeFiles/cosm_calibration.dir/online_metrics.cpp.o.d"
+  "CMakeFiles/cosm_calibration.dir/parse_benchmark.cpp.o"
+  "CMakeFiles/cosm_calibration.dir/parse_benchmark.cpp.o.d"
+  "libcosm_calibration.a"
+  "libcosm_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosm_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

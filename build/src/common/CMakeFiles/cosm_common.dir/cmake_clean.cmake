@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosm_common.dir/rng.cpp.o"
+  "CMakeFiles/cosm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cosm_common.dir/table.cpp.o"
+  "CMakeFiles/cosm_common.dir/table.cpp.o.d"
+  "CMakeFiles/cosm_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/cosm_common.dir/thread_pool.cpp.o.d"
+  "libcosm_common.a"
+  "libcosm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcosm_common.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backend_model.cpp" "src/core/CMakeFiles/cosm_core.dir/backend_model.cpp.o" "gcc" "src/core/CMakeFiles/cosm_core.dir/backend_model.cpp.o.d"
+  "/root/repo/src/core/frontend_model.cpp" "src/core/CMakeFiles/cosm_core.dir/frontend_model.cpp.o" "gcc" "src/core/CMakeFiles/cosm_core.dir/frontend_model.cpp.o.d"
+  "/root/repo/src/core/mean_value_baseline.cpp" "src/core/CMakeFiles/cosm_core.dir/mean_value_baseline.cpp.o" "gcc" "src/core/CMakeFiles/cosm_core.dir/mean_value_baseline.cpp.o.d"
+  "/root/repo/src/core/system_model.cpp" "src/core/CMakeFiles/cosm_core.dir/system_model.cpp.o" "gcc" "src/core/CMakeFiles/cosm_core.dir/system_model.cpp.o.d"
+  "/root/repo/src/core/whatif.cpp" "src/core/CMakeFiles/cosm_core.dir/whatif.cpp.o" "gcc" "src/core/CMakeFiles/cosm_core.dir/whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numerics/CMakeFiles/cosm_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/cosm_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

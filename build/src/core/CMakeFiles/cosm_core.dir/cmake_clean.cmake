@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosm_core.dir/backend_model.cpp.o"
+  "CMakeFiles/cosm_core.dir/backend_model.cpp.o.d"
+  "CMakeFiles/cosm_core.dir/frontend_model.cpp.o"
+  "CMakeFiles/cosm_core.dir/frontend_model.cpp.o.d"
+  "CMakeFiles/cosm_core.dir/mean_value_baseline.cpp.o"
+  "CMakeFiles/cosm_core.dir/mean_value_baseline.cpp.o.d"
+  "CMakeFiles/cosm_core.dir/system_model.cpp.o"
+  "CMakeFiles/cosm_core.dir/system_model.cpp.o.d"
+  "CMakeFiles/cosm_core.dir/whatif.cpp.o"
+  "CMakeFiles/cosm_core.dir/whatif.cpp.o.d"
+  "libcosm_core.a"
+  "libcosm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/compose.cpp" "src/numerics/CMakeFiles/cosm_numerics.dir/compose.cpp.o" "gcc" "src/numerics/CMakeFiles/cosm_numerics.dir/compose.cpp.o.d"
+  "/root/repo/src/numerics/distribution.cpp" "src/numerics/CMakeFiles/cosm_numerics.dir/distribution.cpp.o" "gcc" "src/numerics/CMakeFiles/cosm_numerics.dir/distribution.cpp.o.d"
+  "/root/repo/src/numerics/fft.cpp" "src/numerics/CMakeFiles/cosm_numerics.dir/fft.cpp.o" "gcc" "src/numerics/CMakeFiles/cosm_numerics.dir/fft.cpp.o.d"
+  "/root/repo/src/numerics/fitting.cpp" "src/numerics/CMakeFiles/cosm_numerics.dir/fitting.cpp.o" "gcc" "src/numerics/CMakeFiles/cosm_numerics.dir/fitting.cpp.o.d"
+  "/root/repo/src/numerics/grid.cpp" "src/numerics/CMakeFiles/cosm_numerics.dir/grid.cpp.o" "gcc" "src/numerics/CMakeFiles/cosm_numerics.dir/grid.cpp.o.d"
+  "/root/repo/src/numerics/lt_inversion.cpp" "src/numerics/CMakeFiles/cosm_numerics.dir/lt_inversion.cpp.o" "gcc" "src/numerics/CMakeFiles/cosm_numerics.dir/lt_inversion.cpp.o.d"
+  "/root/repo/src/numerics/phase_type.cpp" "src/numerics/CMakeFiles/cosm_numerics.dir/phase_type.cpp.o" "gcc" "src/numerics/CMakeFiles/cosm_numerics.dir/phase_type.cpp.o.d"
+  "/root/repo/src/numerics/quadrature.cpp" "src/numerics/CMakeFiles/cosm_numerics.dir/quadrature.cpp.o" "gcc" "src/numerics/CMakeFiles/cosm_numerics.dir/quadrature.cpp.o.d"
+  "/root/repo/src/numerics/roots.cpp" "src/numerics/CMakeFiles/cosm_numerics.dir/roots.cpp.o" "gcc" "src/numerics/CMakeFiles/cosm_numerics.dir/roots.cpp.o.d"
+  "/root/repo/src/numerics/special.cpp" "src/numerics/CMakeFiles/cosm_numerics.dir/special.cpp.o" "gcc" "src/numerics/CMakeFiles/cosm_numerics.dir/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosm_numerics.dir/compose.cpp.o"
+  "CMakeFiles/cosm_numerics.dir/compose.cpp.o.d"
+  "CMakeFiles/cosm_numerics.dir/distribution.cpp.o"
+  "CMakeFiles/cosm_numerics.dir/distribution.cpp.o.d"
+  "CMakeFiles/cosm_numerics.dir/fft.cpp.o"
+  "CMakeFiles/cosm_numerics.dir/fft.cpp.o.d"
+  "CMakeFiles/cosm_numerics.dir/fitting.cpp.o"
+  "CMakeFiles/cosm_numerics.dir/fitting.cpp.o.d"
+  "CMakeFiles/cosm_numerics.dir/grid.cpp.o"
+  "CMakeFiles/cosm_numerics.dir/grid.cpp.o.d"
+  "CMakeFiles/cosm_numerics.dir/lt_inversion.cpp.o"
+  "CMakeFiles/cosm_numerics.dir/lt_inversion.cpp.o.d"
+  "CMakeFiles/cosm_numerics.dir/phase_type.cpp.o"
+  "CMakeFiles/cosm_numerics.dir/phase_type.cpp.o.d"
+  "CMakeFiles/cosm_numerics.dir/quadrature.cpp.o"
+  "CMakeFiles/cosm_numerics.dir/quadrature.cpp.o.d"
+  "CMakeFiles/cosm_numerics.dir/roots.cpp.o"
+  "CMakeFiles/cosm_numerics.dir/roots.cpp.o.d"
+  "CMakeFiles/cosm_numerics.dir/special.cpp.o"
+  "CMakeFiles/cosm_numerics.dir/special.cpp.o.d"
+  "libcosm_numerics.a"
+  "libcosm_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosm_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

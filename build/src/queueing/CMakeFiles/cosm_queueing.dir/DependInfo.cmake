@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/mg1.cpp" "src/queueing/CMakeFiles/cosm_queueing.dir/mg1.cpp.o" "gcc" "src/queueing/CMakeFiles/cosm_queueing.dir/mg1.cpp.o.d"
+  "/root/repo/src/queueing/mg1k.cpp" "src/queueing/CMakeFiles/cosm_queueing.dir/mg1k.cpp.o" "gcc" "src/queueing/CMakeFiles/cosm_queueing.dir/mg1k.cpp.o.d"
+  "/root/repo/src/queueing/mm1k.cpp" "src/queueing/CMakeFiles/cosm_queueing.dir/mm1k.cpp.o" "gcc" "src/queueing/CMakeFiles/cosm_queueing.dir/mm1k.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numerics/CMakeFiles/cosm_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

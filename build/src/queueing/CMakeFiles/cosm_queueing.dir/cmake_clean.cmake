@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosm_queueing.dir/mg1.cpp.o"
+  "CMakeFiles/cosm_queueing.dir/mg1.cpp.o.d"
+  "CMakeFiles/cosm_queueing.dir/mg1k.cpp.o"
+  "CMakeFiles/cosm_queueing.dir/mg1k.cpp.o.d"
+  "CMakeFiles/cosm_queueing.dir/mm1k.cpp.o"
+  "CMakeFiles/cosm_queueing.dir/mm1k.cpp.o.d"
+  "libcosm_queueing.a"
+  "libcosm_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosm_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/backend.cpp" "src/sim/CMakeFiles/cosm_sim.dir/backend.cpp.o" "gcc" "src/sim/CMakeFiles/cosm_sim.dir/backend.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/cosm_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/cosm_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/cosm_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/cosm_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/disk.cpp" "src/sim/CMakeFiles/cosm_sim.dir/disk.cpp.o" "gcc" "src/sim/CMakeFiles/cosm_sim.dir/disk.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/cosm_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/cosm_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/frontend.cpp" "src/sim/CMakeFiles/cosm_sim.dir/frontend.cpp.o" "gcc" "src/sim/CMakeFiles/cosm_sim.dir/frontend.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/cosm_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/cosm_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/source.cpp" "src/sim/CMakeFiles/cosm_sim.dir/source.cpp.o" "gcc" "src/sim/CMakeFiles/cosm_sim.dir/source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numerics/CMakeFiles/cosm_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cosm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cosm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosm_sim.dir/backend.cpp.o"
+  "CMakeFiles/cosm_sim.dir/backend.cpp.o.d"
+  "CMakeFiles/cosm_sim.dir/cache.cpp.o"
+  "CMakeFiles/cosm_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/cosm_sim.dir/cluster.cpp.o"
+  "CMakeFiles/cosm_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/cosm_sim.dir/disk.cpp.o"
+  "CMakeFiles/cosm_sim.dir/disk.cpp.o.d"
+  "CMakeFiles/cosm_sim.dir/engine.cpp.o"
+  "CMakeFiles/cosm_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/cosm_sim.dir/frontend.cpp.o"
+  "CMakeFiles/cosm_sim.dir/frontend.cpp.o.d"
+  "CMakeFiles/cosm_sim.dir/metrics.cpp.o"
+  "CMakeFiles/cosm_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/cosm_sim.dir/source.cpp.o"
+  "CMakeFiles/cosm_sim.dir/source.cpp.o.d"
+  "libcosm_sim.a"
+  "libcosm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

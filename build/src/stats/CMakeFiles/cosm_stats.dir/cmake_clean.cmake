@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosm_stats.dir/histogram.cpp.o"
+  "CMakeFiles/cosm_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/cosm_stats.dir/p2_quantile.cpp.o"
+  "CMakeFiles/cosm_stats.dir/p2_quantile.cpp.o.d"
+  "CMakeFiles/cosm_stats.dir/sla.cpp.o"
+  "CMakeFiles/cosm_stats.dir/sla.cpp.o.d"
+  "CMakeFiles/cosm_stats.dir/summary.cpp.o"
+  "CMakeFiles/cosm_stats.dir/summary.cpp.o.d"
+  "libcosm_stats.a"
+  "libcosm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrivals.cpp" "src/workload/CMakeFiles/cosm_workload.dir/arrivals.cpp.o" "gcc" "src/workload/CMakeFiles/cosm_workload.dir/arrivals.cpp.o.d"
+  "/root/repo/src/workload/catalog.cpp" "src/workload/CMakeFiles/cosm_workload.dir/catalog.cpp.o" "gcc" "src/workload/CMakeFiles/cosm_workload.dir/catalog.cpp.o.d"
+  "/root/repo/src/workload/placement.cpp" "src/workload/CMakeFiles/cosm_workload.dir/placement.cpp.o" "gcc" "src/workload/CMakeFiles/cosm_workload.dir/placement.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/cosm_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/cosm_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/trace_stats.cpp" "src/workload/CMakeFiles/cosm_workload.dir/trace_stats.cpp.o" "gcc" "src/workload/CMakeFiles/cosm_workload.dir/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numerics/CMakeFiles/cosm_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosm_workload.dir/arrivals.cpp.o"
+  "CMakeFiles/cosm_workload.dir/arrivals.cpp.o.d"
+  "CMakeFiles/cosm_workload.dir/catalog.cpp.o"
+  "CMakeFiles/cosm_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/cosm_workload.dir/placement.cpp.o"
+  "CMakeFiles/cosm_workload.dir/placement.cpp.o.d"
+  "CMakeFiles/cosm_workload.dir/trace.cpp.o"
+  "CMakeFiles/cosm_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/cosm_workload.dir/trace_stats.cpp.o"
+  "CMakeFiles/cosm_workload.dir/trace_stats.cpp.o.d"
+  "libcosm_workload.a"
+  "libcosm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bottleneck_detection.dir/integration/test_bottleneck_detection.cpp.o"
+  "CMakeFiles/test_bottleneck_detection.dir/integration/test_bottleneck_detection.cpp.o.d"
+  "test_bottleneck_detection"
+  "test_bottleneck_detection.pdb"
+  "test_bottleneck_detection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bottleneck_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

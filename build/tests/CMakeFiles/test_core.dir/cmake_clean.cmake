@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_backend_model.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_backend_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mean_baseline.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mean_baseline.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_system_model.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_system_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_whatif.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_whatif.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

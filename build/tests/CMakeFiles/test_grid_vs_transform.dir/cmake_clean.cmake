@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_vs_transform.dir/integration/test_grid_vs_transform.cpp.o"
+  "CMakeFiles/test_grid_vs_transform.dir/integration/test_grid_vs_transform.cpp.o.d"
+  "test_grid_vs_transform"
+  "test_grid_vs_transform.pdb"
+  "test_grid_vs_transform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_vs_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/numerics/test_compose.cpp" "tests/CMakeFiles/test_numerics.dir/numerics/test_compose.cpp.o" "gcc" "tests/CMakeFiles/test_numerics.dir/numerics/test_compose.cpp.o.d"
+  "/root/repo/tests/numerics/test_distribution.cpp" "tests/CMakeFiles/test_numerics.dir/numerics/test_distribution.cpp.o" "gcc" "tests/CMakeFiles/test_numerics.dir/numerics/test_distribution.cpp.o.d"
+  "/root/repo/tests/numerics/test_fft.cpp" "tests/CMakeFiles/test_numerics.dir/numerics/test_fft.cpp.o" "gcc" "tests/CMakeFiles/test_numerics.dir/numerics/test_fft.cpp.o.d"
+  "/root/repo/tests/numerics/test_fitting.cpp" "tests/CMakeFiles/test_numerics.dir/numerics/test_fitting.cpp.o" "gcc" "tests/CMakeFiles/test_numerics.dir/numerics/test_fitting.cpp.o.d"
+  "/root/repo/tests/numerics/test_grid.cpp" "tests/CMakeFiles/test_numerics.dir/numerics/test_grid.cpp.o" "gcc" "tests/CMakeFiles/test_numerics.dir/numerics/test_grid.cpp.o.d"
+  "/root/repo/tests/numerics/test_lt_inversion.cpp" "tests/CMakeFiles/test_numerics.dir/numerics/test_lt_inversion.cpp.o" "gcc" "tests/CMakeFiles/test_numerics.dir/numerics/test_lt_inversion.cpp.o.d"
+  "/root/repo/tests/numerics/test_phase_type.cpp" "tests/CMakeFiles/test_numerics.dir/numerics/test_phase_type.cpp.o" "gcc" "tests/CMakeFiles/test_numerics.dir/numerics/test_phase_type.cpp.o.d"
+  "/root/repo/tests/numerics/test_roots_quadrature.cpp" "tests/CMakeFiles/test_numerics.dir/numerics/test_roots_quadrature.cpp.o" "gcc" "tests/CMakeFiles/test_numerics.dir/numerics/test_roots_quadrature.cpp.o.d"
+  "/root/repo/tests/numerics/test_special.cpp" "tests/CMakeFiles/test_numerics.dir/numerics/test_special.cpp.o" "gcc" "tests/CMakeFiles/test_numerics.dir/numerics/test_special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numerics/CMakeFiles/cosm_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/cosm_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics.dir/numerics/test_compose.cpp.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_compose.cpp.o.d"
+  "CMakeFiles/test_numerics.dir/numerics/test_distribution.cpp.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_distribution.cpp.o.d"
+  "CMakeFiles/test_numerics.dir/numerics/test_fft.cpp.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_fft.cpp.o.d"
+  "CMakeFiles/test_numerics.dir/numerics/test_fitting.cpp.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_fitting.cpp.o.d"
+  "CMakeFiles/test_numerics.dir/numerics/test_grid.cpp.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_grid.cpp.o.d"
+  "CMakeFiles/test_numerics.dir/numerics/test_lt_inversion.cpp.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_lt_inversion.cpp.o.d"
+  "CMakeFiles/test_numerics.dir/numerics/test_phase_type.cpp.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_phase_type.cpp.o.d"
+  "CMakeFiles/test_numerics.dir/numerics/test_roots_quadrature.cpp.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_roots_quadrature.cpp.o.d"
+  "CMakeFiles/test_numerics.dir/numerics/test_special.cpp.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_special.cpp.o.d"
+  "test_numerics"
+  "test_numerics.pdb"
+  "test_numerics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

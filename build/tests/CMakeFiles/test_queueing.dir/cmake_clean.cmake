@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queueing.dir/queueing/test_mg1.cpp.o"
+  "CMakeFiles/test_queueing.dir/queueing/test_mg1.cpp.o.d"
+  "CMakeFiles/test_queueing.dir/queueing/test_mg1k.cpp.o"
+  "CMakeFiles/test_queueing.dir/queueing/test_mg1k.cpp.o.d"
+  "CMakeFiles/test_queueing.dir/queueing/test_mm1k.cpp.o"
+  "CMakeFiles/test_queueing.dir/queueing/test_mm1k.cpp.o.d"
+  "test_queueing"
+  "test_queueing.pdb"
+  "test_queueing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_accept_semantics.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_accept_semantics.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_cluster.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_cluster.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_engine_cache_disk.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_engine_cache_disk.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_timeouts.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_timeouts.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_writes.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_writes.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

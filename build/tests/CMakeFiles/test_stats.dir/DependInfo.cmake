@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/test_histogram_sla.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_histogram_sla.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_histogram_sla.cpp.o.d"
+  "/root/repo/tests/stats/test_p2_quantile.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_p2_quantile.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_p2_quantile.cpp.o.d"
+  "/root/repo/tests/stats/test_summary.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_summary.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/cosm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/test_arrivals.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_arrivals.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_arrivals.cpp.o.d"
+  "/root/repo/tests/workload/test_trace_stats.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_trace_stats.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_trace_stats.cpp.o.d"
+  "/root/repo/tests/workload/test_workload.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_workload.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/cosm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/cosm_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
