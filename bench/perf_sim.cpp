@@ -33,7 +33,8 @@ void BM_DiskQueueThroughput(benchmark::State& state) {
     int remaining = 5000;
     std::function<void()> feed = [&] {
       if (remaining-- <= 0) return;
-      disk.submit(cosm::sim::AccessKind::kData, [&](double) { feed(); });
+      disk.submit(cosm::sim::AccessKind::kData,
+                  [&](double, bool) { feed(); });
     };
     engine.schedule_at(0.0, feed);
     engine.run_all();

@@ -7,8 +7,8 @@
 //   $ ./overload_control [sla_ms] [target_percentile]
 #include <cstdio>
 #include <cstdlib>
-#include <stdexcept>
 
+#include "core/errors.hpp"
 #include "example_common.hpp"
 
 int main(int argc, char** argv) {
@@ -26,11 +26,13 @@ int main(int argc, char** argv) {
   for (double rate = 40.0; rate <= 320.0; rate += 20.0) {
     double percentile = 0.0;
     bool overloaded = false;
+    // Only genuine saturation reads as "(overloaded)"; a bad parameter
+    // (NaN rate, missing distribution) is a bug and must propagate.
     try {
       const cosm::core::SystemModel model(
           cosm_examples::make_cluster(rate, kDevices));
       percentile = model.predict_sla_percentile(sla);
-    } catch (const std::invalid_argument&) {
+    } catch (const cosm::core::OverloadError&) {
       overloaded = true;
     }
     const bool admit = !overloaded && percentile >= target;

@@ -57,11 +57,11 @@ DiskCalibration benchmark_disk(const sim::DiskProfile& profile,
   std::function<void()> read_one_object = [&] {
     if (remaining == 0) return;
     --remaining;
-    disk.submit(sim::AccessKind::kIndex, [&](double service) {
+    disk.submit(sim::AccessKind::kIndex, [&](double service, bool) {
       index_samples.push_back(service);
-      disk.submit(sim::AccessKind::kMeta, [&](double service2) {
+      disk.submit(sim::AccessKind::kMeta, [&](double service2, bool) {
         meta_samples.push_back(service2);
-        disk.submit(sim::AccessKind::kData, [&](double service3) {
+        disk.submit(sim::AccessKind::kData, [&](double service3, bool) {
           data_samples.push_back(service3);
           read_one_object();
         });

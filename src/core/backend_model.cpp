@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/require.hpp"
+#include "core/errors.hpp"
 #include "queueing/mg1.hpp"
 #include "queueing/mg1k.hpp"
 #include "queueing/mm1k.hpp"
@@ -148,9 +149,11 @@ void BackendModel::build() {
       std::make_shared<CompoundPoissonConvolution>(base, extra_reads_, data_);
 
   const queueing::MG1 queue(r_proc, union_service_);
-  COSM_REQUIRE(queue.stable(),
-               "backend device is overloaded (union-operation utilization "
-               ">= 1); the model only covers the paper's 'normal status'");
+  if (!queue.stable()) {
+    throw OverloadError(
+        "backend device is overloaded (union-operation utilization >= 1); "
+        "the model only covers the paper's 'normal status'");
+  }
   waiting_ = queue.waiting_time();
 
   // Eq. (1): S_be = W * parse * index * meta * data.

@@ -1,0 +1,24 @@
+// Model error types.
+//
+// OverloadError distinguishes "this configuration violates the model's
+// stability precondition (utilization >= 1)" from plain bad arguments
+// (NaN rates, missing distributions), so callers can treat saturation as
+// a *result* — the what-if searches map it to "target not met", and the
+// examples report "(overloaded)" only when the system genuinely is.
+//
+// It derives from std::invalid_argument so existing catch sites that
+// treat any precondition violation as "not feasible" keep working.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cosm::core {
+
+class OverloadError : public std::invalid_argument {
+ public:
+  explicit OverloadError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+}  // namespace cosm::core

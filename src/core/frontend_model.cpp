@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/require.hpp"
+#include "core/errors.hpp"
 #include "numerics/quadrature.hpp"
 #include "queueing/mg1.hpp"
 
@@ -14,8 +15,10 @@ FrontendModel::FrontendModel(FrontendParams params)
   params_.validate();
   if (params_.groups.empty()) {
     const queueing::MG1 queue(per_process_rate(), params_.frontend_parse);
-    COSM_REQUIRE(queue.stable(),
-                 "frontend tier is overloaded (parse utilization >= 1)");
+    if (!queue.stable()) {
+      throw OverloadError(
+          "frontend tier is overloaded (parse utilization >= 1)");
+    }
     sojourn_ = queue.sojourn_time();
     return;
   }
@@ -28,8 +31,10 @@ FrontendModel::FrontendModel(FrontendParams params)
     const double group_rate = params_.arrival_rate * group.traffic_share /
                               static_cast<double>(group.processes);
     const queueing::MG1 queue(group_rate, group.frontend_parse);
-    COSM_REQUIRE(queue.stable(),
-                 "a frontend group is overloaded (parse utilization >= 1)");
+    if (!queue.stable()) {
+      throw OverloadError(
+          "a frontend group is overloaded (parse utilization >= 1)");
+    }
     components.push_back({group.traffic_share, queue.sojourn_time()});
   }
   sojourn_ = std::make_shared<numerics::Mixture>(std::move(components));

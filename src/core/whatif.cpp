@@ -1,9 +1,11 @@
 #include "core/whatif.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "common/require.hpp"
+#include "numerics/compose.hpp"
 
 namespace cosm::core {
 
@@ -19,8 +21,11 @@ bool meets_target(const SystemParams& params, const SlaTarget& target,
   try {
     const SystemModel model(params, options);
     return model.predict_sla_percentile(target.sla) >= target.percentile;
-  } catch (const std::invalid_argument&) {
-    return false;  // overloaded => certainly not meeting the target
+  } catch (const OverloadError&) {
+    // Saturation is a *result* here, not a caller bug: an overloaded
+    // configuration certainly misses the target.  Genuinely invalid
+    // parameters still propagate as std::invalid_argument.
+    return false;
   }
 }
 
@@ -87,6 +92,87 @@ std::vector<std::optional<unsigned>> elastic_schedule(
         min_devices_for(factory, rate, target, 1, max_devices, options));
   }
   return schedule;
+}
+
+void DegradedScenario::validate(std::size_t device_count) const {
+  COSM_REQUIRE(std::isfinite(service_inflation) && service_inflation >= 1.0,
+               "service_inflation must be finite and >= 1");
+  COSM_REQUIRE(std::isfinite(retry_rate_factor) && retry_rate_factor >= 1.0,
+               "retry_rate_factor must be finite and >= 1");
+  if (slow_device) {
+    COSM_REQUIRE(*slow_device < device_count,
+                 "slow_device must name an existing device");
+  }
+  if (failed_device) {
+    COSM_REQUIRE(*failed_device < device_count,
+                 "failed_device must name an existing device");
+    COSM_REQUIRE(device_count > 1,
+                 "failed_device needs a surviving device to fail over to");
+    COSM_REQUIRE(!slow_device || *slow_device != *failed_device,
+                 "a device cannot be both slow and failed");
+  }
+}
+
+double retry_arrival_inflation(double failure_prob, unsigned max_retries) {
+  COSM_REQUIRE(std::isfinite(failure_prob) && failure_prob >= 0 &&
+                   failure_prob < 1,
+               "failure probability must be in [0, 1)");
+  if (failure_prob == 0.0 || max_retries == 0) return 1.0;
+  // Expected attempts: 1 + p + p^2 + ... + p^R = (1 - p^{R+1}) / (1 - p).
+  return (1.0 - std::pow(failure_prob, max_retries + 1)) /
+         (1.0 - failure_prob);
+}
+
+SystemParams degrade(const SystemParams& healthy,
+                     const DegradedScenario& scenario) {
+  scenario.validate(healthy.devices.size());
+  SystemParams params = healthy;
+
+  if (scenario.slow_device && scenario.service_inflation != 1.0) {
+    DeviceParams& slow = params.devices[*scenario.slow_device];
+    slow.index_disk =
+        numerics::scale_dist(slow.index_disk, scenario.service_inflation);
+    slow.meta_disk =
+        numerics::scale_dist(slow.meta_disk, scenario.service_inflation);
+    slow.data_disk =
+        numerics::scale_dist(slow.data_disk, scenario.service_inflation);
+  }
+
+  if (scenario.failed_device) {
+    // Evenly redistribute the dead device's traffic: random failover over
+    // the survivors (the simulator's replica rotation averages to this).
+    const DeviceParams dead = params.devices[*scenario.failed_device];
+    const double survivors =
+        static_cast<double>(params.devices.size() - 1);
+    params.devices.erase(params.devices.begin() +
+                         static_cast<std::ptrdiff_t>(*scenario.failed_device));
+    for (DeviceParams& device : params.devices) {
+      device.arrival_rate += dead.arrival_rate / survivors;
+      device.data_read_rate += dead.data_read_rate / survivors;
+    }
+  }
+
+  if (scenario.retry_rate_factor != 1.0) {
+    params.frontend.arrival_rate *= scenario.retry_rate_factor;
+    for (DeviceParams& device : params.devices) {
+      device.arrival_rate *= scenario.retry_rate_factor;
+      device.data_read_rate *= scenario.retry_rate_factor;
+    }
+  }
+
+  return params;
+}
+
+double degraded_sla_percentile(const SystemParams& healthy,
+                               const DegradedScenario& scenario, double sla,
+                               ModelOptions options) {
+  COSM_REQUIRE(sla > 0, "SLA bound must be positive");
+  try {
+    const SystemModel model(degrade(healthy, scenario), options);
+    return model.predict_sla_percentile(sla);
+  } catch (const OverloadError&) {
+    return 0.0;  // the degraded system misses any SLA
+  }
 }
 
 std::vector<std::pair<std::size_t, double>> sla_miss_contributions(

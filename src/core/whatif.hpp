@@ -10,10 +10,12 @@
 // situations").
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <optional>
 #include <vector>
 
+#include "core/errors.hpp"
 #include "core/system_model.hpp"
 
 namespace cosm::core {
@@ -66,5 +68,46 @@ std::vector<std::optional<unsigned>> elastic_schedule(
 // contribution.  Pairs of (device index, contribution in [0, 1]).
 std::vector<std::pair<std::size_t, double>> sla_miss_contributions(
     const SystemModel& model, double sla);
+
+// ----- Degraded what-if (robustness extension) -----
+//
+// The model's Eq. 3 mixture already supports heterogeneous per-device
+// parameters, so a degraded cluster is just a *transformed* parameter
+// set: a slow device gets its disk service distributions inflated
+// (numerics::Scaled), a failed device drops out with its traffic
+// redistributed, and client retries inflate every arrival rate.  The same
+// M/G/1 machinery then predicts the degraded percentiles.
+
+struct DegradedScenario {
+  // One device serving `service_inflation`-times-slower disk operations
+  // (e.g. the window of a FaultSchedule disk_slowdown).
+  std::optional<std::size_t> slow_device;
+  double service_inflation = 1.0;
+
+  // One device entirely failed; its arrival rates are spread evenly over
+  // the surviving devices (random replica failover).
+  std::optional<std::size_t> failed_device;
+
+  // Multiplier >= 1 on every arrival rate: the retry-inflated effective
+  // lambda (see retry_arrival_inflation).
+  double retry_rate_factor = 1.0;
+
+  void validate(std::size_t device_count) const;
+};
+
+// Expected attempts per request when each attempt independently fails
+// with probability `failure_prob` and up to `max_retries` retries are
+// allowed: (1 - p^{R+1}) / (1 - p).
+double retry_arrival_inflation(double failure_prob, unsigned max_retries);
+
+// Applies the scenario to healthy parameters, returning the degraded set.
+SystemParams degrade(const SystemParams& healthy,
+                     const DegradedScenario& scenario);
+
+// P[latency <= sla] under the scenario; 0 when the degraded system is
+// overloaded (the degraded system certainly misses the SLA then).
+double degraded_sla_percentile(const SystemParams& healthy,
+                               const DegradedScenario& scenario, double sla,
+                               ModelOptions options = {});
 
 }  // namespace cosm::core

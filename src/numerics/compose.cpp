@@ -195,6 +195,45 @@ LaplaceDistribution::LaplaceDistribution(std::string name, LaplaceFn lt,
   COSM_REQUIRE(!(mean < 0), "mean must be non-negative or NaN");
 }
 
+// --------------------------------- Scaled ---------------------------------
+
+Scaled::Scaled(DistPtr inner, double factor)
+    : inner_(std::move(inner)), factor_(factor) {
+  COSM_REQUIRE(inner_ != nullptr, "scaled distribution needs an inner one");
+  COSM_REQUIRE(std::isfinite(factor) && factor > 0,
+               "scale factor must be finite and positive");
+}
+
+std::string Scaled::name() const {
+  return "Scaled(" + inner_->name() + ")";
+}
+
+std::complex<double> Scaled::laplace(std::complex<double> s) const {
+  // E[e^{-s cX}] = L[X](c s).
+  return inner_->laplace(factor_ * s);
+}
+
+double Scaled::mean() const { return factor_ * inner_->mean(); }
+
+double Scaled::second_moment() const {
+  return factor_ * factor_ * inner_->second_moment();
+}
+
+double Scaled::third_moment() const {
+  return factor_ * factor_ * factor_ * inner_->third_moment();
+}
+
+double Scaled::cdf(double t) const { return inner_->cdf(t / factor_); }
+
+double Scaled::sample(Rng& rng) const {
+  return factor_ * inner_->sample(rng);
+}
+
+DistPtr scale_dist(DistPtr inner, double factor) {
+  if (factor == 1.0) return inner;
+  return std::make_shared<Scaled>(std::move(inner), factor);
+}
+
 DistPtr convolve_dists(std::vector<DistPtr> parts) {
   if (parts.size() == 1) return parts.front();
   return std::make_shared<Convolution>(std::move(parts));

@@ -109,6 +109,33 @@ class LaplaceDistribution final : public Distribution {
   double second_moment_;
 };
 
+// Y = c · X for a positive constant c (robustness extension): the degraded
+// what-if model inflates a slow device's disk service times by wrapping
+// them in Scaled.  L[Y](s) = L[X](c·s), moments scale by c^k, cdf(t) =
+// F_X(t / c), and sample() forwards to the inner distribution when it can
+// sample.
+class Scaled final : public Distribution {
+ public:
+  Scaled(DistPtr inner, double factor);
+
+  std::string name() const override;
+  std::complex<double> laplace(std::complex<double> s) const override;
+  double mean() const override;
+  double second_moment() const override;
+  double third_moment() const override;
+  double cdf(double t) const override;
+  double sample(Rng& rng) const override;
+
+  double factor() const { return factor_; }
+
+ private:
+  DistPtr inner_;
+  double factor_;
+};
+
+// Convenience: c == 1 returns `inner` unchanged (no wrapper cost).
+DistPtr scale_dist(DistPtr inner, double factor);
+
 // Convenience: convolve two or three distributions.
 DistPtr convolve_dists(std::vector<DistPtr> parts);
 

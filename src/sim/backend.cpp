@@ -18,6 +18,7 @@ BackendProcess::BackendProcess(Engine& engine, const ClusterConfig& config,
       rng_(rng) {}
 
 void BackendProcess::signal_accept(bool coalesce) {
+  if (crashed_) return;  // nobody is listening on this process's socket
   if (coalesce) {
     if (accept_queued_) return;
     accept_queued_ = true;
@@ -30,7 +31,35 @@ void BackendProcess::enqueue_start_request(RequestPtr req) {
   enqueue({Task::Kind::kStartRequest, std::move(req)});
 }
 
+void BackendProcess::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++epoch_;
+  busy_ = false;
+  accept_queued_ = false;
+  // Queued request work dies with the process; the cluster decides whether
+  // to retry it.  A request in service at crash time fails when its
+  // current operation's stale continuation fires (the simulator's stand-in
+  // for the client noticing the TCP reset).
+  for (const Task& task : tasks_) {
+    if (task.req) device_.notify_request_failed(task.req);
+  }
+  tasks_.clear();
+  accept_tasks_.clear();
+}
+
+void BackendProcess::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  // Look at the listening socket again; pooled connections may be waiting.
+  signal_accept(config_.accept_strategy == AcceptStrategy::kBatchDrain);
+}
+
 void BackendProcess::enqueue(Task task) {
+  if (crashed_) {
+    if (task.req) device_.notify_request_failed(task.req);
+    return;
+  }
   if (config_.defer_accepts && task.kind == Task::Kind::kAccept) {
     accept_tasks_.push_back(std::move(task));
   } else {
@@ -99,13 +128,21 @@ void BackendProcess::run_accept() {
     RequestPtr captured = std::move(req);
     engine_.schedule_after(
         2.0 * config_.network_latency,
-        [this, captured = std::move(captured)]() mutable {
+        [this, captured = std::move(captured),
+         epoch = epoch_]() mutable {
+          if (epoch != epoch_) {  // the accepting process died meanwhile
+            device_.notify_request_failed(captured);
+            return;
+          }
           enqueue_start_request(std::move(captured));
         });
   }
   // Only a successful accept pays the accept cost; EAGAIN is free.
   const double cost = accepted.empty() ? 0.0 : config_.accept_cost;
-  engine_.schedule_after(cost, [this] { start_next(); });
+  engine_.schedule_after(cost, [this, epoch = epoch_] {
+    if (epoch != epoch_) return;
+    start_next();
+  });
 }
 
 void BackendProcess::access(AccessKind kind, const RequestPtr& req,
@@ -123,8 +160,17 @@ void BackendProcess::access(AccessKind kind, const RequestPtr& req,
   }
   const double start = engine_.now();
   device_.disk().submit(
-      kind, [this, kind, req, chunk_index, cont = std::move(cont),
-             start](double service) {
+      kind, [this, kind, req, chunk_index, cont = std::move(cont), start,
+             epoch = epoch_](double service, bool ok) {
+        if (epoch != epoch_) {  // process crashed while blocked on the disk
+          device_.notify_request_failed(req);
+          return;
+        }
+        if (!ok) {  // the disk went away under us
+          device_.notify_request_failed(req);
+          start_next();
+          return;
+        }
         metrics_.on_disk_op(device_.id(), kind, service);
         metrics_.on_operation_latency(device_.id(), kind,
                                       engine_.now() - start);
@@ -140,31 +186,46 @@ void BackendProcess::run_start_request(RequestPtr req) {
     return;
   }
   const double parse = config_.backend_parse->sample(rng_);
-  engine_.schedule_after(parse, [this, req = std::move(req)]() mutable {
-    access(AccessKind::kIndex, req, 0, [this, req] {
-      access(AccessKind::kMeta, req, 0, [this, req] {
-        read_chunk_then_transmit(req);
+  engine_.schedule_after(
+      parse, [this, req = std::move(req), epoch = epoch_]() mutable {
+        if (epoch != epoch_) {
+          device_.notify_request_failed(req);
+          return;
+        }
+        access(AccessKind::kIndex, req, 0, [this, req] {
+          access(AccessKind::kMeta, req, 0, [this, req] {
+            read_chunk_then_transmit(req);
+          });
+        });
       });
-    });
-  });
 }
 
 void BackendProcess::run_start_write(RequestPtr req) {
   const double parse = config_.backend_parse->sample(rng_);
-  engine_.schedule_after(parse, [this, req = std::move(req)]() mutable {
-    // The first body chunk is still in flight from the frontend; the
-    // event loop moves on and the chunk's arrival enqueues the write.
-    schedule_chunk_arrival(std::move(req));
-    start_next();
-  });
+  engine_.schedule_after(
+      parse, [this, req = std::move(req), epoch = epoch_]() mutable {
+        if (epoch != epoch_) {
+          device_.notify_request_failed(req);
+          return;
+        }
+        // The first body chunk is still in flight from the frontend; the
+        // event loop moves on and the chunk's arrival enqueues the write.
+        schedule_chunk_arrival(std::move(req));
+        start_next();
+      });
 }
 
 void BackendProcess::schedule_chunk_arrival(RequestPtr req) {
   const double transfer = chunk_transfer_time(*req, req->chunks_done);
   RequestPtr captured = std::move(req);
-  engine_.schedule_after(transfer, [this, captured]() mutable {
-    enqueue({Task::Kind::kWriteChunk, std::move(captured)});
-  });
+  engine_.schedule_after(
+      transfer, [this, captured, epoch = epoch_]() mutable {
+        if (epoch != epoch_) {
+          device_.notify_request_failed(captured);
+          return;
+        }
+        enqueue({Task::Kind::kWriteChunk, std::move(captured)});
+      });
 }
 
 void BackendProcess::run_write_chunk(RequestPtr req) {
@@ -172,7 +233,17 @@ void BackendProcess::run_write_chunk(RequestPtr req) {
   const std::uint32_t chunk = req->chunks_done;
   const double start = engine_.now();
   device_.disk().submit(
-      AccessKind::kWrite, [this, req, chunk, start](double service) {
+      AccessKind::kWrite,
+      [this, req, chunk, start, epoch = epoch_](double service, bool ok) {
+        if (epoch != epoch_) {
+          device_.notify_request_failed(req);
+          return;
+        }
+        if (!ok) {
+          device_.notify_request_failed(req);
+          start_next();
+          return;
+        }
         metrics_.on_disk_op(device_.id(), AccessKind::kWrite, service);
         metrics_.on_operation_latency(device_.id(), AccessKind::kWrite,
                                       engine_.now() - start);
@@ -187,7 +258,18 @@ void BackendProcess::run_write_chunk(RequestPtr req) {
         // xattr write), also blocking, then respond 201.
         const double commit_start = engine_.now();
         device_.disk().submit(
-            AccessKind::kCommit, [this, req, commit_start](double commit) {
+            AccessKind::kCommit,
+            [this, req, commit_start, epoch = epoch_](double commit,
+                                                      bool commit_ok) {
+              if (epoch != epoch_) {
+                device_.notify_request_failed(req);
+                return;
+              }
+              if (!commit_ok) {
+                device_.notify_request_failed(req);
+                start_next();
+                return;
+              }
               metrics_.on_disk_op(device_.id(), AccessKind::kCommit,
                                   commit);
               metrics_.on_operation_latency(device_.id(),
@@ -229,7 +311,9 @@ void BackendProcess::read_chunk_then_transmit(RequestPtr req) {
     // task while the chunk is on the wire.
     const double transfer = chunk_transfer_time(*req, req->chunks_done);
     RequestPtr captured = req;
-    engine_.schedule_after(transfer, [this, captured]() {
+    engine_.schedule_after(transfer, [this, captured, epoch = epoch_]() {
+      // The response already started; a crash just drops remaining chunks.
+      if (epoch != epoch_) return;
       on_chunk_transmitted(captured);
     });
     start_next();
@@ -277,6 +361,11 @@ BackendDevice::BackendDevice(Engine& engine, const ClusterConfig& config,
 
 void BackendDevice::connection_arrived(RequestPtr req) {
   req->pool_enter_time = engine_.now();
+  if (!online_) {
+    // Connection refused; the cluster retries / fails over if configured.
+    notify_request_failed(req);
+    return;
+  }
   const bool coalesce =
       config_.accept_strategy == AcceptStrategy::kBatchDrain;
   pool_.push_back(std::move(req));
@@ -309,6 +398,55 @@ void BackendDevice::notify_response_started(const RequestPtr& req) {
   COSM_CHECK(response_started_ != nullptr,
              "device response callback not wired");
   response_started_(req);
+}
+
+void BackendDevice::set_request_failed_callback(RequestFailedFn fn) {
+  request_failed_ = std::move(fn);
+}
+
+void BackendDevice::notify_request_failed(const RequestPtr& req) {
+  if (!req || req->responded || req->timed_out || req->failed) return;
+  req->failed = true;
+  // Devices driven outside a Cluster (unit tests) may leave this unwired;
+  // the attempt is still marked failed.
+  if (request_failed_) request_failed_(req);
+}
+
+void BackendDevice::set_online(bool online) {
+  if (online == online_) return;
+  online_ = online;
+  if (online) {
+    disk_.set_online(true);
+    for (auto& process : processes_) process->restart();
+    return;
+  }
+  // Crash the processes first so the disk's synchronous failure callbacks
+  // see stale epochs (the blocked process is already gone).
+  for (auto& process : processes_) process->crash();
+  disk_.set_online(false);
+  std::deque<RequestPtr> orphaned;
+  orphaned.swap(pool_);
+  for (const RequestPtr& req : orphaned) notify_request_failed(req);
+}
+
+void BackendDevice::crash_processes(std::uint32_t count) {
+  for (auto& process : processes_) {
+    if (count == 0) break;
+    if (!process->crashed()) {
+      process->crash();
+      --count;
+    }
+  }
+}
+
+void BackendDevice::restart_processes(std::uint32_t count) {
+  for (auto& process : processes_) {
+    if (count == 0) break;
+    if (process->crashed()) {
+      process->restart();
+      --count;
+    }
+  }
 }
 
 }  // namespace cosm::sim

@@ -56,6 +56,15 @@ class BackendProcess {
   void signal_accept(bool coalesce);
   void enqueue_start_request(RequestPtr req);
 
+  // Fault injection: crash() kills the process — queued request work fails
+  // (reported through the device so the cluster can retry/fail over), and
+  // in-flight continuations recognize the epoch bump and abandon
+  // themselves.  restart() brings the process back and lets it look at the
+  // device's connection pool again.
+  void crash();
+  void restart();
+  bool crashed() const { return crashed_; }
+
   std::size_t queue_depth() const {
     return tasks_.size() + accept_tasks_.size() + (busy_ ? 1 : 0);
   }
@@ -103,18 +112,24 @@ class BackendProcess {
   std::deque<Task> accept_tasks_;
   bool busy_ = false;
   bool accept_queued_ = false;
+  bool crashed_ = false;
+  // Bumped on crash; every scheduled continuation carries the epoch it was
+  // created under and abandons itself (failing its request) when stale.
+  std::uint64_t epoch_ = 0;
   std::uint64_t requests_started_ = 0;
 };
 
 class BackendDevice {
  public:
   using ResponseStartedFn = std::function<void(const RequestPtr&)>;
+  using RequestFailedFn = std::function<void(const RequestPtr&)>;
 
   BackendDevice(Engine& engine, const ClusterConfig& config,
                 SimMetrics& metrics, std::uint32_t device_id,
                 cosm::Rng& seed_source);
 
-  // A TCP connect from the frontend tier reached this device.
+  // A TCP connect from the frontend tier reached this device.  Refused
+  // (the request fails) while the device is offline.
   void connection_arrived(RequestPtr req);
 
   // Called by a process executing accept(): hands over the whole pool
@@ -126,6 +141,22 @@ class BackendDevice {
   // Cluster wiring: invoked when a request's response starts.
   void set_response_started_callback(ResponseStartedFn fn);
   void notify_response_started(const RequestPtr& req);
+
+  // Cluster wiring for fault injection: invoked (at most once per attempt)
+  // when an attempt dies before its response started.  Safe to call for
+  // any request; responded / timed-out / already-failed attempts are
+  // ignored.
+  void set_request_failed_callback(RequestFailedFn fn);
+  void notify_request_failed(const RequestPtr& req);
+
+  // Fault injection.  Going offline crashes every process, fails the
+  // connection pool and the disk's queued/in-flight operations; coming
+  // back online restarts them.  crash_processes(n) / restart_processes(n)
+  // model a partial capacity drop.
+  void set_online(bool online);
+  bool online() const { return online_; }
+  void crash_processes(std::uint32_t count);
+  void restart_processes(std::uint32_t count);
 
   std::uint32_t id() const { return id_; }
   Disk& disk() { return disk_; }
@@ -144,7 +175,9 @@ class BackendDevice {
   std::deque<RequestPtr> pool_;
   std::vector<std::unique_ptr<BackendProcess>> processes_;
   std::size_t next_wake_offset_ = 0;
+  bool online_ = true;
   ResponseStartedFn response_started_;
+  RequestFailedFn request_failed_;
 };
 
 }  // namespace cosm::sim

@@ -1,21 +1,46 @@
 #include "sim/cluster.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/require.hpp"
 
 namespace cosm::sim {
 
-void ClusterConfig::finalize() {
-  COSM_REQUIRE(frontend_processes >= 1, "need at least one frontend process");
-  COSM_REQUIRE(device_count >= 1, "need at least one device");
+void ClusterConfig::validate() const {
+  COSM_REQUIRE(frontend_processes >= 1, "frontend_processes must be >= 1");
+  COSM_REQUIRE(device_count >= 1, "device_count must be >= 1");
   COSM_REQUIRE(processes_per_device >= 1,
-               "need at least one process per device");
-  COSM_REQUIRE(chunk_bytes > 0, "chunk size must be positive");
-  COSM_REQUIRE(accept_cost >= 0, "accept cost must be non-negative");
-  COSM_REQUIRE(network_latency >= 0, "network latency must be non-negative");
-  COSM_REQUIRE(network_bandwidth_bytes_per_sec > 0,
-               "network bandwidth must be positive");
+               "processes_per_device must be >= 1");
+  COSM_REQUIRE(chunk_bytes > 0, "chunk_bytes must be positive");
+  COSM_REQUIRE(std::isfinite(accept_cost) && accept_cost >= 0,
+               "accept_cost must be finite and non-negative");
+  COSM_REQUIRE(std::isfinite(network_latency) && network_latency >= 0,
+               "network_latency must be finite and non-negative");
+  COSM_REQUIRE(std::isfinite(network_bandwidth_bytes_per_sec) &&
+                   network_bandwidth_bytes_per_sec > 0,
+               "network_bandwidth_bytes_per_sec must be finite and positive");
+  COSM_REQUIRE(std::isfinite(request_timeout) && request_timeout >= 0,
+               "request_timeout must be finite and non-negative");
+  COSM_REQUIRE(max_retries == 0 || request_timeout > 0 || !faults.empty(),
+               "max_retries without a request_timeout or faults never fires");
+  COSM_REQUIRE(std::isfinite(retry_backoff_base) && retry_backoff_base >= 0,
+               "retry_backoff_base must be finite and non-negative");
+  COSM_REQUIRE(std::isfinite(retry_backoff_cap) && retry_backoff_cap >= 0,
+               "retry_backoff_cap must be finite and non-negative");
+  const auto ratio_ok = [](double r) {
+    return std::isfinite(r) && r >= 0.0 && r <= 1.0;
+  };
+  COSM_REQUIRE(ratio_ok(cache.index_miss_ratio),
+               "cache.index_miss_ratio must be in [0, 1]");
+  COSM_REQUIRE(ratio_ok(cache.meta_miss_ratio),
+               "cache.meta_miss_ratio must be in [0, 1]");
+  COSM_REQUIRE(ratio_ok(cache.data_miss_ratio),
+               "cache.data_miss_ratio must be in [0, 1]");
+  faults.validate(device_count, processes_per_device);
+}
+
+void ClusterConfig::finalize() {
   if (!frontend_parse) {
     frontend_parse = std::make_shared<numerics::Degenerate>(0.8e-3);
   }
@@ -25,6 +50,7 @@ void ClusterConfig::finalize() {
   if (!disk.index_service || !disk.meta_service || !disk.data_service) {
     disk = default_hdd_profile();
   }
+  validate();
 }
 
 Cluster::Cluster(ClusterConfig config)
@@ -37,6 +63,8 @@ Cluster::Cluster(ClusterConfig config)
         engine_, config_, metrics_, d, rng_));
     devices_.back()->set_response_started_callback(
         [this](const RequestPtr& req) { on_response_started(req); });
+    devices_.back()->set_request_failed_callback(
+        [this](const RequestPtr& req) { on_attempt_failed(req); });
   }
   frontends_.reserve(config_.frontend_processes);
   for (std::uint32_t f = 0; f < config_.frontend_processes; ++f) {
@@ -47,28 +75,85 @@ Cluster::Cluster(ClusterConfig config)
         },
         rng_.fork()));
   }
+  arm_faults();
+}
+
+void Cluster::arm_faults() {
+  for (const FaultEvent& event : config_.faults.events()) {
+    engine_.schedule_at(event.start,
+                        [this, event] { apply_fault(event, true); });
+    engine_.schedule_at(event.start + event.duration,
+                        [this, event] { apply_fault(event, false); });
+  }
+}
+
+void Cluster::apply_fault(const FaultEvent& event, bool begin) {
+  BackendDevice& dev = *devices_[event.device];
+  switch (event.kind) {
+    case FaultKind::kDiskSlowdown:
+      // Multiplicative so overlapping slowdown windows compose and each
+      // window's end restores exactly what its start applied.
+      dev.disk().set_degradation(begin
+                                     ? dev.disk().degradation() * event.factor
+                                     : dev.disk().degradation() / event.factor);
+      break;
+    case FaultKind::kDeviceOutage:
+      dev.set_online(!begin);
+      break;
+    case FaultKind::kProcessCrash:
+      if (begin) {
+        dev.crash_processes(event.processes);
+      } else {
+        dev.restart_processes(event.processes);
+      }
+      break;
+    case FaultKind::kNetworkJitter:
+      config_.network_latency = begin ? config_.network_latency * event.factor
+                                      : config_.network_latency / event.factor;
+      break;
+  }
 }
 
 void Cluster::submit_request(std::uint64_t object_id,
                              std::uint64_t size_bytes,
                              std::uint32_t device, bool is_write) {
-  COSM_REQUIRE(device < devices_.size(), "device id out of range");
+  submit_request(object_id, size_bytes,
+                 std::vector<std::uint32_t>{device}, is_write);
+}
+
+void Cluster::submit_request(std::uint64_t object_id,
+                             std::uint64_t size_bytes,
+                             std::vector<std::uint32_t> replicas,
+                             bool is_write) {
+  COSM_REQUIRE(!replicas.empty(), "need at least one replica device");
+  for (std::uint32_t device : replicas) {
+    COSM_REQUIRE(device < devices_.size(), "device id out of range");
+  }
   auto req = std::make_shared<Request>();
   req->id = next_request_id_++;
   req->is_write = is_write;
   req->object_id = object_id;
   req->size_bytes = size_bytes;
-  req->device = device;
+  req->replicas = std::move(replicas);
+  req->device = req->replicas.front();
+  req->original_arrival = engine_.now();
   req->chunks_total = static_cast<std::uint32_t>(std::max<std::uint64_t>(
       1, (size_bytes + config_.chunk_bytes - 1) / config_.chunk_bytes));
+  dispatch_attempt(std::move(req));
+}
+
+void Cluster::dispatch_attempt(RequestPtr req) {
+  metrics_.on_attempt(req->device, req->attempt > 0,
+                      req->failed_over_attempt);
   const auto frontend = rng_.uniform_index(frontends_.size());
-  // Arm the client-side timeout before handing the request over: if the
-  // response has not started by then, the request completes as a timeout
-  // sample (the backend's work continues and is wasted).
+  // Arm the client-side timeout before handing the attempt over: if the
+  // response has not started by then, the attempt is abandoned (the
+  // backend's work continues and is wasted) and the cluster retries or
+  // records the timeout.
   if (config_.request_timeout > 0.0) {
     RequestPtr watched = req;
     engine_.schedule_after(config_.request_timeout, [this, watched] {
-      if (!watched->responded && !watched->timed_out) {
+      if (!watched->responded && !watched->timed_out && !watched->failed) {
         watched->timed_out = true;
         on_timeout(watched);
       }
@@ -77,18 +162,66 @@ void Cluster::submit_request(std::uint64_t object_id,
   frontends_[frontend]->accept_request(std::move(req));
 }
 
-void Cluster::on_timeout(const RequestPtr& req) {
+double Cluster::backoff_delay(std::uint32_t attempt) const {
+  // Deterministic (no jitter draw) so faulted runs stay seed-reproducible.
+  return std::min(config_.retry_backoff_cap,
+                  config_.retry_backoff_base * std::ldexp(1.0, attempt));
+}
+
+RequestPtr Cluster::make_retry_attempt(const RequestPtr& prev) {
+  auto next = std::make_shared<Request>();
+  next->id = next_request_id_++;
+  next->is_write = prev->is_write;
+  next->object_id = prev->object_id;
+  next->size_bytes = prev->size_bytes;
+  next->chunks_total = prev->chunks_total;
+  next->attempt = prev->attempt + 1;
+  next->replicas = prev->replicas;
+  next->replica_index = prev->replica_index;
+  next->failover_count = prev->failover_count;
+  next->original_arrival = prev->original_arrival;
+  if (config_.failover && next->replicas.size() > 1) {
+    next->replica_index =
+        (prev->replica_index + 1) % next->replicas.size();
+    next->failed_over_attempt = true;
+    ++next->failover_count;
+  }
+  next->device = next->replicas[next->replica_index];
+  return next;
+}
+
+void Cluster::retry_or_record(const RequestPtr& req) {
+  if (req->attempt < config_.max_retries) {
+    RequestPtr next = make_retry_attempt(req);
+    engine_.schedule_after(backoff_delay(req->attempt),
+                           [this, next]() mutable {
+                             dispatch_attempt(std::move(next));
+                           });
+    return;
+  }
+  // Retry budget spent (or retries disabled): the client gives up, and the
+  // request completes as one timed-out / failed sample spanning all
+  // attempts.
   RequestSample sample;
   sample.is_write = req->is_write;
-  sample.timed_out = true;
-  sample.frontend_arrival = req->frontend_arrival;
-  sample.response_latency = config_.request_timeout;
+  sample.timed_out = req->timed_out;
+  sample.failed = req->failed;
+  sample.frontend_arrival = req->original_arrival;
+  sample.response_latency = engine_.now() - req->original_arrival;
   sample.backend_latency = 0.0;
   sample.accept_wait =
       req->accept_time > 0 ? req->accept_time - req->pool_enter_time : 0.0;
   sample.device = req->device;
   sample.chunks = req->chunks_total;
+  sample.attempts = req->attempt + 1;
+  sample.failovers = req->failover_count;
   metrics_.on_request_complete(sample);
+}
+
+void Cluster::on_timeout(const RequestPtr& req) { retry_or_record(req); }
+
+void Cluster::on_attempt_failed(const RequestPtr& req) {
+  retry_or_record(req);
 }
 
 BackendDevice& Cluster::device(std::uint32_t id) {
@@ -102,15 +235,17 @@ FrontendProcess& Cluster::frontend(std::uint32_t id) {
 }
 
 void Cluster::on_response_started(const RequestPtr& req) {
-  if (req->timed_out) return;  // the client is gone; work was wasted
+  if (req->timed_out || req->failed) return;  // abandoned; work was wasted
   RequestSample sample;
   sample.is_write = req->is_write;
-  sample.frontend_arrival = req->frontend_arrival;
-  sample.response_latency = engine_.now() - req->frontend_arrival;
+  sample.frontend_arrival = req->original_arrival;
+  sample.response_latency = engine_.now() - req->original_arrival;
   sample.backend_latency = req->respond_time - req->backend_enqueue_time;
   sample.accept_wait = req->accept_time - req->pool_enter_time;
   sample.device = req->device;
   sample.chunks = req->chunks_total;
+  sample.attempts = req->attempt + 1;
+  sample.failovers = req->failover_count;
   metrics_.on_request_complete(sample);
 }
 

@@ -6,6 +6,14 @@
 // backend op queue -> disks -> response.  Response latency is recorded
 // when the first response bytes reach the frontend, matching the paper's
 // measurement point (Sec. V-A).
+//
+// Robustness extension: the constructor arms config.faults on the engine
+// calendar, and when config.max_retries > 0 a timed-out or fault-killed
+// attempt is retried after a deterministic capped-exponential backoff —
+// failing over to the next replica in the request's replica list when
+// config.failover is set.  A retried request still produces exactly ONE
+// RequestSample, whose latency spans from the original arrival to the
+// first response byte of the successful attempt.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +42,11 @@ class Cluster {
   // (write-workload extension); reads are the default.
   void submit_request(std::uint64_t object_id, std::uint64_t size_bytes,
                       std::uint32_t device, bool is_write = false);
+  // Replica-list overload (robustness extension): the first entry is the
+  // primary; with config.failover, retries rotate through the rest.
+  void submit_request(std::uint64_t object_id, std::uint64_t size_bytes,
+                      std::vector<std::uint32_t> replicas,
+                      bool is_write = false);
 
   BackendDevice& device(std::uint32_t id);
   FrontendProcess& frontend(std::uint32_t id);
@@ -44,6 +57,15 @@ class Cluster {
  private:
   void on_response_started(const RequestPtr& req);
   void on_timeout(const RequestPtr& req);
+  void on_attempt_failed(const RequestPtr& req);
+  // Sends one attempt into the frontend tier, arming its timeout.
+  void dispatch_attempt(RequestPtr req);
+  // Retry budget left -> schedule the next attempt; else final sample.
+  void retry_or_record(const RequestPtr& req);
+  RequestPtr make_retry_attempt(const RequestPtr& prev);
+  double backoff_delay(std::uint32_t attempt) const;
+  void arm_faults();
+  void apply_fault(const FaultEvent& event, bool begin);
 
   ClusterConfig config_;
   Engine engine_;

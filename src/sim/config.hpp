@@ -8,6 +8,7 @@
 #include "numerics/distribution.hpp"
 #include "sim/cache.hpp"
 #include "sim/disk.hpp"
+#include "sim/faults.hpp"
 
 namespace cosm::sim {
 
@@ -84,12 +85,35 @@ struct ClusterConfig {
   // do.
   double request_timeout = 0.0;
 
+  // ----- Resilience (robustness extension) -----
+  // Retries are client-side: when an attempt times out (request_timeout)
+  // or fails (device outage / process crash), up to `max_retries` fresh
+  // attempts are dispatched.  Each retry waits a capped exponential
+  // backoff min(retry_backoff_cap, retry_backoff_base * 2^attempt) — a
+  // deterministic delay, so faulted runs stay seed-reproducible.  With
+  // `failover` set and a request carrying several replica devices
+  // (Cluster::submit_request's replica-list overload, fed by
+  // workload::Placement), each retry rotates to the next replica.
+  std::uint32_t max_retries = 0;  // 0 = the paper's no-retry behaviour
+  double retry_backoff_base = 0.05;
+  double retry_backoff_cap = 1.0;
+  bool failover = true;
+
+  // Scripted faults, armed on the engine calendar at construction.
+  FaultSchedule faults;
+
   DiskProfile disk;               // default_hdd_profile() if unset
   CacheBankConfig cache;
 
   std::uint64_t seed = 42;
 
-  // Fills unset distribution slots with the documented defaults.
+  // Rejects NaN / negative / zero-where-invalid parameters (including the
+  // fault and retry knobs) via COSM_REQUIRE with field-named messages.
+  // Called by finalize(), hence by the Cluster constructor.
+  void validate() const;
+
+  // Fills unset distribution slots with the documented defaults, then
+  // validates.
   void finalize();
 };
 

@@ -39,6 +39,27 @@ void Disk::set_degradation(double factor) {
   degradation_ = factor;
 }
 
+void Disk::set_online(bool online) {
+  if (online == online_) return;
+  online_ = online;
+  if (online) return;  // back in service; waits for new submissions
+  // Outage: the in-service operation and everything queued behind it fail
+  // now.  The already-scheduled completion event of the in-service op
+  // recognizes the epoch bump and drops itself.
+  ++epoch_;
+  busy_ = false;
+  std::deque<PendingOp> killed;
+  killed.swap(queue_);
+  if (inflight_) {
+    killed.push_front(std::move(*inflight_));
+    inflight_.reset();
+  }
+  for (PendingOp& op : killed) {
+    ++failed_;
+    op.done(0.0, false);
+  }
+}
+
 double Disk::sample_service(AccessKind kind) {
   switch (kind) {
     case AccessKind::kIndex:
@@ -57,6 +78,15 @@ double Disk::sample_service(AccessKind kind) {
 
 void Disk::submit(AccessKind kind, CompletionFn done) {
   COSM_REQUIRE(done != nullptr, "disk completion callback required");
+  if (!online_) {
+    // I/O error reported asynchronously (same simulated instant), keeping
+    // caller code free of reentrancy.
+    ++failed_;
+    engine_.schedule_after(0.0, [done = std::move(done)] {
+      done(0.0, false);
+    });
+    return;
+  }
   queue_.push_back({kind, std::move(done)});
   if (!busy_) start_next();
 }
@@ -71,9 +101,13 @@ void Disk::start_next() {
   queue_.pop_front();
   const double service = degradation_ * sample_service(op.kind);
   busy_time_ += service;
-  engine_.schedule_after(service, [this, op = std::move(op), service] {
+  inflight_ = std::move(op);
+  engine_.schedule_after(service, [this, service, epoch = epoch_] {
+    if (epoch != epoch_) return;  // killed by an outage meanwhile
     ++completed_;
-    op.done(service);
+    PendingOp done_op = std::move(*inflight_);
+    inflight_.reset();
+    done_op.done(service, true);
     start_next();
   });
 }

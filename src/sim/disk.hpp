@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 
 #include "common/rng.hpp"
 #include "numerics/distribution.hpp"
@@ -33,25 +34,35 @@ DiskProfile default_hdd_profile();
 
 class Disk {
  public:
-  using CompletionFn = std::function<void(double service_time)>;
+  // `ok` is false when the operation was killed by an outage rather than
+  // served (service_time is 0 in that case).
+  using CompletionFn = std::function<void(double service_time, bool ok)>;
 
   Disk(Engine& engine, DiskProfile profile, cosm::Rng rng);
 
   // Enqueues one operation; `done` fires at completion with the sampled
-  // raw service time (not including queueing).
+  // raw service time (not including queueing).  While offline, `done`
+  // fires at the current time with ok = false.
   void submit(AccessKind kind, CompletionFn done);
 
   // Failure injection: multiplies every subsequent sampled service time
   // (1.0 = healthy).  Models media degradation (pending sector remaps,
-  // vibration, misbehaving firmware) for bottleneck-identification
-  // experiments.
+  // vibration, misbehaving firmware) for bottleneck-identification and
+  // fault-injection experiments.
   void set_degradation(double factor);
   double degradation() const { return degradation_; }
+
+  // Outage injection: taking the disk offline fails the in-service and all
+  // queued operations immediately (done(0, false)); subsequent submissions
+  // fail until the disk is brought back online.
+  void set_online(bool online);
+  bool online() const { return online_; }
 
   std::size_t queue_depth() const {
     return queue_.size() + (busy_ ? 1 : 0);
   }
   std::uint64_t ops_completed() const { return completed_; }
+  std::uint64_t ops_failed() const { return failed_; }
   double busy_time() const { return busy_time_; }
 
  private:
@@ -67,9 +78,17 @@ class Disk {
   DiskProfile profile_;
   cosm::Rng rng_;
   std::deque<PendingOp> queue_;
+  // The op currently on the platter; kept here (not in the completion
+  // event) so an outage can fail it and the stale event can be dropped.
+  std::optional<PendingOp> inflight_;
   double degradation_ = 1.0;
+  bool online_ = true;
+  // Bumped on outage so in-flight completion events recognize themselves
+  // as stale.
+  std::uint64_t epoch_ = 0;
   bool busy_ = false;
   std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
   double busy_time_ = 0.0;
 };
 

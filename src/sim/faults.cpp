@@ -1,0 +1,64 @@
+#include "sim/faults.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace cosm::sim {
+
+void FaultEvent::validate(std::uint32_t device_count,
+                          std::uint32_t processes_per_device) const {
+  COSM_REQUIRE(std::isfinite(start) && start >= 0,
+               "FaultEvent::start must be finite and >= 0");
+  COSM_REQUIRE(std::isfinite(duration) && duration > 0,
+               "FaultEvent::duration must be finite and positive");
+  if (kind != FaultKind::kNetworkJitter) {
+    COSM_REQUIRE(device < device_count,
+                 "FaultEvent::device must name an existing device");
+  }
+  if (kind == FaultKind::kDiskSlowdown || kind == FaultKind::kNetworkJitter) {
+    COSM_REQUIRE(std::isfinite(factor) && factor > 0,
+                 "FaultEvent::factor must be finite and positive");
+  }
+  if (kind == FaultKind::kProcessCrash) {
+    COSM_REQUIRE(processes >= 1 && processes <= processes_per_device,
+                 "FaultEvent::processes must be in [1, processes_per_device]");
+  }
+}
+
+FaultSchedule& FaultSchedule::disk_slowdown(std::uint32_t device,
+                                            double start, double duration,
+                                            double factor) {
+  return add({FaultKind::kDiskSlowdown, start, duration, device, factor, 1});
+}
+
+FaultSchedule& FaultSchedule::device_outage(std::uint32_t device,
+                                            double start, double duration) {
+  return add({FaultKind::kDeviceOutage, start, duration, device, 1.0, 1});
+}
+
+FaultSchedule& FaultSchedule::process_crash(std::uint32_t device,
+                                            double start, double duration,
+                                            std::uint32_t processes) {
+  return add(
+      {FaultKind::kProcessCrash, start, duration, device, 1.0, processes});
+}
+
+FaultSchedule& FaultSchedule::network_jitter(double start, double duration,
+                                             double factor) {
+  return add({FaultKind::kNetworkJitter, start, duration, 0, factor, 1});
+}
+
+FaultSchedule& FaultSchedule::add(const FaultEvent& event) {
+  events_.push_back(event);
+  return *this;
+}
+
+void FaultSchedule::validate(std::uint32_t device_count,
+                             std::uint32_t processes_per_device) const {
+  for (const auto& event : events_) {
+    event.validate(device_count, processes_per_device);
+  }
+}
+
+}  // namespace cosm::sim

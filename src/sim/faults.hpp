@@ -1,0 +1,73 @@
+// Scripted fault injection for the simulator (robustness extension).
+//
+// A FaultSchedule is a list of timed, deterministic fault events that the
+// Cluster arms on the Engine calendar at construction, so a faulted run
+// replays bit-identically for a fixed seed set.  Four fault kinds, chosen
+// to cover the degraded modes the related work identifies as the actual
+// sources of tail latency (FAST CLOUD's failover traffic, Poloczek &
+// Ciucu's retry-driven overload):
+//
+//  * kDiskSlowdown  — the device's disk service times are inflated by
+//                     `factor` for the window (media degradation, remapped
+//                     sectors, a neighbour hogging the spindle).  Composes
+//                     multiplicatively with overlapping slowdowns.
+//  * kDeviceOutage  — the device stops serving: pooled connections and
+//                     queued/in-flight operations fail, new connections
+//                     are refused.  Failed requests are reported to the
+//                     cluster, which retries/fails over when configured.
+//  * kProcessCrash  — `processes` backend processes of the device crash
+//                     (their queued work fails) and restart at the end of
+//                     the window: a temporary capacity drop.
+//  * kNetworkJitter — the tier network latency is inflated by `factor`
+//                     for the window (congestion, a flaky ToR switch).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cosm::sim {
+
+enum class FaultKind {
+  kDiskSlowdown,
+  kDeviceOutage,
+  kProcessCrash,
+  kNetworkJitter,
+};
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDiskSlowdown;
+  double start = 0.0;     // simulated seconds, >= 0
+  double duration = 0.0;  // window length, > 0 and finite
+  std::uint32_t device = 0;      // target device (ignored by kNetworkJitter)
+  double factor = 1.0;           // slowdown / jitter multiplier, > 0
+  std::uint32_t processes = 1;   // kProcessCrash: processes taken down
+
+  // Throws std::invalid_argument naming the offending field.
+  void validate(std::uint32_t device_count,
+                std::uint32_t processes_per_device) const;
+};
+
+class FaultSchedule {
+ public:
+  // Builder-style helpers; all return *this so schedules read as scripts.
+  FaultSchedule& disk_slowdown(std::uint32_t device, double start,
+                               double duration, double factor);
+  FaultSchedule& device_outage(std::uint32_t device, double start,
+                               double duration);
+  FaultSchedule& process_crash(std::uint32_t device, double start,
+                               double duration, std::uint32_t processes = 1);
+  FaultSchedule& network_jitter(double start, double duration,
+                                double factor);
+  FaultSchedule& add(const FaultEvent& event);
+
+  bool empty() const { return events_.empty(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  void validate(std::uint32_t device_count,
+                std::uint32_t processes_per_device) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace cosm::sim

@@ -18,12 +18,37 @@ SimMetrics::SimMetrics(std::uint32_t device_count)
 void SimMetrics::on_request_complete(const RequestSample& sample) {
   COSM_REQUIRE(sample.device < devices_.size(), "device id out of range");
   ++completed_;
-  if (sample.timed_out) ++timeouts_;
+  if (sample.failed) {
+    ++failed_;
+  } else if (sample.timed_out) {
+    ++timeouts_;
+  } else if (sample.attempts > 1) {
+    ++retried_ok_;
+  }
   ++devices_[sample.device].requests;
   if (keep_request_samples &&
       sample.frontend_arrival >= sample_start_time) {
     requests_.push_back(sample);
   }
+}
+
+void SimMetrics::on_attempt(std::uint32_t device, bool is_retry,
+                            bool is_failover) {
+  COSM_REQUIRE(device < devices_.size(), "device id out of range");
+  ++devices_[device].attempts;
+  if (is_retry) ++retry_attempts_;
+  if (is_failover) ++failover_attempts_;
+}
+
+OutcomeCounts SimMetrics::outcomes() const {
+  OutcomeCounts counts;
+  counts.timed_out = timeouts_;
+  counts.failed = failed_;
+  counts.ok_retried = retried_ok_;
+  counts.ok = completed_ - timeouts_ - failed_ - retried_ok_;
+  counts.retry_attempts = retry_attempts_;
+  counts.failover_attempts = failover_attempts_;
+  return counts;
 }
 
 void SimMetrics::on_cache_access(std::uint32_t device, AccessKind kind,

@@ -24,21 +24,39 @@ namespace cosm::sim {
 struct RequestSample {
   bool is_write = false;
   bool timed_out = false;
+  bool failed = false;            // every attempt was killed by a fault
   double frontend_arrival = 0.0;
   double response_latency = 0.0;  // first-byte-at-frontend - arrival
   double backend_latency = 0.0;   // backend parse-queue entry -> respond
   double accept_wait = 0.0;       // connection in pool -> accept()-ed
-  std::uint32_t device = 0;
+  std::uint32_t device = 0;       // device of the final attempt
   std::uint32_t chunks = 0;
+  std::uint32_t attempts = 1;     // 1 = served on the first try
+  std::uint32_t failovers = 0;    // attempts that switched replica
 };
 
 struct DeviceCounters {
   std::uint64_t requests = 0;
+  // Dispatched attempts, retries included — the retry-inflated arrival
+  // stream this device actually saw (the lambda the degraded what-if
+  // model needs).
+  std::uint64_t attempts = 0;
   std::uint64_t data_reads = 0;  // chunk reads, cache hits included
   std::array<std::uint64_t, kAccessKindCount> accesses{};  // by AccessKind
   std::array<std::uint64_t, kAccessKindCount> misses{};
   std::array<double, kAccessKindCount> disk_service_sum{};
   std::array<std::uint64_t, kAccessKindCount> disk_ops{};
+};
+
+// Request outcomes per class (robustness extension): how the client
+// population experienced the run.
+struct OutcomeCounts {
+  std::uint64_t ok = 0;           // responded on the first attempt
+  std::uint64_t ok_retried = 0;   // responded after at least one retry
+  std::uint64_t timed_out = 0;    // gave up after the last attempt timed out
+  std::uint64_t failed = 0;       // last attempt fault-killed, retries spent
+  std::uint64_t retry_attempts = 0;     // extra attempts dispatched
+  std::uint64_t failover_attempts = 0;  // attempts aimed at a new replica
 };
 
 class SimMetrics {
@@ -55,6 +73,9 @@ class SimMetrics {
   double sample_start_time = 0.0;
 
   void on_request_complete(const RequestSample& sample);
+  // One attempt dispatched toward `device` (the retry-inflated arrival
+  // accounting; called for first tries and retries alike).
+  void on_attempt(std::uint32_t device, bool is_retry, bool is_failover);
   void on_cache_access(std::uint32_t device, AccessKind kind, bool hit);
   void on_disk_op(std::uint32_t device, AccessKind kind,
                   double service_time);
@@ -64,6 +85,8 @@ class SimMetrics {
 
   const std::vector<RequestSample>& requests() const { return requests_; }
   std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t failures() const { return failed_; }
+  OutcomeCounts outcomes() const;
   const DeviceCounters& device(std::uint32_t id) const;
   std::uint32_t device_count() const {
     return static_cast<std::uint32_t>(devices_.size());
@@ -85,6 +108,10 @@ class SimMetrics {
   std::vector<std::array<std::vector<double>, kAccessKindCount>> op_samples_;
   std::uint64_t completed_ = 0;
   std::uint64_t timeouts_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t retried_ok_ = 0;
+  std::uint64_t retry_attempts_ = 0;
+  std::uint64_t failover_attempts_ = 0;
 };
 
 }  // namespace cosm::sim

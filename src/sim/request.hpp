@@ -5,9 +5,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 namespace cosm::sim {
 
+// One *attempt* of a client request.  Retries create a fresh Request per
+// attempt (the abandoned attempt's backend work may still be in flight and
+// must not clobber the new attempt's timeline), linked by the shared
+// original_arrival / attempt / replicas fields.
 struct Request {
   std::uint64_t id = 0;
   bool is_write = false;  // PUT (write-workload extension) vs GET
@@ -17,7 +22,15 @@ struct Request {
   std::uint32_t chunks_total = 1;
   std::uint32_t chunks_done = 0;
 
+  // Resilience (robustness extension).
+  std::uint32_t attempt = 0;          // 0 = first try
+  std::uint32_t replica_index = 0;    // index of `device` in `replicas`
+  std::uint32_t failover_count = 0;   // attempts that switched device
+  bool failed_over_attempt = false;   // THIS attempt targets a new device
+  std::vector<std::uint32_t> replicas;  // failover candidates (>= 1 entry)
+
   // Timeline (simulated seconds).
+  double original_arrival = 0.0;   // client submit time of attempt 0
   double frontend_arrival = 0.0;   // entered a frontend process queue
   double pool_enter_time = 0.0;    // connection reached the backend pool
   double accept_time = 0.0;        // accept()-ed by a backend process
@@ -25,6 +38,7 @@ struct Request {
   double respond_time = 0.0;       // backend sent headers + first chunk
   bool responded = false;
   bool timed_out = false;          // client gave up before first byte
+  bool failed = false;             // attempt killed by a fault
 };
 
 using RequestPtr = std::shared_ptr<Request>;

@@ -1,5 +1,8 @@
 #include "sim/source.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/require.hpp"
 
 namespace cosm::sim {
@@ -65,12 +68,29 @@ void OpenLoopSource::schedule_next(std::size_t segment_index, double time) {
 void OpenLoopSource::fire(std::size_t segment_index, double time) {
   ++arrivals_;
   const workload::ObjectId object = catalog_.sample_object(rng_);
-  const auto device = placement_.choose_replica(object, rng_);
-  const bool is_write =
-      write_fraction_ > 0.0 && rng_.bernoulli(write_fraction_);
-  if (is_write) ++write_arrivals_;
-  cluster_.submit_request(object, catalog_.size_of(object), device,
-                          is_write);
+  const auto& config = cluster_.config();
+  if (config.max_retries > 0 && config.failover) {
+    // Hand the full replica set to the cluster so retries can fail over.
+    // Exactly one uniform_index draw, same as choose_replica, so seeded
+    // runs are unchanged by the retry knobs being on.
+    std::vector<std::uint32_t> replicas = placement_.replicas_of(object);
+    const std::size_t primary = rng_.uniform_index(replicas.size());
+    std::rotate(replicas.begin(),
+                replicas.begin() + static_cast<std::ptrdiff_t>(primary),
+                replicas.end());
+    const bool is_write =
+        write_fraction_ > 0.0 && rng_.bernoulli(write_fraction_);
+    if (is_write) ++write_arrivals_;
+    cluster_.submit_request(object, catalog_.size_of(object),
+                            std::move(replicas), is_write);
+  } else {
+    const auto device = placement_.choose_replica(object, rng_);
+    const bool is_write =
+        write_fraction_ > 0.0 && rng_.bernoulli(write_fraction_);
+    if (is_write) ++write_arrivals_;
+    cluster_.submit_request(object, catalog_.size_of(object), device,
+                            is_write);
+  }
   schedule_next(segment_index, time);
 }
 

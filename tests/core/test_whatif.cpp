@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 namespace cosm::core {
@@ -132,6 +133,79 @@ TEST(SlaMissContributions, BlamesTheSlowAndHotDevices) {
   // The two culprits outrank the two healthy devices.
   EXPECT_TRUE(blame[0].first == 2 || blame[0].first == 3);
   EXPECT_TRUE(blame[1].first == 2 || blame[1].first == 3);
+}
+
+TEST(DegradedWhatIf, ScenarioValidation) {
+  const SystemParams healthy = even_cluster(80.0, 4);
+  DegradedScenario bad;
+  bad.slow_device = 99;
+  EXPECT_THROW(degrade(healthy, bad), std::invalid_argument);
+  bad = {};
+  bad.service_inflation = 0.5;  // < 1 is a speedup, not a degradation
+  EXPECT_THROW(degrade(healthy, bad), std::invalid_argument);
+  bad = {};
+  bad.retry_rate_factor = std::nan("");
+  EXPECT_THROW(degrade(healthy, bad), std::invalid_argument);
+  bad = {};
+  bad.slow_device = 1;
+  bad.failed_device = 1;
+  EXPECT_THROW(degrade(healthy, bad), std::invalid_argument);
+}
+
+TEST(DegradedWhatIf, SlowDeviceLowersOnlyItsCompliance) {
+  const SystemParams healthy = even_cluster(80.0, 4);
+  DegradedScenario scenario;
+  scenario.slow_device = 2;
+  scenario.service_inflation = 3.0;
+  const SystemParams degraded = degrade(healthy, scenario);
+  ASSERT_EQ(degraded.devices.size(), 4u);
+  EXPECT_NEAR(degraded.devices[2].data_disk->mean(),
+              3.0 * healthy.devices[2].data_disk->mean(), 1e-12);
+  const SystemModel healthy_model(healthy);
+  const SystemModel degraded_model(degraded);
+  // System-wide compliance drops, driven by device 2 alone.
+  EXPECT_LT(degraded_model.predict_sla_percentile(0.1),
+            healthy_model.predict_sla_percentile(0.1));
+  EXPECT_LT(degraded_model.predict_sla_percentile_device(2, 0.1),
+            healthy_model.predict_sla_percentile_device(2, 0.1) - 0.05);
+  EXPECT_NEAR(degraded_model.predict_sla_percentile_device(0, 0.1),
+              healthy_model.predict_sla_percentile_device(0, 0.1), 1e-6);
+}
+
+TEST(DegradedWhatIf, FailedDeviceRedistributesItsTraffic) {
+  const SystemParams healthy = even_cluster(80.0, 4);
+  DegradedScenario scenario;
+  scenario.failed_device = 1;
+  const SystemParams degraded = degrade(healthy, scenario);
+  ASSERT_EQ(degraded.devices.size(), 3u);
+  double total_rate = 0.0;
+  for (const auto& device : degraded.devices) {
+    total_rate += device.arrival_rate;
+    EXPECT_NEAR(device.arrival_rate, 80.0 / 3.0, 1e-9);
+  }
+  EXPECT_NEAR(total_rate, 80.0, 1e-9);  // no traffic lost
+  // The survivors run hotter, so compliance falls.
+  EXPECT_LT(SystemModel(degraded).predict_sla_percentile(0.1),
+            SystemModel(healthy).predict_sla_percentile(0.1));
+}
+
+TEST(DegradedWhatIf, RetryInflationAndOverloadMapToZero) {
+  EXPECT_EQ(retry_arrival_inflation(0.0, 3), 1.0);
+  EXPECT_EQ(retry_arrival_inflation(0.5, 0), 1.0);
+  // p = 0.5, R = 2: 1 + 0.5 + 0.25 attempts.
+  EXPECT_NEAR(retry_arrival_inflation(0.5, 2), 1.75, 1e-12);
+  EXPECT_THROW(retry_arrival_inflation(1.0, 2), std::invalid_argument);
+
+  const SystemParams healthy = even_cluster(80.0, 4);
+  DegradedScenario mild;
+  mild.retry_rate_factor = 1.1;
+  EXPECT_LT(degraded_sla_percentile(healthy, mild, 0.1),
+            SystemModel(healthy).predict_sla_percentile(0.1));
+  // Retry storm beyond saturation: reported as certainly-missing, not as
+  // an exception.
+  DegradedScenario storm;
+  storm.retry_rate_factor = 20.0;
+  EXPECT_EQ(degraded_sla_percentile(healthy, storm, 0.1), 0.0);
 }
 
 }  // namespace

@@ -201,5 +201,34 @@ TEST(ConvolveDists, SinglePartPassesThrough) {
   EXPECT_EQ(convolve_dists({g}), g);
 }
 
+TEST(Scaled, MomentsTransformAndCdf) {
+  // Y = 3X with X ~ Gamma(2, 100): Gamma is closed under scaling, so the
+  // wrapper must agree with Gamma(2, 100/3) everywhere.
+  const auto inner = std::make_shared<Gamma>(2.0, 100.0);
+  const Scaled scaled(inner, 3.0);
+  const Gamma direct(2.0, 100.0 / 3.0);
+  EXPECT_NEAR(scaled.mean(), direct.mean(), 1e-14);
+  EXPECT_NEAR(scaled.second_moment(), direct.second_moment(), 1e-14);
+  EXPECT_NEAR(scaled.third_moment(), direct.third_moment(), 1e-12);
+  for (const double t : {0.01, 0.05, 0.1, 0.3}) {
+    EXPECT_NEAR(scaled.cdf(t), direct.cdf(t), 1e-10);
+  }
+  for (const double s : {0.5, 2.0, 10.0}) {
+    EXPECT_NEAR(scaled.laplace({s, 0.0}).real(),
+                direct.laplace({s, 0.0}).real(), 1e-12);
+  }
+  Rng rng(5);
+  EXPECT_GT(scaled.sample(rng), 0.0);
+}
+
+TEST(Scaled, RejectsBadFactorAndUnitIsNoop) {
+  const auto g = std::make_shared<Gamma>(2.0, 1.0);
+  EXPECT_THROW(Scaled(g, 0.0), std::invalid_argument);
+  EXPECT_THROW(Scaled(g, -2.0), std::invalid_argument);
+  EXPECT_THROW(Scaled(nullptr, 2.0), std::invalid_argument);
+  EXPECT_EQ(scale_dist(g, 1.0), g);  // no wrapper for the identity
+  EXPECT_NE(scale_dist(g, 2.0), g);
+}
+
 }  // namespace
 }  // namespace cosm::numerics

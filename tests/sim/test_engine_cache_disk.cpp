@@ -155,11 +155,11 @@ TEST(Disk, ServesFcfsAndTracksUtilization) {
   std::vector<std::pair<int, double>> completions;
   engine.schedule_at(0.0, [&] {
     disk.submit(AccessKind::kIndex,
-                [&](double s) { completions.push_back({0, s}); });
+                [&](double s, bool) { completions.push_back({0, s}); });
     disk.submit(AccessKind::kMeta,
-                [&](double s) { completions.push_back({1, s}); });
+                [&](double s, bool) { completions.push_back({1, s}); });
     disk.submit(AccessKind::kData,
-                [&](double s) { completions.push_back({2, s}); });
+                [&](double s, bool) { completions.push_back({2, s}); });
   });
   engine.run_all();
   ASSERT_EQ(completions.size(), 3u);
@@ -181,7 +181,7 @@ TEST(Disk, GammaServiceMeansMatchProfile) {
   constexpr int kN = 20000;
   std::function<void()> submit_next = [&] {
     if (done >= kN) return;
-    disk.submit(AccessKind::kIndex, [&](double s) {
+    disk.submit(AccessKind::kIndex, [&](double s, bool) {
       total += s;
       ++done;
       submit_next();

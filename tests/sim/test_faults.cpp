@@ -1,0 +1,241 @@
+// Scripted fault injection (robustness extension): each fault kind must
+// hit the window it was scheduled for, restore cleanly at the end, and
+// leave runs seed-reproducible.  Config validation must reject malformed
+// fault and retry parameters with std::invalid_argument.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "sim/cluster.hpp"
+
+namespace cosm::sim {
+namespace {
+
+ClusterConfig fault_config(std::uint32_t devices) {
+  ClusterConfig config;
+  config.frontend_processes = 1;
+  config.device_count = devices;
+  config.processes_per_device = 1;
+  config.frontend_parse = std::make_shared<numerics::Degenerate>(0.001);
+  config.backend_parse = std::make_shared<numerics::Degenerate>(0.0005);
+  config.accept_cost = 0.0;
+  config.network_latency = 0.0;
+  config.disk = {std::make_shared<numerics::Degenerate>(0.010),
+                 std::make_shared<numerics::Degenerate>(0.008),
+                 std::make_shared<numerics::Degenerate>(0.012),
+                 nullptr, nullptr};
+  config.cache.index_miss_ratio = 1.0;
+  config.cache.meta_miss_ratio = 1.0;
+  config.cache.data_miss_ratio = 1.0;
+  return config;
+}
+
+TEST(Faults, DiskSlowdownHitsOnlyItsWindowAndRestores) {
+  // One request inside the x3 window, one after it: only the first is
+  // slower; the degradation factor is back to 1 when the window closes.
+  ClusterConfig config = fault_config(1);
+  config.faults.disk_slowdown(0, 0.0, 1.0, 3.0);
+  Cluster cluster(config);
+  cluster.engine().schedule_at(0.0, [&] {
+    cluster.submit_request(1, 1000, 0);
+  });
+  cluster.engine().schedule_at(2.0, [&] {
+    cluster.submit_request(2, 1000, 0);
+  });
+  cluster.engine().run_all();
+
+  ASSERT_EQ(cluster.metrics().requests().size(), 2u);
+  const double slow = cluster.metrics().requests()[0].response_latency;
+  const double healthy = cluster.metrics().requests()[1].response_latency;
+  // Disk ops 30 ms healthy, 90 ms inflated; parses unaffected.
+  EXPECT_NEAR(slow, 0.0015 + 3.0 * 0.030, 0.002);
+  EXPECT_NEAR(healthy, 0.0015 + 0.030, 0.002);
+  EXPECT_DOUBLE_EQ(cluster.device(0).disk().degradation(), 1.0);
+}
+
+TEST(Faults, OutageFailsRequestWithoutRetries) {
+  // max_retries = 0 (the paper's behaviour): a request hitting the outage
+  // window completes as one failed sample; a later request succeeds.
+  ClusterConfig config = fault_config(1);
+  config.faults.device_outage(0, 0.0, 1.0);
+  Cluster cluster(config);
+  cluster.engine().schedule_at(0.5, [&] {
+    cluster.submit_request(1, 1000, 0);
+  });
+  cluster.engine().schedule_at(2.0, [&] {
+    cluster.submit_request(2, 1000, 0);
+  });
+  cluster.engine().run_all();
+
+  ASSERT_EQ(cluster.metrics().completed_requests(), 2u);
+  EXPECT_TRUE(cluster.metrics().requests()[0].failed);
+  EXPECT_FALSE(cluster.metrics().requests()[1].failed);
+  EXPECT_EQ(cluster.metrics().failures(), 1u);
+  EXPECT_EQ(cluster.metrics().outcomes().failed, 1u);
+  EXPECT_EQ(cluster.metrics().outcomes().ok, 1u);
+}
+
+TEST(Faults, OutageKillsInFlightDiskOperations) {
+  // The outage begins while the request's first disk op is on the
+  // platter: the op fails (ops_failed > 0) and the request dies with it.
+  ClusterConfig config = fault_config(1);
+  config.faults.device_outage(0, 0.005, 1.0);
+  Cluster cluster(config);
+  cluster.engine().schedule_at(0.0, [&] {
+    cluster.submit_request(1, 1000, 0);
+  });
+  cluster.engine().run_all();
+
+  ASSERT_EQ(cluster.metrics().completed_requests(), 1u);
+  EXPECT_TRUE(cluster.metrics().requests()[0].failed);
+  EXPECT_GE(cluster.device(0).disk().ops_failed(), 1u);
+  EXPECT_EQ(cluster.device(0).disk().ops_completed(), 0u);
+}
+
+TEST(Faults, NetworkJitterInflatesLatencyOnlyInWindow) {
+  ClusterConfig config = fault_config(1);
+  config.network_latency = 0.001;
+  config.faults.network_jitter(0.0, 1.0, 20.0);
+  Cluster cluster(config);
+  cluster.engine().schedule_at(0.0, [&] {
+    cluster.submit_request(1, 1000, 0);
+  });
+  cluster.engine().schedule_at(2.0, [&] {
+    cluster.submit_request(2, 1000, 0);
+  });
+  cluster.engine().run_all();
+
+  ASSERT_EQ(cluster.metrics().requests().size(), 2u);
+  const double jittered = cluster.metrics().requests()[0].response_latency;
+  const double healthy = cluster.metrics().requests()[1].response_latency;
+  // The read path crosses the tier network 4 times before the first
+  // response byte (connect, accept notification + request, response).
+  EXPECT_NEAR(healthy - 0.0315, 4 * 0.001, 0.001);
+  EXPECT_NEAR(jittered - 0.0315, 4 * 0.020, 0.002);
+}
+
+TEST(Faults, ProcessCrashParksWorkUntilRestart) {
+  // Both processes of the device are down when the request arrives; the
+  // connection waits in the pool and is served right after the restart.
+  ClusterConfig config = fault_config(1);
+  config.processes_per_device = 2;
+  config.faults.process_crash(0, 0.0, 0.05, 2);
+  Cluster cluster(config);
+  cluster.engine().schedule_at(0.001, [&] {
+    cluster.submit_request(1, 1000, 0);
+  });
+  cluster.engine().run_all();
+
+  ASSERT_EQ(cluster.metrics().completed_requests(), 1u);
+  const RequestSample& sample = cluster.metrics().requests().front();
+  EXPECT_FALSE(sample.failed);
+  EXPECT_GT(sample.accept_wait, 0.04);  // parked across the crash window
+  EXPECT_GT(sample.response_latency, 0.05);
+}
+
+TEST(Faults, PartialProcessCrashKeepsServing) {
+  // One of two processes crashes; the survivor keeps the device working.
+  ClusterConfig config = fault_config(1);
+  config.processes_per_device = 2;
+  config.faults.process_crash(0, 0.0, 10.0, 1);
+  Cluster cluster(config);
+  cluster.engine().schedule_at(0.001, [&] {
+    cluster.submit_request(1, 1000, 0);
+  });
+  cluster.engine().run_all();
+
+  ASSERT_EQ(cluster.metrics().completed_requests(), 1u);
+  EXPECT_FALSE(cluster.metrics().requests().front().failed);
+  EXPECT_NEAR(cluster.metrics().requests().front().response_latency,
+              0.0315, 0.002);
+}
+
+TEST(Faults, PureSlowdownRunIsSeedReproducible) {
+  const auto run = [] {
+    ClusterConfig config = fault_config(2);
+    config.seed = 7;
+    config.cache.index_miss_ratio = 0.3;
+    config.cache.meta_miss_ratio = 0.3;
+    config.cache.data_miss_ratio = 0.7;
+    config.faults.disk_slowdown(1, 0.2, 0.6, 4.0);
+    Cluster cluster(config);
+    cosm::Rng arrivals(11);
+    double t = 0.0;
+    for (int i = 0; i < 300; ++i) {
+      t += arrivals.exponential(80.0);
+      cluster.engine().schedule_at(t, [&cluster, i] {
+        cluster.submit_request(static_cast<std::uint64_t>(i), 20000,
+                               static_cast<std::uint32_t>(i % 2));
+      });
+    }
+    cluster.engine().run_all();
+    double sum = 0.0;
+    for (const RequestSample& s : cluster.metrics().requests()) {
+      sum += s.response_latency;
+    }
+    return std::make_pair(sum, cluster.metrics().completed_requests());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);  // bitwise-identical latency sum
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Faults, ScheduleValidationRejectsMalformedEvents) {
+  const auto with_fault = [](FaultSchedule faults) {
+    ClusterConfig config;
+    config.faults = std::move(faults);
+    return Cluster(std::move(config));
+  };
+  EXPECT_THROW(with_fault(FaultSchedule().disk_slowdown(99, 0.0, 1.0, 2.0)),
+               std::invalid_argument);  // device out of range
+  EXPECT_THROW(with_fault(FaultSchedule().disk_slowdown(0, -1.0, 1.0, 2.0)),
+               std::invalid_argument);  // negative start
+  EXPECT_THROW(with_fault(FaultSchedule().disk_slowdown(0, 0.0, 0.0, 2.0)),
+               std::invalid_argument);  // zero duration
+  EXPECT_THROW(with_fault(FaultSchedule().disk_slowdown(0, 0.0, 1.0, 0.0)),
+               std::invalid_argument);  // factor must be positive
+  EXPECT_THROW(with_fault(FaultSchedule().process_crash(0, 0.0, 1.0, 99)),
+               std::invalid_argument);  // more processes than exist
+  EXPECT_NO_THROW(with_fault(FaultSchedule().device_outage(0, 0.0, 1.0)));
+}
+
+TEST(Faults, ConfigValidationRejectsBadResilienceKnobs) {
+  const auto nan = std::nan("");
+  {
+    ClusterConfig config;
+    config.network_latency = nan;
+    EXPECT_THROW(Cluster{config}, std::invalid_argument);
+  }
+  {
+    ClusterConfig config;
+    config.retry_backoff_base = -0.1;
+    config.max_retries = 1;
+    config.request_timeout = 0.1;
+    EXPECT_THROW(Cluster{config}, std::invalid_argument);
+  }
+  {
+    ClusterConfig config;
+    config.retry_backoff_cap = nan;
+    config.max_retries = 1;
+    config.request_timeout = 0.1;
+    EXPECT_THROW(Cluster{config}, std::invalid_argument);
+  }
+  {
+    // Retries that can never trigger (no timeout, no faults) are a
+    // configuration bug, not a silent no-op.
+    ClusterConfig config;
+    config.max_retries = 3;
+    EXPECT_THROW(Cluster{config}, std::invalid_argument);
+  }
+  {
+    ClusterConfig config;
+    config.cache.data_miss_ratio = 1.5;
+    EXPECT_THROW(Cluster{config}, std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace cosm::sim
