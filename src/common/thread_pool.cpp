@@ -1,7 +1,9 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 
 namespace cosm {
 
@@ -25,6 +27,11 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -40,31 +47,69 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for_index(
-    std::size_t count, const std::function<void(std::size_t)>& fn) {
+    std::size_t count, const std::function<void(std::size_t)>& fn,
+    std::size_t max_workers) {
   if (count == 0) return;
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  auto drain = [&] {
+  // Completion is tracked with an index latch rather than helper futures:
+  // a queued helper that never gets a pool slot (every worker busy with an
+  // *outer* parallel_for_index) must not be waited on, or nested calls
+  // would deadlock.  The caller drains indices itself, then waits only for
+  // indices that some running thread has actually claimed.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<State>();
+  // Safe to capture fn by reference: an index below `count` can only be
+  // claimed while the caller is still blocked in this function (the claim
+  // keeps `completed` below `count`); helpers that run after it returns
+  // see next >= count and exit without touching fn.
+  const auto drain = [state, &fn, count] {
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->first_error) state->first_error = std::current_exception();
+      }
+      if (state->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          count) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->done.notify_all();
       }
     }
   };
-  std::vector<std::future<void>> pending;
-  pending.reserve(workers_.size());
-  for (std::size_t t = 0; t + 1 < workers_.size(); ++t) {
-    pending.push_back(submit(drain));
+  std::size_t helpers = workers_.size();
+  if (max_workers != 0) helpers = std::min(helpers, max_workers - 1);
+  helpers = std::min(helpers, count - 1);
+  for (std::size_t t = 0; t < helpers; ++t) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.emplace_back(drain);
   }
+  if (helpers > 0) cv_.notify_all();
   drain();  // the calling thread participates
-  for (auto& f : pending) f.get();
-  if (first_error) std::rethrow_exception(first_error);
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock, [&] {
+      return state->completed.load(std::memory_order_acquire) == count;
+    });
+    if (state->first_error) std::rethrow_exception(state->first_error);
+  }
+}
+
+void parallel_for(std::size_t count, unsigned num_threads,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (num_threads == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  ThreadPool::global().parallel_for_index(count, fn, num_threads);
 }
 
 }  // namespace cosm

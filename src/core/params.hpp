@@ -9,11 +9,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "numerics/distribution.hpp"
+#include "numerics/memo_cache.hpp"
 
 namespace cosm::core {
+
+class BackendModel;
 
 // Everything the backend model needs for ONE storage device.
 struct DeviceParams {
@@ -94,6 +98,52 @@ struct ModelOptions {
   // assumption the paper blames for S16's systematic error.
   enum class DiskQueue { kMM1K, kMG1K };
   DiskQueue disk_queue = DiskQueue::kMM1K;
+};
+
+// Shared memoization across models (Sec. "parallel pipeline" extension):
+// what-if sweeps and percentile ladders rebuild mostly identical models,
+// and homogeneous clusters repeat the identical device N times.  The two
+// caches cover the two expensive kernels:
+//  * backends — fully built backend models (P–K / compound-Poisson /
+//    M/G/1/K chain solves), keyed by a value fingerprint of DeviceParams
+//    plus the options that shape the build;
+//  * cdf — per-device SLA-percentile values (one Euler inversion each),
+//    keyed by (device fingerprint, frontend fingerprint, SLA bits).
+// Keys are 64-bit value fingerprints (numerics::hash_mix /
+// numerics::fingerprint): bit-identical parameters hit, anything else
+// misses (up to ~2^-64 fingerprint-collision odds).  Cached values are
+// deterministic functions of their keys, so cached and uncached runs are
+// bit-identical.  Thread-safe; share one instance across threads and
+// models, and keep it alive for as long as any SystemModel holds a
+// pointer to it (PredictOptions::cache).
+struct PredictionCache {
+  numerics::MemoCache<std::uint64_t, std::shared_ptr<const BackendModel>>
+      backends{1 << 10};
+  numerics::MemoCache<std::uint64_t, double> cdf{1 << 16};
+
+  // Combined counters over both caches (for logs and BENCH_pipeline.json).
+  numerics::CacheStats combined_stats() const {
+    const numerics::CacheStats a = backends.stats();
+    const numerics::CacheStats b = cdf.stats();
+    return numerics::CacheStats{a.hits + b.hits, a.misses + b.misses,
+                                a.evictions + b.evictions, a.size + b.size,
+                                a.capacity + b.capacity};
+  }
+};
+
+// Execution knobs for building and querying models — orthogonal to
+// ModelOptions (which selects *what* is computed, not *how fast*).
+struct PredictOptions {
+  // Fan-out width for independent work (per-device builds, per-SLA-point
+  // inversions, what-if scenario sweeps): 1 = serial on the calling
+  // thread (the default — no pool is created), 0 = all hardware threads,
+  // k = at most k threads including the caller.  Results are bit-identical
+  // to serial for every setting (slot-indexed outputs, fixed reduction
+  // order).
+  unsigned num_threads = 1;
+  // Optional shared memoization; nullptr disables caching.  The cache
+  // must outlive every model constructed with it.
+  PredictionCache* cache = nullptr;
 };
 
 }  // namespace cosm::core

@@ -1,52 +1,155 @@
 #include "core/system_model.hpp"
 
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "common/require.hpp"
+#include "common/thread_pool.hpp"
 #include "numerics/roots.hpp"
 
 namespace cosm::core {
 
 using numerics::Convolution;
 using numerics::DistPtr;
+using numerics::hash_mix;
+
+namespace {
+
+// Value fingerprint of everything that shapes a backend build.  Computed
+// only on already-validated parameters (the distribution pointers are
+// dereferenced).
+std::uint64_t backend_fingerprint(const DeviceParams& params,
+                                  ModelOptions options) {
+  std::uint64_t h = 0x636f736d00000001ULL;
+  h = hash_mix(h, params.arrival_rate);
+  h = hash_mix(h, params.data_read_rate);
+  h = hash_mix(h, params.index_miss_ratio);
+  h = hash_mix(h, params.meta_miss_ratio);
+  h = hash_mix(h, params.data_miss_ratio);
+  h = hash_mix(h, static_cast<std::uint64_t>(params.processes));
+  h = hash_mix(h, numerics::fingerprint(*params.index_disk));
+  h = hash_mix(h, numerics::fingerprint(*params.meta_disk));
+  h = hash_mix(h, numerics::fingerprint(*params.data_disk));
+  h = hash_mix(h, numerics::fingerprint(*params.backend_parse));
+  h = hash_mix(h, static_cast<std::uint64_t>(options.odopr));
+  h = hash_mix(h, static_cast<std::uint64_t>(options.disk_queue));
+  return h;
+}
+
+// The frontend's S_q enters every device response (Eq. 2), so the device
+// cache key must cover it.
+std::uint64_t frontend_fingerprint(const FrontendParams& params) {
+  std::uint64_t h = 0x636f736d00000002ULL;
+  h = hash_mix(h, params.arrival_rate);
+  if (params.groups.empty()) {
+    h = hash_mix(h, static_cast<std::uint64_t>(params.processes));
+    h = hash_mix(h, numerics::fingerprint(*params.frontend_parse));
+    return h;
+  }
+  for (const auto& group : params.groups) {
+    h = hash_mix(h, static_cast<std::uint64_t>(group.processes));
+    h = hash_mix(h, group.traffic_share);
+    h = hash_mix(h, numerics::fingerprint(*group.frontend_parse));
+  }
+  return h;
+}
+
+}  // namespace
 
 DeviceModel::DeviceModel(const FrontendModel& frontend, DeviceParams params,
-                         ModelOptions options)
-    : backend_(std::move(params), options) {
+                         ModelOptions options, const PredictOptions& predict,
+                         std::uint64_t frontend_fp) {
+  if (predict.cache != nullptr) {
+    const std::uint64_t backend_fp = backend_fingerprint(params, options);
+    backend_ = predict.cache->backends.get_or_compute(backend_fp, [&] {
+      return std::make_shared<const BackendModel>(std::move(params), options);
+    });
+    fingerprint_ = hash_mix(hash_mix(backend_fp, frontend_fp),
+                            static_cast<std::uint64_t>(options.include_wta));
+  } else {
+    backend_ =
+        std::make_shared<const BackendModel>(std::move(params), options);
+  }
   std::vector<DistPtr> components;
   components.push_back(frontend.queueing_latency());  // S_q
   if (options.include_wta) {
-    components.push_back(backend_.waiting_time());  // W_a = W_be
+    components.push_back(backend_->waiting_time());  // W_a = W_be
   }
-  components.push_back(backend_.response_time());  // S_be
+  components.push_back(backend_->response_time());  // S_be
   response_ = std::make_shared<Convolution>(std::move(components));
 }
 
-SystemModel::SystemModel(SystemParams params, ModelOptions options)
-    : frontend_(params.frontend) {
+SystemModel::SystemModel(SystemParams params, ModelOptions options,
+                         PredictOptions predict)
+    : frontend_(params.frontend), predict_(predict) {
   params.validate();
-  devices_.reserve(params.devices.size());
-  for (auto& device_params : params.devices) {
-    devices_.emplace_back(frontend_, std::move(device_params), options);
-    total_rate_ += devices_.back().arrival_rate();
+  const std::uint64_t frontend_fp =
+      predict_.cache != nullptr ? frontend_fingerprint(params.frontend) : 0;
+  // Device builds are independent (the expensive part is the per-device
+  // queueing solve), so they fan out; slots keep the reduction below in
+  // device order, which keeps total_rate_ bit-identical to serial.
+  const std::size_t count = params.devices.size();
+  std::vector<std::optional<DeviceModel>> built(count);
+  parallel_for(count, predict_.num_threads, [&](std::size_t i) {
+    built[i].emplace(frontend_, std::move(params.devices[i]), options,
+                     predict_, frontend_fp);
+  });
+  devices_.reserve(count);
+  for (auto& device : built) {
+    total_rate_ += device->arrival_rate();
+    devices_.push_back(std::move(*device));
   }
+}
+
+double SystemModel::device_cdf(std::size_t device, double sla) const {
+  const DeviceModel& model = devices_[device];
+  if (predict_.cache == nullptr) return model.response_time()->cdf(sla);
+  const std::uint64_t key = hash_mix(model.fingerprint(), sla);
+  return predict_.cache->cdf.get_or_compute(
+      key, [&] { return model.response_time()->cdf(sla); });
 }
 
 double SystemModel::predict_sla_percentile(double sla) const {
   COSM_REQUIRE(sla > 0, "SLA must be positive");
+  const std::size_t count = devices_.size();
+  std::vector<double> cdfs(count);
+  parallel_for(count, predict_.num_threads,
+               [&](std::size_t i) { cdfs[i] = device_cdf(i, sla); });
   double weighted = 0.0;
-  for (const auto& device : devices_) {
-    weighted +=
-        device.arrival_rate() * device.response_time()->cdf(sla);
+  for (std::size_t i = 0; i < count; ++i) {
+    weighted += devices_[i].arrival_rate() * cdfs[i];
   }
   return weighted / total_rate_;
+}
+
+std::vector<double> SystemModel::predict_sla_percentiles(
+    const std::vector<double>& slas) const {
+  for (const double sla : slas) COSM_REQUIRE(sla > 0, "SLA must be positive");
+  const std::size_t n_slas = slas.size();
+  const std::size_t count = devices_.size();
+  // Flatten the (device × SLA point) grid: each cell is one independent
+  // Euler inversion, the natural unit of parallel work.
+  std::vector<double> cdfs(count * n_slas);
+  parallel_for(count * n_slas, predict_.num_threads, [&](std::size_t k) {
+    cdfs[k] = device_cdf(k / n_slas, slas[k % n_slas]);
+  });
+  std::vector<double> out(n_slas, 0.0);
+  for (std::size_t s = 0; s < n_slas; ++s) {
+    double weighted = 0.0;
+    for (std::size_t d = 0; d < count; ++d) {
+      weighted += devices_[d].arrival_rate() * cdfs[d * n_slas + s];
+    }
+    out[s] = weighted / total_rate_;
+  }
+  return out;
 }
 
 double SystemModel::predict_sla_percentile_device(std::size_t device,
                                                   double sla) const {
   COSM_REQUIRE(device < devices_.size(), "device index out of range");
   COSM_REQUIRE(sla > 0, "SLA must be positive");
-  return devices_[device].response_time()->cdf(sla);
+  return device_cdf(device, sla);
 }
 
 double SystemModel::latency_quantile(double percentile) const {

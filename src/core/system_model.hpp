@@ -5,9 +5,24 @@
 //
 // predict_sla_percentile(sla) returns P[latency <= sla]: "the percentile
 // of requests meeting SLA".  ModelOptions selects the full model or the
-// noWTA / ODOPR baselines of Sec. V-C.
+// noWTA / ODOPR baselines of Sec. V-C; PredictOptions selects how the
+// work is executed — fan-out width across devices/SLA points and an
+// optional shared PredictionCache (see core/params.hpp).
+//
+// Thread-safety: a fully constructed SystemModel is immutable, so all
+// const member functions may be called concurrently.  Construction itself
+// may fan out across ThreadPool::global() when
+// PredictOptions::num_threads != 1.
+//
+// Determinism: for fixed parameters, every query returns bit-identical
+// results regardless of num_threads and of whether a cache is attached —
+// parallel workers write disjoint slots that are reduced in device order,
+// and cached values are deterministic functions of their keys.  This is
+// enforced by tests/core/test_parallel_prediction.cpp.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/backend_model.hpp"
@@ -18,40 +33,73 @@ namespace cosm::core {
 
 class DeviceModel {
  public:
+  // Builds the device model for `params` (rates in req/s, latencies in
+  // seconds).  `frontend` must outlive the DeviceModel (SystemModel owns
+  // both).  When `predict.cache` is set, the backend build is served from
+  // the cache: identical device parameter sets (by value fingerprint)
+  // share one BackendModel.  `frontend_fp` is the frontend-parameter
+  // fingerprint computed by SystemModel (0 when uncached).
+  // Throws OverloadError when the device violates the model's stability
+  // precondition, std::invalid_argument for genuinely bad parameters.
   DeviceModel(const FrontendModel& frontend, DeviceParams params,
-              ModelOptions options);
+              ModelOptions options, const PredictOptions& predict = {},
+              std::uint64_t frontend_fp = 0);
 
-  const BackendModel& backend() const { return backend_; }
+  const BackendModel& backend() const { return *backend_; }
   // S_fe: the device's response-latency distribution at the frontend.
   numerics::DistPtr response_time() const { return response_; }
-  double arrival_rate() const { return backend_.params().arrival_rate; }
+  // r_j, requests/s.
+  double arrival_rate() const { return backend_->params().arrival_rate; }
+  // Cache key identity of this device's response distribution (covers
+  // device parameters, frontend parameters, and every ModelOptions field
+  // that shapes the response); 0 when built without a cache.
+  std::uint64_t fingerprint() const { return fingerprint_; }
 
  private:
-  BackendModel backend_;
+  std::shared_ptr<const BackendModel> backend_;
   numerics::DistPtr response_;
+  std::uint64_t fingerprint_ = 0;
 };
 
 class SystemModel {
  public:
-  explicit SystemModel(SystemParams params, ModelOptions options = {});
+  // Validates and assembles the whole-system model.  `predict` controls
+  // execution only (see PredictOptions): results are identical for every
+  // setting.  If `predict.cache` is non-null it must outlive this model.
+  // Throws OverloadError when any device or frontend group is saturated,
+  // std::invalid_argument for invalid parameters (negative rates, rate
+  // mismatches, missing distributions).
+  explicit SystemModel(SystemParams params, ModelOptions options = {},
+                       PredictOptions predict = {});
 
   const FrontendModel& frontend() const { return frontend_; }
   const std::vector<DeviceModel>& devices() const { return devices_; }
 
   // P[response latency <= sla] over the whole system (Eq. 3).
+  // Precondition: sla > 0 (seconds).
   double predict_sla_percentile(double sla) const;
-  // Same, restricted to one device.
+  // Batch form: one value per entry of `slas`, fanning the (device × SLA
+  // point) grid across PredictOptions::num_threads.  Equivalent to — and
+  // bit-identical with — calling predict_sla_percentile per element.
+  std::vector<double> predict_sla_percentiles(
+      const std::vector<double>& slas) const;
+  // Same, restricted to one device.  Preconditions: device index in
+  // range, sla > 0 (seconds).
   double predict_sla_percentile_device(std::size_t device,
                                        double sla) const;
-  // Inverse: latency bound such that `percentile` of requests meet it.
+  // Inverse: latency bound (seconds) such that `percentile` of requests
+  // meet it.  Precondition: percentile in (0, 1).
   double latency_quantile(double percentile) const;
-  // Rate-weighted mean response latency (for what-if analyses).
+  // Rate-weighted mean response latency in seconds (for what-if analyses).
   double mean_response_latency() const;
 
  private:
+  double device_cdf(std::size_t device, double sla) const;
+
   FrontendModel frontend_;
   std::vector<DeviceModel> devices_;
   double total_rate_ = 0.0;
+  PredictOptions predict_;
 };
 
 }  // namespace cosm::core

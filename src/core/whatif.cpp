@@ -5,9 +5,22 @@
 #include <stdexcept>
 
 #include "common/require.hpp"
+#include "common/thread_pool.hpp"
 #include "numerics/compose.hpp"
 
 namespace cosm::core {
+
+namespace {
+
+// Sweeps fan out at the iteration level, so the model build inside each
+// iteration runs serially — fanning twice would just oversubscribe the
+// pool.  The cache still flows through: that is where the sharing between
+// iterations happens.
+PredictOptions inner_options(const PredictOptions& predict) {
+  return PredictOptions{1, predict.cache};
+}
+
+}  // namespace
 
 void SlaTarget::validate() const {
   COSM_REQUIRE(sla > 0, "SLA bound must be positive");
@@ -16,10 +29,10 @@ void SlaTarget::validate() const {
 }
 
 bool meets_target(const SystemParams& params, const SlaTarget& target,
-                  ModelOptions options) {
+                  ModelOptions options, const PredictOptions& predict) {
   target.validate();
   try {
-    const SystemModel model(params, options);
+    const SystemModel model(params, options, predict);
     return model.predict_sla_percentile(target.sla) >= target.percentile;
   } catch (const OverloadError&) {
     // Saturation is a *result* here, not a caller bug: an overloaded
@@ -34,21 +47,25 @@ std::optional<unsigned> min_devices_for(const ClusterFactory& factory,
                                         const SlaTarget& target,
                                         unsigned min_devices,
                                         unsigned max_devices,
-                                        ModelOptions options) {
+                                        ModelOptions options,
+                                        const PredictOptions& predict) {
   COSM_REQUIRE(factory != nullptr, "cluster factory required");
   COSM_REQUIRE(min_devices >= 1 && min_devices <= max_devices,
                "device range must be non-empty");
   // Compliance is monotone in the device count (less load per device), so
   // binary search applies; guard with the endpoints first.
-  if (!meets_target(factory(total_rate, max_devices), target, options)) {
+  if (!meets_target(factory(total_rate, max_devices), target, options,
+                    predict)) {
     return std::nullopt;
   }
   unsigned lo = min_devices;  // possibly non-compliant
   unsigned hi = max_devices;  // compliant
-  if (meets_target(factory(total_rate, lo), target, options)) return lo;
+  if (meets_target(factory(total_rate, lo), target, options, predict)) {
+    return lo;
+  }
   while (hi - lo > 1) {
     const unsigned mid = lo + (hi - lo) / 2;
-    if (meets_target(factory(total_rate, mid), target, options)) {
+    if (meets_target(factory(total_rate, mid), target, options, predict)) {
       hi = mid;
     } else {
       lo = mid;
@@ -60,12 +77,14 @@ std::optional<unsigned> min_devices_for(const ClusterFactory& factory,
 double max_admission_rate(const ClusterFactory& factory,
                           unsigned device_count, const SlaTarget& target,
                           double rate_limit, double tolerance,
-                          ModelOptions options) {
+                          ModelOptions options,
+                          const PredictOptions& predict) {
   COSM_REQUIRE(factory != nullptr, "cluster factory required");
   COSM_REQUIRE(rate_limit > 0, "rate limit must be positive");
   COSM_REQUIRE(tolerance > 0, "tolerance must be positive");
   const auto ok = [&](double rate) {
-    return meets_target(factory(rate, device_count), target, options);
+    return meets_target(factory(rate, device_count), target, options,
+                        predict);
   };
   if (ok(rate_limit)) return rate_limit;
   double lo = 0.0;
@@ -84,13 +103,15 @@ double max_admission_rate(const ClusterFactory& factory,
 
 std::vector<std::optional<unsigned>> elastic_schedule(
     const ClusterFactory& factory, const std::vector<double>& period_rates,
-    const SlaTarget& target, unsigned max_devices, ModelOptions options) {
-  std::vector<std::optional<unsigned>> schedule;
-  schedule.reserve(period_rates.size());
-  for (const double rate : period_rates) {
-    schedule.push_back(
-        min_devices_for(factory, rate, target, 1, max_devices, options));
-  }
+    const SlaTarget& target, unsigned max_devices, ModelOptions options,
+    const PredictOptions& predict) {
+  COSM_REQUIRE(factory != nullptr, "cluster factory required");
+  const PredictOptions inner = inner_options(predict);
+  std::vector<std::optional<unsigned>> schedule(period_rates.size());
+  parallel_for(period_rates.size(), predict.num_threads, [&](std::size_t p) {
+    schedule[p] = min_devices_for(factory, period_rates[p], target, 1,
+                                  max_devices, options, inner);
+  });
   return schedule;
 }
 
@@ -165,14 +186,34 @@ SystemParams degrade(const SystemParams& healthy,
 
 double degraded_sla_percentile(const SystemParams& healthy,
                                const DegradedScenario& scenario, double sla,
-                               ModelOptions options) {
+                               ModelOptions options,
+                               const PredictOptions& predict) {
   COSM_REQUIRE(sla > 0, "SLA bound must be positive");
   try {
-    const SystemModel model(degrade(healthy, scenario), options);
+    const SystemModel model(degrade(healthy, scenario), options, predict);
     return model.predict_sla_percentile(sla);
   } catch (const OverloadError&) {
     return 0.0;  // the degraded system misses any SLA
   }
+}
+
+std::vector<double> degraded_sla_percentiles(
+    const SystemParams& healthy,
+    const std::vector<DegradedScenario>& scenarios, double sla,
+    ModelOptions options, const PredictOptions& predict) {
+  COSM_REQUIRE(sla > 0, "SLA bound must be positive");
+  // Validate every scenario up front so precondition violations surface
+  // deterministically (before any parallel work starts).
+  for (const DegradedScenario& scenario : scenarios) {
+    scenario.validate(healthy.devices.size());
+  }
+  const PredictOptions inner = inner_options(predict);
+  std::vector<double> percentiles(scenarios.size());
+  parallel_for(scenarios.size(), predict.num_threads, [&](std::size_t i) {
+    percentiles[i] =
+        degraded_sla_percentile(healthy, scenarios[i], sla, options, inner);
+  });
+  return percentiles;
 }
 
 std::vector<std::pair<std::size_t, double>> sla_miss_contributions(

@@ -8,6 +8,22 @@
 // configuration certainly misses any SLA target (the paper's "it is
 // enough to know that the system does not perform well in such
 // situations").
+//
+// Execution: every search takes a trailing PredictOptions.  The sweeps
+// (elastic_schedule over periods, degraded_sla_percentiles over
+// scenarios) fan their independent iterations across
+// PredictOptions::num_threads; the inner model builds then run serially
+// per iteration but still share PredictOptions::cache, so repeated
+// configurations (the same candidate device count at several periods,
+// the same healthy devices across scenarios) are built once.  Sequential
+// searches (min_devices_for, max_admission_rate) can't fan out — each
+// probe depends on the last — but benefit from the cache the same way.
+// Results are bit-identical for every num_threads and cache setting.
+//
+// Thread-safety: when num_threads != 1 the ClusterFactory is invoked
+// concurrently from pool threads and MUST be thread-safe (a factory that
+// only reads captured parameters and allocates qualifies; one mutating
+// shared state does not).
 #pragma once
 
 #include <cstddef>
@@ -28,44 +44,52 @@ struct SlaTarget {
 };
 
 // Builds SystemParams for a candidate configuration: given a total
-// arrival rate and a device count, returns the parameter set to evaluate.
-// Callers encode their hardware assumptions (disk profiles, miss ratios,
-// process counts) inside the factory.
+// arrival rate (req/s) and a device count, returns the parameter set to
+// evaluate.  Callers encode their hardware assumptions (disk profiles,
+// miss ratios, process counts) inside the factory.  Must be thread-safe
+// when used with PredictOptions::num_threads != 1 (see file comment).
 using ClusterFactory =
     std::function<SystemParams(double total_rate, unsigned device_count)>;
 
 // Whether `params` meets the target; false when overloaded.
 bool meets_target(const SystemParams& params, const SlaTarget& target,
-                  ModelOptions options = {});
+                  ModelOptions options = {}, const PredictOptions& predict = {});
 
 // Capacity planning: smallest device count in [min_devices, max_devices]
 // meeting the target at `total_rate`; nullopt if none does.
+// Preconditions: factory non-null, 1 <= min_devices <= max_devices.
 std::optional<unsigned> min_devices_for(const ClusterFactory& factory,
                                         double total_rate,
                                         const SlaTarget& target,
                                         unsigned min_devices,
                                         unsigned max_devices,
-                                        ModelOptions options = {});
+                                        ModelOptions options = {},
+                                        const PredictOptions& predict = {});
 
 // Overload control: largest admitted rate in (0, rate_limit] meeting the
 // target with `device_count` devices, found by bisection to `tolerance`
 // (requests/s).  Returns 0 when even vanishing load misses the target.
+// Preconditions: factory non-null, rate_limit > 0, tolerance > 0.
 double max_admission_rate(const ClusterFactory& factory,
                           unsigned device_count, const SlaTarget& target,
                           double rate_limit, double tolerance = 0.5,
-                          ModelOptions options = {});
+                          ModelOptions options = {},
+                          const PredictOptions& predict = {});
 
 // Elastic storage: per-period minimum active device counts for a workload
 // curve (e.g. hourly rates); entries are nullopt where even max_devices
-// misses the target.
+// misses the target.  Periods are independent and fan out across
+// PredictOptions::num_threads (the per-period binary search stays
+// serial).
 std::vector<std::optional<unsigned>> elastic_schedule(
     const ClusterFactory& factory, const std::vector<double>& period_rates,
     const SlaTarget& target, unsigned max_devices,
-    ModelOptions options = {});
+    ModelOptions options = {}, const PredictOptions& predict = {});
 
 // Bottleneck identification: per-device share of SLA misses,
 // share_j = r_j (1 - F_j(sla)) / sum_k r_k (1 - F_k(sla)), descending by
 // contribution.  Pairs of (device index, contribution in [0, 1]).
+// Precondition: sla > 0 (seconds).
 std::vector<std::pair<std::size_t, double>> sla_miss_contributions(
     const SystemModel& model, double sla);
 
@@ -97,7 +121,8 @@ struct DegradedScenario {
 
 // Expected attempts per request when each attempt independently fails
 // with probability `failure_prob` and up to `max_retries` retries are
-// allowed: (1 - p^{R+1}) / (1 - p).
+// allowed: (1 - p^{R+1}) / (1 - p).  Precondition: failure_prob in
+// [0, 1).
 double retry_arrival_inflation(double failure_prob, unsigned max_retries);
 
 // Applies the scenario to healthy parameters, returning the degraded set.
@@ -106,8 +131,20 @@ SystemParams degrade(const SystemParams& healthy,
 
 // P[latency <= sla] under the scenario; 0 when the degraded system is
 // overloaded (the degraded system certainly misses the SLA then).
+// Precondition: sla > 0 (seconds).
 double degraded_sla_percentile(const SystemParams& healthy,
                                const DegradedScenario& scenario, double sla,
-                               ModelOptions options = {});
+                               ModelOptions options = {},
+                               const PredictOptions& predict = {});
+
+// Scenario sweep: one percentile per entry of `scenarios`, fanned across
+// PredictOptions::num_threads.  Bit-identical to — and the parallel
+// equivalent of — calling degraded_sla_percentile per element.  Sharing
+// a PredictionCache pays off here: scenarios touching one device leave
+// the other devices' backends (and often their CDF points) identical.
+std::vector<double> degraded_sla_percentiles(
+    const SystemParams& healthy,
+    const std::vector<DegradedScenario>& scenarios, double sla,
+    ModelOptions options = {}, const PredictOptions& predict = {});
 
 }  // namespace cosm::core

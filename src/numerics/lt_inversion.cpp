@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <numbers>
 #include <vector>
 
@@ -10,28 +12,84 @@
 
 namespace cosm::numerics {
 
+namespace {
+
+// Node-weight memoization: the Euler xi and Gaver–Stehfest V_k weights
+// depend only on the term count, yet every inversion used to recompute
+// them (~2M lgamma/exp calls per CDF query — a measurable slice of the
+// ~3 µs budget when the transform itself is a shallow tree).  Percentile
+// sweeps hammer one or two term counts, so a tiny keyed table suffices.
+// std::map references are stable under insertion, so the returned
+// reference stays valid while other threads populate other keys.
+const std::vector<double>& euler_xi(int m) {
+  static std::mutex mutex;
+  static std::map<int, std::vector<double>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto [it, inserted] = cache.try_emplace(m);
+  if (inserted) {
+    std::vector<double>& xi = it->second;
+    xi.assign(static_cast<std::size_t>(2 * m + 1), 0.0);
+    xi[0] = 0.5;
+    for (int k = 1; k <= m; ++k) xi[static_cast<std::size_t>(k)] = 1.0;
+    xi[static_cast<std::size_t>(2 * m)] = std::pow(2.0, -m);
+    for (int k = 1; k < m; ++k) {
+      // xi_{2M-k} = xi_{2M-k+1} + 2^{-M} C(M, k), built up iteratively.
+      double binom = std::exp(std::lgamma(m + 1.0) - std::lgamma(k + 1.0) -
+                              std::lgamma(m - k + 1.0));
+      xi[static_cast<std::size_t>(2 * m - k)] =
+          xi[static_cast<std::size_t>(2 * m - k + 1)] +
+          std::pow(2.0, -m) * binom;
+    }
+  }
+  return it->second;
+}
+
+// Stehfest weights V_1..V_n for even n (index 0 unused).
+const std::vector<double>& stehfest_weights(int n) {
+  static std::mutex mutex;
+  static std::map<int, std::vector<double>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto [it, inserted] = cache.try_emplace(n);
+  if (inserted) {
+    const int half = n / 2;
+    std::vector<double>& weights = it->second;
+    weights.assign(static_cast<std::size_t>(n + 1), 0.0);
+    for (int k = 1; k <= n; ++k) {
+      double v = 0.0;
+      const int j_lo = (k + 1) / 2;
+      const int j_hi = std::min(k, half);
+      for (int j = j_lo; j <= j_hi; ++j) {
+        // j^{n/2} (2j)! / ((n/2 - j)! j! (j-1)! (k-j)! (2j-k)!)
+        const double log_term =
+            half * std::log(static_cast<double>(j)) +
+            std::lgamma(2.0 * j + 1.0) - std::lgamma(half - j + 1.0) -
+            std::lgamma(j + 1.0) - std::lgamma(static_cast<double>(j)) -
+            std::lgamma(k - j + 1.0) - std::lgamma(2.0 * j - k + 1.0);
+        v += std::exp(log_term);
+      }
+      if ((k + half) % 2 != 0) v = -v;
+      weights[static_cast<std::size_t>(k)] = v;
+    }
+  }
+  return it->second;
+}
+
+}  // namespace
+
 double invert_euler(const LaplaceFn& lt, double t, int m) {
   COSM_REQUIRE(t > 0, "euler inversion requires t > 0");
   COSM_REQUIRE(m >= 2 && m <= 30, "euler M out of the stable range [2, 30]");
   // Abate & Whitt (2006): f(t) ~ (1/t) sum_{k=0}^{2M} eta_k Re lt(beta_k/t)
   // with beta_k = M ln(10)/3 + i pi k and Euler-smoothed weights eta_k.
   const int terms = 2 * m + 1;
-  std::vector<double> xi(terms);
-  xi[0] = 0.5;
-  for (int k = 1; k <= m; ++k) xi[k] = 1.0;
-  xi[2 * m] = std::pow(2.0, -m);
-  for (int k = 1; k < m; ++k) {
-    // xi_{2M-k} = xi_{2M-k+1} + 2^{-M} C(M, k), built up iteratively.
-    double binom = std::exp(std::lgamma(m + 1.0) - std::lgamma(k + 1.0) -
-                            std::lgamma(m - k + 1.0));
-    xi[2 * m - k] = xi[2 * m - k + 1] + std::pow(2.0, -m) * binom;
-  }
+  const std::vector<double>& xi = euler_xi(m);
   const double a = m * std::numbers::ln10 / 3.0;
   const double scale = std::pow(10.0, m / 3.0);
   double sum = 0.0;
   for (int k = 0; k < terms; ++k) {
     const std::complex<double> beta(a, std::numbers::pi * k);
-    const double eta = (k % 2 == 0 ? 1.0 : -1.0) * xi[k] * scale;
+    const double eta =
+        (k % 2 == 0 ? 1.0 : -1.0) * xi[static_cast<std::size_t>(k)] * scale;
     sum += eta * lt(beta / t).real();
   }
   return sum / t;
@@ -60,25 +118,11 @@ double invert_gaver_stehfest(const RealLaplaceFn& lt, double t, int n) {
   COSM_REQUIRE(t > 0, "gaver-stehfest inversion requires t > 0");
   COSM_REQUIRE(n >= 2 && n % 2 == 0 && n <= 18,
                "gaver-stehfest n must be even and in [2, 18]");
-  const int half = n / 2;
   const double ln2_over_t = std::numbers::ln2 / t;
+  const std::vector<double>& weights = stehfest_weights(n);
   double sum = 0.0;
   for (int k = 1; k <= n; ++k) {
-    // Stehfest weight V_k.
-    double v = 0.0;
-    const int j_lo = (k + 1) / 2;
-    const int j_hi = std::min(k, half);
-    for (int j = j_lo; j <= j_hi; ++j) {
-      // j^{n/2} (2j)! / ((n/2 - j)! j! (j-1)! (k-j)! (2j-k)!)
-      const double log_term =
-          half * std::log(static_cast<double>(j)) + std::lgamma(2.0 * j + 1.0) -
-          std::lgamma(half - j + 1.0) - std::lgamma(j + 1.0) -
-          std::lgamma(static_cast<double>(j)) - std::lgamma(k - j + 1.0) -
-          std::lgamma(2.0 * j - k + 1.0);
-      v += std::exp(log_term);
-    }
-    if ((k + half) % 2 != 0) v = -v;
-    sum += v * lt(k * ln2_over_t);
+    sum += weights[static_cast<std::size_t>(k)] * lt(k * ln2_over_t);
   }
   return sum * ln2_over_t;
 }

@@ -15,6 +15,17 @@
 //
 // At a jump discontinuity of F these methods converge to the midpoint; SLA
 // evaluation points in the experiments sit away from the model's atoms.
+//
+// Thread-safety: every function here is safe to call concurrently — the
+// node weights each algorithm needs (Euler's xi, Stehfest's V_k) are
+// memoized per term count behind a mutex, and all remaining state is
+// call-local.  The provided `lt` callback itself must be safe to invoke
+// from multiple threads; every Distribution in this repo qualifies (they
+// are immutable after construction).
+//
+// Units: `t` is in the same unit as the random variable behind the
+// transform — seconds everywhere in this repo.  `lt` must be the
+// Laplace(–Stieltjes) transform with `s` in reciprocal units (1/s).
 #pragma once
 
 #include <complex>
@@ -25,26 +36,38 @@ namespace cosm::numerics {
 using LaplaceFn = std::function<std::complex<double>(std::complex<double>)>;
 using RealLaplaceFn = std::function<double(double)>;
 
-// Inverts L[f] at t > 0 with the Euler algorithm using 2M+1 terms.
-// M around 20 is the sweet spot in double precision (the binomial weights
-// grow like 10^{M/3}; beyond ~M=25 cancellation dominates).
+// Inverts L[f] at t with the Euler algorithm using 2M+1 terms.
+// Preconditions: t > 0 (seconds), 2 <= m <= 30 — M around 20 is the sweet
+// spot in double precision (the binomial weights grow like 10^{M/3};
+// beyond ~M=25 cancellation dominates).  Violations throw
+// std::invalid_argument.  Costs 2M+1 evaluations of `lt` on the vertical
+// contour Re s = M ln(10) / (3t).
 double invert_euler(const LaplaceFn& lt, double t, int m = 20);
 
-// Inverts L[f] at t > 0 with the fixed-Talbot algorithm using m nodes.
+// Inverts L[f] at t with the fixed-Talbot algorithm using m nodes.
+// Preconditions: t > 0 (seconds), m >= 4.  Costs m evaluations of `lt` on
+// the deformed Talbot contour.
 double invert_talbot(const LaplaceFn& lt, double t, int m = 32);
 
-// Inverts L[f] at t > 0 with Gaver–Stehfest using n terms (n even, <= 18).
+// Inverts L[f] at t with Gaver–Stehfest using n terms.
+// Preconditions: t > 0 (seconds), n even and in [2, 18] (the V_k weights
+// alternate with magnitude ~10^{n/2}; beyond 18 cancellation destroys
+// double precision).  Real-axis evaluations only.
 double invert_gaver_stehfest(const RealLaplaceFn& lt, double t, int n = 16);
 
 // Evaluates the CDF at t of the distribution whose density transform is
 // `lt`, by inverting lt(s)/s; the result is clamped to [0, 1].  t <= 0
 // returns 0 (our latencies are strictly positive away from atoms at zero,
-// where inversion is ill-posed anyway).
+// where inversion is ill-posed anyway).  This is the pipeline's unit of
+// work — one SLA-percentile query per device costs exactly one call —
+// and what core::PredictionCache memoizes across identical devices.
 double cdf_from_laplace(const LaplaceFn& lt, double t, int m = 20);
 
 // Finds the p-quantile of the same distribution by bracketing + Brent on
-// cdf_from_laplace.  `mean_hint` seeds the bracket (use the distribution
-// mean).  Throws if the quantile cannot be bracketed below `t_max`.
+// cdf_from_laplace.  Preconditions: 0 < p < 1, mean_hint > 0 (seconds;
+// seeds the bracket — use the distribution mean).  Throws
+// std::invalid_argument if the quantile cannot be bracketed below `t_max`
+// or the root search fails to converge.
 double quantile_from_laplace(const LaplaceFn& lt, double p, double mean_hint,
                              double t_max = 1e9);
 

@@ -1,0 +1,186 @@
+// The pipeline's determinism contract: predictions are bit-identical
+// across thread counts {1, 2, 8} and with/without a PredictionCache
+// attached — parallel workers fill disjoint slots reduced in fixed
+// order, and cached values are deterministic functions of their keys.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/system_model.hpp"
+#include "core/whatif.hpp"
+#include "numerics/distribution.hpp"
+
+namespace {
+
+using cosm::core::DegradedScenario;
+using cosm::core::DeviceParams;
+using cosm::core::ModelOptions;
+using cosm::core::PredictionCache;
+using cosm::core::PredictOptions;
+using cosm::core::SlaTarget;
+using cosm::core::SystemModel;
+using cosm::core::SystemParams;
+
+DeviceParams make_device(double arrival_rate, unsigned processes = 2) {
+  using cosm::numerics::Degenerate;
+  using cosm::numerics::Gamma;
+  DeviceParams device;
+  device.arrival_rate = arrival_rate;
+  device.data_read_rate = arrival_rate * 1.2;
+  device.index_miss_ratio = 0.3;
+  device.meta_miss_ratio = 0.3;
+  device.data_miss_ratio = 0.7;
+  device.index_disk = std::make_shared<Gamma>(3.0, 300.0);
+  device.meta_disk = std::make_shared<Gamma>(2.5, 312.5);
+  device.data_disk = std::make_shared<Gamma>(2.8, 233.33);
+  device.backend_parse = std::make_shared<Degenerate>(0.5e-3);
+  device.processes = processes;
+  return device;
+}
+
+SystemParams make_cluster(double system_rate, unsigned devices) {
+  SystemParams params;
+  params.frontend.arrival_rate = system_rate;
+  params.frontend.processes = 3;
+  params.frontend.frontend_parse =
+      std::make_shared<cosm::numerics::Degenerate>(0.8e-3);
+  for (unsigned d = 0; d < devices; ++d) {
+    params.devices.push_back(
+        make_device(system_rate / static_cast<double>(devices)));
+  }
+  return params;
+}
+
+const std::vector<double> kSlas = {0.04, 0.08, 0.12, 0.2};
+
+TEST(ParallelPrediction, BitIdenticalAcrossThreadCountsAndCache) {
+  const SystemParams params = make_cluster(140.0, 4);
+  const SystemModel reference(params, {}, PredictOptions{1, nullptr});
+  const std::vector<double> expected =
+      reference.predict_sla_percentiles(kSlas);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    for (const bool with_cache : {false, true}) {
+      PredictionCache cache;
+      const PredictOptions predict{threads, with_cache ? &cache : nullptr};
+      const SystemModel model(params, {}, predict);
+      const std::vector<double> got = model.predict_sla_percentiles(kSlas);
+      ASSERT_EQ(got.size(), expected.size());
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        // Exact doubles: determinism means bit-identical, not "close".
+        EXPECT_EQ(got[i], expected[i])
+            << "threads=" << threads << " cache=" << with_cache
+            << " sla=" << kSlas[i];
+      }
+      EXPECT_EQ(model.latency_quantile(0.95), reference.latency_quantile(0.95))
+          << "threads=" << threads << " cache=" << with_cache;
+    }
+  }
+}
+
+TEST(ParallelPrediction, BatchMatchesScalarQueries) {
+  PredictionCache cache;
+  const SystemModel model(make_cluster(120.0, 3), {},
+                          PredictOptions{8, &cache});
+  const std::vector<double> batch = model.predict_sla_percentiles(kSlas);
+  ASSERT_EQ(batch.size(), kSlas.size());
+  for (std::size_t i = 0; i < kSlas.size(); ++i) {
+    EXPECT_EQ(batch[i], model.predict_sla_percentile(kSlas[i]));
+  }
+  EXPECT_TRUE(model.predict_sla_percentiles({}).empty());
+}
+
+TEST(ParallelPrediction, IdenticalDevicesShareOneBackendBuild) {
+  PredictionCache cache;
+  const SystemModel model(make_cluster(140.0, 4), {},
+                          PredictOptions{1, &cache});
+  const auto backend_stats = cache.backends.stats();
+  EXPECT_EQ(backend_stats.misses, 1u);  // built once...
+  EXPECT_EQ(backend_stats.hits, 3u);    // ...shared by the other 3 devices
+  // The shared build really is shared, not copied.
+  EXPECT_EQ(&model.devices()[0].backend(), &model.devices()[3].backend());
+
+  // A second identical model reuses everything.
+  const SystemModel again(make_cluster(140.0, 4), {},
+                          PredictOptions{1, &cache});
+  EXPECT_EQ(cache.backends.stats().misses, 1u);
+  EXPECT_EQ(cache.backends.stats().hits, 7u);
+
+  // Identical devices also collapse to one CDF inversion per SLA point.
+  const std::vector<double> first = model.predict_sla_percentiles(kSlas);
+  const auto cdf_stats = cache.cdf.stats();
+  EXPECT_EQ(cdf_stats.misses, kSlas.size());
+  EXPECT_EQ(cdf_stats.hits, 3 * kSlas.size());
+  EXPECT_EQ(first, again.predict_sla_percentiles(kSlas));
+}
+
+TEST(ParallelPrediction, ModelVariantsKeyedSeparately) {
+  PredictionCache cache;
+  const SystemParams params = make_cluster(140.0, 2);
+  ModelOptions no_wta;
+  no_wta.include_wta = false;
+  const SystemModel full(params, {}, PredictOptions{1, &cache});
+  const SystemModel baseline(params, no_wta, PredictOptions{1, &cache});
+  // include_wta does not change the backend build (same backend key)...
+  EXPECT_EQ(cache.backends.stats().misses, 1u);
+  // ...but it does change the response distribution, so CDF points must
+  // not be shared between the variants.
+  const double a = full.predict_sla_percentile(0.08);
+  const double b = baseline.predict_sla_percentile(0.08);
+  EXPECT_NE(a, b);
+  const SystemModel uncached_baseline(params, no_wta);
+  EXPECT_EQ(b, uncached_baseline.predict_sla_percentile(0.08));
+}
+
+TEST(ParallelPrediction, ElasticScheduleParallelMatchesSerial) {
+  const auto factory = [](double rate, unsigned devices) {
+    return make_cluster(rate, devices);
+  };
+  const std::vector<double> rates = {60.0, 120.0, 180.0, 240.0, 90.0};
+  const SlaTarget target{0.12, 0.9};
+  const auto serial =
+      cosm::core::elastic_schedule(factory, rates, target, 8);
+  PredictionCache cache;
+  const auto parallel = cosm::core::elastic_schedule(
+      factory, rates, target, 8, {}, PredictOptions{8, &cache});
+  EXPECT_EQ(serial, parallel);
+  EXPECT_GT(cache.combined_stats().hits, 0u);
+}
+
+TEST(ParallelPrediction, DegradedSweepParallelMatchesSerial) {
+  const SystemParams healthy = make_cluster(140.0, 4);
+  std::vector<DegradedScenario> scenarios(4);
+  scenarios[0].slow_device = 0;
+  scenarios[0].service_inflation = 2.0;
+  scenarios[1].failed_device = 2;
+  scenarios[2].retry_rate_factor = 1.15;
+  scenarios[3].slow_device = 1;
+  scenarios[3].service_inflation = 1.5;
+  scenarios[3].retry_rate_factor = 1.05;
+
+  const auto serial =
+      cosm::core::degraded_sla_percentiles(healthy, scenarios, 0.12);
+  PredictionCache cache;
+  const auto parallel = cosm::core::degraded_sla_percentiles(
+      healthy, scenarios, 0.12, {}, PredictOptions{8, &cache});
+  ASSERT_EQ(serial.size(), scenarios.size());
+  EXPECT_EQ(serial, parallel);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_EQ(serial[i],
+              cosm::core::degraded_sla_percentile(healthy, scenarios[i], 0.12));
+  }
+}
+
+TEST(ParallelPrediction, OverloadBehaviorUnchangedUnderParallel) {
+  // Way past saturation for this device profile.
+  const SystemParams overloaded = make_cluster(4000.0, 4);
+  PredictionCache cache;
+  EXPECT_THROW(SystemModel(overloaded, {}, PredictOptions{8, &cache}),
+               cosm::core::OverloadError);
+  EXPECT_FALSE(cosm::core::meets_target(overloaded, SlaTarget{0.12, 0.9}, {},
+                                        PredictOptions{8, &cache}));
+}
+
+}  // namespace
