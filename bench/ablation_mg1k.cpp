@@ -12,6 +12,7 @@
 // blocking and sojourn (exponential is more variable than the disk), and
 // the gap grows with utilization; the embedded-chain solution matches the
 // simulation.
+#include <deque>
 #include <iostream>
 #include <memory>
 

@@ -122,6 +122,7 @@ RatePoint run_point(const ScenarioConfig& config,
   point.rate = rate;
   point.timeouts = cluster.metrics().timeouts();
   stats::SampleSet latencies;
+  latencies.reserve(cluster.metrics().requests().size());
   for (const auto& sample : cluster.metrics().requests()) {
     if (sample.timed_out) continue;
     latencies.add(sample.response_latency);

@@ -1,0 +1,393 @@
+// Perf-regression harness for the simulator hot path (the engine /
+// request-pool / metrics overhaul) and for parallel replications.
+//
+// Runs the canonical throughput scenario — 4 devices x 4 backend
+// processes, default HDD profile, 20k-object catalog, open-loop Poisson
+// arrivals at --rate for 5 s warmup + --duration benchmark — in four
+// modes:
+//
+//   sampled                one replication, per-request samples retained
+//   streaming              one replication, constant-memory metrics
+//   replications_serial    --reps replications, num_threads=1
+//   replications_parallel  --reps replications, num_threads=--threads
+//
+// and verifies the determinism contract everywhere: a mode's fingerprint
+// must be identical across timing repetitions, the parallel replication
+// set must be bit-identical to the serial one, and streaming must agree
+// with sampled on every counter (only the recording differs).
+//
+// Emits machine-readable BENCH_sim.json (field glossary in
+// docs/PERFORMANCE.md).  The baseline_* constants are the pre-overhaul
+// simulator's throughput on this scenario at default flags, measured on
+// the repo's reference container; speedup_vs_baseline is only meaningful
+// on comparable hardware, so CI gates on the determinism checks, not on
+// it.  Exit status: 0 ok, 1 determinism/bit-identity violation,
+// 2 throughput regression (streaming slower than 1.5x sampled, or
+// --min-speedup unmet), 3 JSON write/readback failure.
+//
+// Flags: --rate=R      (system arrivals/s; default 150)
+//        --duration=S  (benchmark phase seconds; default 115)
+//        --reps=N      (replication count; default 4)
+//        --threads=T   (parallel replication fan-out; 0 = hardware)
+//        --repeat=K    (timing repetitions, best-of; default 3)
+//        --min-speedup=X  (gate sampled req/s vs baseline; 0 = off)
+//        --out=PATH    (default BENCH_sim.json)
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/replication.hpp"
+#include "workload/catalog.hpp"
+
+namespace {
+
+using cosm::sim::ReplicationPlan;
+using cosm::sim::ReplicationResult;
+using cosm::sim::ReplicationSet;
+using cosm::sim::run_replication;
+using cosm::sim::run_replications;
+
+// Pre-overhaul throughput of this exact scenario (same seeds, same
+// timeout, engine-loop-only timing) on the reference container,
+// measured interleaved with the overhauled build and taking the
+// baseline's best round — the denominators of the speedup fields,
+// deliberately favoring the old code.
+constexpr double kBaselineRequestsPerSec = 466811.0;
+constexpr double kBaselineEventsPerSec = 6352934.0;
+
+constexpr std::uint64_t kSeed = 20170813;  // the figure benches' seed
+
+struct Config {
+  double rate = 150.0;
+  double duration = 115.0;
+  int reps = 4;
+  unsigned threads = 0;  // 0 = all hardware threads
+  int repeat = 3;
+  double min_speedup = 0.0;  // 0 = baseline gate off
+  std::string out = "BENCH_sim.json";
+};
+
+Config parse_args(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--rate=", 0) == 0) {
+      config.rate = std::stod(value_of("--rate="));
+    } else if (arg.rfind("--duration=", 0) == 0) {
+      config.duration = std::stod(value_of("--duration="));
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      config.reps = std::stoi(value_of("--reps="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      config.threads =
+          static_cast<unsigned>(std::stoul(value_of("--threads=")));
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      config.repeat = std::stoi(value_of("--repeat="));
+    } else if (arg.rfind("--min-speedup=", 0) == 0) {
+      config.min_speedup = std::stod(value_of("--min-speedup="));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      config.out = value_of("--out=");
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      std::exit(3);
+    }
+  }
+  config.reps = std::max(config.reps, 1);
+  config.repeat = std::max(config.repeat, 1);
+  return config;
+}
+
+ReplicationPlan make_plan(const Config& config, bool streaming) {
+  ReplicationPlan plan;
+  plan.cluster.device_count = 4;
+  plan.cluster.processes_per_device = 4;
+  plan.cluster.request_timeout = 0.25;
+  plan.catalog.object_count = 20000;
+  plan.catalog.size_distribution =
+      cosm::workload::default_size_distribution();
+  plan.placement = {.partition_count = 1024,
+                    .replica_count = 3,
+                    .device_count = 4,
+                    .seed = 0};
+  plan.phases.warmup_rate = config.rate;
+  plan.phases.warmup_duration = 5.0;
+  plan.phases.transition_duration = 0.0;
+  plan.phases.benchmark_start_rate = config.rate;
+  plan.phases.benchmark_end_rate = config.rate;
+  plan.phases.benchmark_step_duration = config.duration;
+  plan.streaming = streaming;
+  return plan;
+}
+
+struct ModeResult {
+  std::string name;
+  unsigned threads = 1;
+  double wall_ms = 0.0;  // best over repetitions
+  std::uint64_t events = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t fingerprint = 0;
+  bool deterministic = true;  // fingerprint stable across repetitions
+};
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void fold_rep(ModeResult& result, int rep, double ms, std::uint64_t events,
+              std::uint64_t requests, std::uint64_t fingerprint) {
+  if (rep == 0 || ms < result.wall_ms) result.wall_ms = ms;
+  if (rep == 0) {
+    result.events = events;
+    result.requests = requests;
+    result.fingerprint = fingerprint;
+  } else if (fingerprint != result.fingerprint ||
+             events != result.events || requests != result.requests) {
+    result.deterministic = false;
+  }
+}
+
+ModeResult run_single(const std::string& name, const ReplicationPlan& plan,
+                      int repeat) {
+  ModeResult result;
+  result.name = name;
+  for (int rep = 0; rep < repeat; ++rep) {
+    // Engine-loop wall only (excludes catalog/placement construction) —
+    // the same window the pre-overhaul baseline constants were measured
+    // over, so speedup_vs_baseline compares like with like.
+    const ReplicationResult r = run_replication(plan, kSeed);
+    fold_rep(result, rep, r.engine_wall_ms, r.events, r.completed,
+             r.fingerprint);
+  }
+  return result;
+}
+
+ModeResult run_set(const std::string& name, const ReplicationPlan& plan,
+                   unsigned threads, int repeat) {
+  ModeResult result;
+  result.name = name;
+  result.threads = threads;
+  for (int rep = 0; rep < repeat; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const ReplicationSet set = run_replications(plan, threads);
+    fold_rep(result, rep, ms_since(start), set.events, set.completed,
+             set.fingerprint);
+  }
+  return result;
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream out;
+  out << "0x" << std::hex << v;
+  return out.str();
+}
+
+double events_per_sec(const ModeResult& mode) {
+  return static_cast<double>(mode.events) / (mode.wall_ms / 1e3);
+}
+
+double requests_per_sec(const ModeResult& mode) {
+  return static_cast<double>(mode.requests) / (mode.wall_ms / 1e3);
+}
+
+void append_mode_json(std::ostringstream& json, const ModeResult& mode,
+                      bool last) {
+  json << "    {\n"
+       << "      \"name\": \"" << mode.name << "\",\n"
+       << "      \"threads\": " << mode.threads << ",\n"
+       << "      \"wall_ms\": " << fmt(mode.wall_ms, 3) << ",\n"
+       << "      \"events\": " << mode.events << ",\n"
+       << "      \"requests\": " << mode.requests << ",\n"
+       << "      \"events_per_sec\": " << fmt(events_per_sec(mode), 0)
+       << ",\n"
+       << "      \"requests_per_sec\": " << fmt(requests_per_sec(mode), 0)
+       << ",\n"
+       << "      \"fingerprint\": \"" << hex64(mode.fingerprint) << "\",\n"
+       << "      \"deterministic\": "
+       << (mode.deterministic ? "true" : "false") << "\n"
+       << "    }" << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config config = parse_args(argc, argv);
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned fanout = config.threads == 0 ? hardware : config.threads;
+
+  const ReplicationPlan sampled_plan = make_plan(config, false);
+  const ReplicationPlan streaming_plan = make_plan(config, true);
+  ReplicationPlan set_plan = make_plan(config, true);
+  for (int i = 0; i < config.reps; ++i) {
+    set_plan.seeds.push_back(kSeed + 1000 * (static_cast<std::uint64_t>(i) + 1));
+  }
+
+  std::vector<ModeResult> modes;
+  modes.push_back(run_single("sampled", sampled_plan, config.repeat));
+  modes.push_back(run_single("streaming", streaming_plan, config.repeat));
+  modes.push_back(
+      run_set("replications_serial", set_plan, 1, config.repeat));
+  modes.push_back(
+      run_set("replications_parallel", set_plan, fanout, config.repeat));
+
+  const ModeResult& sampled = modes[0];
+  const ModeResult& streaming = modes[1];
+  const ModeResult& serial_set = modes[2];
+  const ModeResult& parallel_set = modes[3];
+
+  bool deterministic = true;
+  for (const ModeResult& mode : modes) {
+    deterministic = deterministic && mode.deterministic;
+  }
+  // Streaming and sampled run the same simulation; only recording differs.
+  const bool modes_agree = sampled.events == streaming.events &&
+                           sampled.requests == streaming.requests;
+  const bool replications_identical =
+      serial_set.fingerprint == parallel_set.fingerprint &&
+      serial_set.events == parallel_set.events &&
+      serial_set.requests == parallel_set.requests;
+  // Constant-memory accounting must not cost wall time (generous band:
+  // same process, same machine, so this check is portable).
+  const bool streaming_ok = streaming.wall_ms <= 1.5 * sampled.wall_ms;
+  const double speedup_requests =
+      requests_per_sec(sampled) / kBaselineRequestsPerSec;
+  const double speedup_events = events_per_sec(sampled) / kBaselineEventsPerSec;
+  const bool speedup_ok =
+      config.min_speedup <= 0.0 || speedup_requests >= config.min_speedup;
+
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  const double peak_rss_mb =
+      static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
+
+  std::cout << "perf_sim_scale: rate=" << fmt(config.rate, 0) << "/s, "
+            << fmt(config.duration, 0) << " s benchmark, reps="
+            << config.reps << ", repeat=" << config.repeat << ", fanout="
+            << fanout << " thread(s)\n\n";
+  std::cout << "  mode                     wall_ms     events/s   requests/s"
+               "   deterministic\n";
+  for (const ModeResult& mode : modes) {
+    std::cout << "  " << mode.name
+              << std::string(24 - mode.name.size(), ' ')
+              << fmt(mode.wall_ms, 2) << "   " << fmt(events_per_sec(mode), 0)
+              << "   " << fmt(requests_per_sec(mode), 0) << "   "
+              << (mode.deterministic ? "yes" : "NO") << "\n";
+  }
+  std::cout << "\n  sampled speedup vs pre-overhaul baseline: "
+            << fmt(speedup_requests, 2) << "x requests/s, "
+            << fmt(speedup_events, 2) << "x events/s\n"
+            << "  parallel replications bit-identical to serial: "
+            << (replications_identical ? "yes" : "NO") << "\n"
+            << "  peak RSS: " << fmt(peak_rss_mb, 1) << " MiB\n";
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"benchmark\": \"perf_sim_scale\",\n"
+       << "  \"schema_version\": 1,\n"
+       << "  \"config\": {\n"
+       << "    \"rate\": " << fmt(config.rate, 1) << ",\n"
+       << "    \"duration_s\": " << fmt(config.duration, 1) << ",\n"
+       << "    \"warmup_s\": 5.0,\n"
+       << "    \"devices\": 4,\n"
+       << "    \"processes_per_device\": 4,\n"
+       << "    \"replications\": " << config.reps << ",\n"
+       << "    \"repeat\": " << config.repeat << ",\n"
+       << "    \"requested_threads\": " << config.threads << ",\n"
+       << "    \"resolved_threads\": " << fanout << ",\n"
+       << "    \"hardware_threads\": " << hardware << ",\n"
+       << "    \"seed\": " << kSeed << "\n"
+       << "  },\n"
+       << "  \"modes\": [\n";
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    append_mode_json(json, modes[i], i + 1 == modes.size());
+  }
+  json << "  ],\n"
+       << "  \"baseline\": {\n"
+       << "    \"requests_per_sec\": " << fmt(kBaselineRequestsPerSec, 0)
+       << ",\n"
+       << "    \"events_per_sec\": " << fmt(kBaselineEventsPerSec, 0) << "\n"
+       << "  },\n"
+       << "  \"speedup_vs_baseline\": {\n"
+       << "    \"requests_per_sec\": " << fmt(speedup_requests, 3) << ",\n"
+       << "    \"events_per_sec\": " << fmt(speedup_events, 3) << "\n"
+       << "  },\n"
+       << "  \"parallel_speedup_vs_serial\": "
+       << fmt(serial_set.wall_ms / parallel_set.wall_ms, 3) << ",\n"
+       << "  \"peak_rss_mb\": " << fmt(peak_rss_mb, 1) << ",\n"
+       << "  \"checks\": {\n"
+       << "    \"deterministic\": " << (deterministic ? "true" : "false")
+       << ",\n"
+       << "    \"streaming_matches_sampled\": "
+       << (modes_agree ? "true" : "false") << ",\n"
+       << "    \"replications_bit_identical\": "
+       << (replications_identical ? "true" : "false") << ",\n"
+       << "    \"streaming_within_1p5x_of_sampled\": "
+       << (streaming_ok ? "true" : "false") << "\n"
+       << "  }\n"
+       << "}\n";
+
+  {
+    std::ofstream out(config.out);
+    if (!out) {
+      std::cerr << "cannot open " << config.out << " for writing\n";
+      return 3;
+    }
+    out << json.str();
+  }
+  // Readback sanity: CI parses these fields from the artifact.
+  {
+    std::ifstream in(config.out);
+    std::stringstream readback;
+    readback << in.rdbuf();
+    const std::string text = readback.str();
+    for (const char* field :
+         {"\"benchmark\"", "\"modes\"", "\"requests_per_sec\"",
+          "\"speedup_vs_baseline\"", "\"deterministic\"",
+          "\"replications_bit_identical\"", "\"peak_rss_mb\""}) {
+      if (text.find(field) == std::string::npos) {
+        std::cerr << "readback of " << config.out << " missing " << field
+                  << "\n";
+        return 3;
+      }
+    }
+  }
+  std::cout << "  wrote " << config.out << "\n";
+
+  if (!deterministic || !modes_agree || !replications_identical) {
+    std::cerr << "FAIL: determinism contract violated (repeat fingerprints, "
+                 "streaming/sampled agreement, or serial/parallel "
+                 "replication identity)\n";
+    return 1;
+  }
+  if (!streaming_ok) {
+    std::cerr << "FAIL: streaming metrics cost more than 1.5x sampled wall "
+                 "time\n";
+    return 2;
+  }
+  if (!speedup_ok) {
+    std::cerr << "FAIL: sampled requests/s speedup " << fmt(speedup_requests, 2)
+              << "x below required " << fmt(config.min_speedup, 2) << "x\n";
+    return 2;
+  }
+  return 0;
+}

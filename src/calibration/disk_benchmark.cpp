@@ -1,5 +1,7 @@
 #include "calibration/disk_benchmark.hpp"
 
+#include <functional>
+
 #include "common/require.hpp"
 #include "sim/engine.hpp"
 

@@ -71,7 +71,7 @@ void BackendProcess::enqueue(Task task) {
 void BackendProcess::start_next() {
   // Ready request work first; the listening socket is only looked at when
   // the loop has nothing else ready (config_.defer_accepts).
-  std::deque<Task>* source = nullptr;
+  FifoRing<Task>* source = nullptr;
   if (!tasks_.empty()) {
     source = &tasks_;
   } else if (!accept_tasks_.empty()) {
@@ -88,7 +88,11 @@ void BackendProcess::start_next() {
     pick = rng_.uniform_index(source->size());
   }
   Task task = std::move((*source)[pick]);
-  source->erase(source->begin() + static_cast<std::ptrdiff_t>(pick));
+  if (pick == 0) {  // FCFS (and the common SIRO draw): plain pop
+    source->pop_front();
+  } else {
+    source->erase(pick);
+  }
   execute(std::move(task));
 }
 
@@ -114,68 +118,39 @@ void BackendProcess::run_accept() {
   // Accept one connection or drain the pool depending on the configured
   // strategy.  Another process's queued accept may find the pool empty —
   // that is EAGAIN on a real server, effectively free.
-  std::deque<RequestPtr> accepted;
+  bool any = false;
   if (config_.accept_strategy == AcceptStrategy::kBatchDrain) {
-    accepted = device_.drain_pool();
+    device_.drain_pool(accept_scratch_);
+    any = !accept_scratch_.empty();
+    const double now = engine_.now();
+    for (RequestPtr& req : accept_scratch_) {
+      accept_connection(std::move(req), now);
+    }
+    accept_scratch_.clear();
   } else if (RequestPtr one = device_.take_one_from_pool()) {
-    accepted.push_back(std::move(one));
-  }
-  const double now = engine_.now();
-  for (RequestPtr& req : accepted) {
-    req->accept_time = now;
-    // Frontend learns of the accept, then ships the HTTP request: two
-    // one-way latencies before the request enters this op queue.
-    RequestPtr captured = std::move(req);
-    engine_.schedule_after(
-        2.0 * config_.network_latency,
-        [this, captured = std::move(captured),
-         epoch = epoch_]() mutable {
-          if (epoch != epoch_) {  // the accepting process died meanwhile
-            device_.notify_request_failed(captured);
-            return;
-          }
-          enqueue_start_request(std::move(captured));
-        });
+    any = true;
+    accept_connection(std::move(one), engine_.now());
   }
   // Only a successful accept pays the accept cost; EAGAIN is free.
-  const double cost = accepted.empty() ? 0.0 : config_.accept_cost;
-  engine_.schedule_after(cost, [this, epoch = epoch_] {
+  const double cost = any ? config_.accept_cost : 0.0;
+  engine_.schedule_after_inline(cost, [this, epoch = epoch_] {
     if (epoch != epoch_) return;
     start_next();
   });
 }
 
-void BackendProcess::access(AccessKind kind, const RequestPtr& req,
-                            std::uint32_t chunk_index,
-                            std::function<void()> cont) {
-  const bool hit =
-      device_.cache().lookup(kind, req->object_id, chunk_index, rng_);
-  metrics_.on_cache_access(device_.id(), kind, hit);
-  if (kind == AccessKind::kData) metrics_.on_data_read(device_.id());
-  if (hit) {
-    // Memory latency is approximated as zero, as in the model.
-    metrics_.on_operation_latency(device_.id(), kind, 0.0);
-    cont();
-    return;
-  }
-  const double start = engine_.now();
-  device_.disk().submit(
-      kind, [this, kind, req, chunk_index, cont = std::move(cont), start,
-             epoch = epoch_](double service, bool ok) {
-        if (epoch != epoch_) {  // process crashed while blocked on the disk
+void BackendProcess::accept_connection(RequestPtr req, double now) {
+  req->accept_time = now;
+  // Frontend learns of the accept, then ships the HTTP request: two
+  // one-way latencies before the request enters this op queue.
+  engine_.schedule_after_inline(
+      2.0 * config_.network_latency,
+      [this, req = std::move(req), epoch = epoch_]() mutable {
+        if (epoch != epoch_) {  // the accepting process died meanwhile
           device_.notify_request_failed(req);
           return;
         }
-        if (!ok) {  // the disk went away under us
-          device_.notify_request_failed(req);
-          start_next();
-          return;
-        }
-        metrics_.on_disk_op(device_.id(), kind, service);
-        metrics_.on_operation_latency(device_.id(), kind,
-                                      engine_.now() - start);
-        device_.cache().fill(kind, req->object_id, chunk_index);
-        cont();
+        enqueue_start_request(std::move(req));
       });
 }
 
@@ -186,15 +161,15 @@ void BackendProcess::run_start_request(RequestPtr req) {
     return;
   }
   const double parse = config_.backend_parse->sample(rng_);
-  engine_.schedule_after(
+  engine_.schedule_after_inline(
       parse, [this, req = std::move(req), epoch = epoch_]() mutable {
         if (epoch != epoch_) {
           device_.notify_request_failed(req);
           return;
         }
-        access(AccessKind::kIndex, req, 0, [this, req] {
-          access(AccessKind::kMeta, req, 0, [this, req] {
-            read_chunk_then_transmit(req);
+        access(AccessKind::kIndex, req, 0, [this, req]() mutable {
+          access(AccessKind::kMeta, req, 0, [this, req]() mutable {
+            read_chunk_then_transmit(std::move(req));
           });
         });
       });
@@ -202,7 +177,7 @@ void BackendProcess::run_start_request(RequestPtr req) {
 
 void BackendProcess::run_start_write(RequestPtr req) {
   const double parse = config_.backend_parse->sample(rng_);
-  engine_.schedule_after(
+  engine_.schedule_after_inline(
       parse, [this, req = std::move(req), epoch = epoch_]() mutable {
         if (epoch != epoch_) {
           device_.notify_request_failed(req);
@@ -217,14 +192,13 @@ void BackendProcess::run_start_write(RequestPtr req) {
 
 void BackendProcess::schedule_chunk_arrival(RequestPtr req) {
   const double transfer = chunk_transfer_time(*req, req->chunks_done);
-  RequestPtr captured = std::move(req);
-  engine_.schedule_after(
-      transfer, [this, captured, epoch = epoch_]() mutable {
+  engine_.schedule_after_inline(
+      transfer, [this, req = std::move(req), epoch = epoch_]() mutable {
         if (epoch != epoch_) {
-          device_.notify_request_failed(captured);
+          device_.notify_request_failed(req);
           return;
         }
-        enqueue({Task::Kind::kWriteChunk, std::move(captured)});
+        enqueue({Task::Kind::kWriteChunk, std::move(req)});
       });
 }
 
@@ -234,7 +208,8 @@ void BackendProcess::run_write_chunk(RequestPtr req) {
   const double start = engine_.now();
   device_.disk().submit(
       AccessKind::kWrite,
-      [this, req, chunk, start, epoch = epoch_](double service, bool ok) {
+      [this, req, chunk, start,
+       epoch = epoch_](double service, bool ok) mutable {
         if (epoch != epoch_) {
           device_.notify_request_failed(req);
           return;
@@ -250,7 +225,7 @@ void BackendProcess::run_write_chunk(RequestPtr req) {
         device_.cache().fill(AccessKind::kData, req->object_id, chunk);
         ++req->chunks_done;
         if (req->chunks_done < req->chunks_total) {
-          schedule_chunk_arrival(req);
+          schedule_chunk_arrival(std::move(req));
           start_next();
           return;
         }
@@ -259,8 +234,8 @@ void BackendProcess::run_write_chunk(RequestPtr req) {
         const double commit_start = engine_.now();
         device_.disk().submit(
             AccessKind::kCommit,
-            [this, req, commit_start, epoch = epoch_](double commit,
-                                                      bool commit_ok) {
+            [this, req = std::move(req), commit_start,
+             epoch = epoch_](double commit, bool commit_ok) {
               if (epoch != epoch_) {
                 device_.notify_request_failed(req);
                 return;
@@ -279,11 +254,9 @@ void BackendProcess::run_write_chunk(RequestPtr req) {
               device_.cache().fill(AccessKind::kMeta, req->object_id, 0);
               req->responded = true;
               req->respond_time = engine_.now();
-              RequestPtr captured = req;
-              engine_.schedule_after(
-                  config_.network_latency,
-                  [this, captured] {
-                    device_.notify_response_started(captured);
+              engine_.schedule_after_inline(
+                  config_.network_latency, [this, req] {
+                    device_.notify_response_started(req);
                   });
               start_next();
             });
@@ -296,26 +269,26 @@ void BackendProcess::run_next_chunk(RequestPtr req) {
 
 void BackendProcess::read_chunk_then_transmit(RequestPtr req) {
   const std::uint32_t chunk = req->chunks_done;
-  access(AccessKind::kData, req, chunk, [this, req] {
+  access(AccessKind::kData, req, chunk, [this, req]() mutable {
     if (!req->responded) {
       // Headers are formed from the metadata and the response starts once
       // the first data chunk is in hand (paper, Sec. III-B).
       req->responded = true;
       req->respond_time = engine_.now();
-      RequestPtr captured = req;
-      engine_.schedule_after(config_.network_latency, [this, captured] {
-        device_.notify_response_started(captured);
+      engine_.schedule_after_inline(config_.network_latency, [this, req] {
+        device_.notify_response_started(req);
       });
     }
     // Asynchronous transmission: the process moves on to its next queued
     // task while the chunk is on the wire.
     const double transfer = chunk_transfer_time(*req, req->chunks_done);
-    RequestPtr captured = req;
-    engine_.schedule_after(transfer, [this, captured, epoch = epoch_]() {
-      // The response already started; a crash just drops remaining chunks.
-      if (epoch != epoch_) return;
-      on_chunk_transmitted(captured);
-    });
+    engine_.schedule_after_inline(
+        transfer, [this, req = std::move(req), epoch = epoch_]() mutable {
+          // The response already started; a crash just drops remaining
+          // chunks.
+          if (epoch != epoch_) return;
+          on_chunk_transmitted(std::move(req));
+        });
     start_next();
   });
 }
@@ -377,10 +350,11 @@ void BackendDevice::connection_arrived(RequestPtr req) {
   }
 }
 
-std::deque<RequestPtr> BackendDevice::drain_pool() {
-  std::deque<RequestPtr> drained;
-  drained.swap(pool_);
-  return drained;
+void BackendDevice::drain_pool(std::vector<RequestPtr>& out) {
+  while (!pool_.empty()) {
+    out.push_back(std::move(pool_.front()));
+    pool_.pop_front();
+  }
 }
 
 RequestPtr BackendDevice::take_one_from_pool() {
@@ -424,8 +398,7 @@ void BackendDevice::set_online(bool online) {
   // see stale epochs (the blocked process is already gone).
   for (auto& process : processes_) process->crash();
   disk_.set_online(false);
-  std::deque<RequestPtr> orphaned;
-  orphaned.swap(pool_);
+  const std::vector<RequestPtr> orphaned = pool_.take_all();
   for (const RequestPtr& req : orphaned) notify_request_failed(req);
 }
 

@@ -26,7 +26,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -36,6 +35,7 @@
 #include "sim/config.hpp"
 #include "sim/disk.hpp"
 #include "sim/engine.hpp"
+#include "sim/fifo_ring.hpp"
 #include "sim/metrics.hpp"
 #include "sim/request.hpp"
 
@@ -81,6 +81,9 @@ class BackendProcess {
   void start_next();
   void execute(Task task);
   void run_accept();
+  // Stamps the accept time and schedules the accepted connection's HTTP
+  // request into this process's op queue after the handshake round-trip.
+  void accept_connection(RequestPtr req, double now);
   void run_start_request(RequestPtr req);
   void run_next_chunk(RequestPtr req);
   // Write path (extension): parse, then chunk-by-chunk receive + blocking
@@ -91,9 +94,15 @@ class BackendProcess {
   void schedule_chunk_arrival(RequestPtr req);
 
   // Performs one index/meta/data access: cache lookup, disk on miss
-  // (blocking this process), then `cont`.
+  // (blocking this process), then `cont`.  Templated on the continuation
+  // (every caller passes a small [this, req] lambda): the disk completion
+  // captures it as its concrete type, so invoking it is a direct —
+  // inlinable — call, and the capture block stays small enough for the
+  // whole completion to live inside CompletionFn's inline storage.
+  // Defined after BackendDevice (it needs the device's cache and disk).
+  template <typename Cont>
   void access(AccessKind kind, const RequestPtr& req,
-              std::uint32_t chunk_index, std::function<void()> cont);
+              std::uint32_t chunk_index, Cont cont);
   // Reads the due chunk, then starts its transmission and finishes the
   // task.
   void read_chunk_then_transmit(RequestPtr req);
@@ -106,10 +115,10 @@ class BackendProcess {
   SimMetrics& metrics_;
   BackendDevice& device_;
   cosm::Rng rng_;
-  std::deque<Task> tasks_;
+  FifoRing<Task> tasks_;
   // Low-priority accept queue used when config_.defer_accepts is set;
   // drained only when tasks_ is empty.
-  std::deque<Task> accept_tasks_;
+  FifoRing<Task> accept_tasks_;
   bool busy_ = false;
   bool accept_queued_ = false;
   bool crashed_ = false;
@@ -117,6 +126,10 @@ class BackendProcess {
   // created under and abandons itself (failing its request) when stale.
   std::uint64_t epoch_ = 0;
   std::uint64_t requests_started_ = 0;
+  // Reusable batch-drain scratch: run_accept() used to construct (and
+  // heap-allocate) a fresh deque per accept op — one per pool signal, most
+  // of them EAGAIN.  Capacity persists across accepts.
+  std::vector<RequestPtr> accept_scratch_;
 };
 
 class BackendDevice {
@@ -132,9 +145,10 @@ class BackendDevice {
   // (the request fails) while the device is offline.
   void connection_arrived(RequestPtr req);
 
-  // Called by a process executing accept(): hands over the whole pool
-  // (kBatchDrain) ...
-  std::deque<RequestPtr> drain_pool();
+  // Called by a process executing accept(): appends the whole pool (FIFO
+  // order) to `out` — caller-owned scratch, so repeated accepts reuse its
+  // capacity (kBatchDrain) ...
+  void drain_pool(std::vector<RequestPtr>& out);
   // ... or just the oldest connection (kAcceptOne); null when empty.
   RequestPtr take_one_from_pool();
 
@@ -172,12 +186,56 @@ class BackendDevice {
   std::uint32_t id_;
   Disk disk_;
   CacheBank cache_;
-  std::deque<RequestPtr> pool_;
+  FifoRing<RequestPtr> pool_;
   std::vector<std::unique_ptr<BackendProcess>> processes_;
   std::size_t next_wake_offset_ = 0;
   bool online_ = true;
   ResponseStartedFn response_started_;
   RequestFailedFn request_failed_;
 };
+
+template <typename Cont>
+void BackendProcess::access(AccessKind kind, const RequestPtr& req,
+                            std::uint32_t chunk_index, Cont cont) {
+  const bool hit =
+      device_.cache().lookup(kind, req->object_id, chunk_index, rng_);
+  metrics_.on_cache_access(device_.id(), kind, hit);
+  if (kind == AccessKind::kData) metrics_.on_data_read(device_.id());
+  if (hit) {
+    // Memory latency is approximated as zero, as in the model.
+    metrics_.on_operation_latency(device_.id(), kind, 0.0);
+    cont();
+    return;
+  }
+  const double start = engine_.now();
+  // `req = req`: a plain [req] capture from this const reference would make
+  // a *const* member, which the closure's move constructor can only COPY —
+  // RequestPtr refcount churn on every SmallFn relocation, and (worse) a
+  // potentially-throwing member op that silently disqualified the closure
+  // from CompletionFn's inline storage.  The init-capture's member is
+  // mutable, so the closure stays nothrow-movable and inline.
+  auto completion =
+      [this, kind, req = req, chunk_index, cont = std::move(cont), start,
+       epoch = epoch_](double service, bool ok) mutable {
+        if (epoch != epoch_) {  // process crashed while blocked on the disk
+          device_.notify_request_failed(req);
+          return;
+        }
+        if (!ok) {  // the disk went away under us
+          device_.notify_request_failed(req);
+          start_next();
+          return;
+        }
+        metrics_.on_disk_op(device_.id(), kind, service);
+        metrics_.on_operation_latency(device_.id(), kind,
+                                      engine_.now() - start);
+        device_.cache().fill(kind, req->object_id, chunk_index);
+        cont();
+      };
+  static_assert(Disk::CompletionFn::fits_inline_v<decltype(completion)>,
+                "the hottest disk completion in the simulator must stay "
+                "inside CompletionFn's inline storage");
+  device_.disk().submit(kind, std::move(completion));
+}
 
 }  // namespace cosm::sim

@@ -117,8 +117,13 @@ void Cluster::apply_fault(const FaultEvent& event, bool begin) {
 void Cluster::submit_request(std::uint64_t object_id,
                              std::uint64_t size_bytes,
                              std::uint32_t device, bool is_write) {
-  submit_request(object_id, size_bytes,
-                 std::vector<std::uint32_t>{device}, is_write);
+  COSM_REQUIRE(device < devices_.size(), "device id out of range");
+  RequestPtr req = pool_.acquire();
+  // Single-replica fast path: push into the pooled request's (cleared but
+  // capacity-retaining) replica vector instead of materializing a fresh
+  // one-element vector per arrival.
+  req->replicas.push_back(device);
+  submit_acquired(std::move(req), object_id, size_bytes, is_write);
 }
 
 void Cluster::submit_request(std::uint64_t object_id,
@@ -129,12 +134,19 @@ void Cluster::submit_request(std::uint64_t object_id,
   for (std::uint32_t device : replicas) {
     COSM_REQUIRE(device < devices_.size(), "device id out of range");
   }
-  auto req = std::make_shared<Request>();
+  RequestPtr req = pool_.acquire();
+  // Assign (not move): copying into the pooled vector reuses its capacity,
+  // where a move would free it and adopt the caller's buffer.
+  req->replicas.assign(replicas.begin(), replicas.end());
+  submit_acquired(std::move(req), object_id, size_bytes, is_write);
+}
+
+void Cluster::submit_acquired(RequestPtr req, std::uint64_t object_id,
+                              std::uint64_t size_bytes, bool is_write) {
   req->id = next_request_id_++;
   req->is_write = is_write;
   req->object_id = object_id;
   req->size_bytes = size_bytes;
-  req->replicas = std::move(replicas);
   req->device = req->replicas.front();
   req->original_arrival = engine_.now();
   req->chunks_total = static_cast<std::uint32_t>(std::max<std::uint64_t>(
@@ -150,14 +162,17 @@ void Cluster::dispatch_attempt(RequestPtr req) {
   // response has not started by then, the attempt is abandoned (the
   // backend's work continues and is wasted) and the cluster retries or
   // records the timeout.
+  // now() + a fixed timeout is non-decreasing across dispatches, so the
+  // standing population of armed timers qualifies for the engine's
+  // monotone lane and stays out of every other event's heap sift path.
   if (config_.request_timeout > 0.0) {
-    RequestPtr watched = req;
-    engine_.schedule_after(config_.request_timeout, [this, watched] {
-      if (!watched->responded && !watched->timed_out && !watched->failed) {
-        watched->timed_out = true;
-        on_timeout(watched);
-      }
-    });
+    engine_.schedule_after_monotone_inline(
+        config_.request_timeout, [this, watched = req] {
+          if (!watched->responded && !watched->timed_out && !watched->failed) {
+            watched->timed_out = true;
+            on_timeout(watched);
+          }
+        });
   }
   frontends_[frontend]->accept_request(std::move(req));
 }
@@ -169,7 +184,7 @@ double Cluster::backoff_delay(std::uint32_t attempt) const {
 }
 
 RequestPtr Cluster::make_retry_attempt(const RequestPtr& prev) {
-  auto next = std::make_shared<Request>();
+  RequestPtr next = pool_.acquire();
   next->id = next_request_id_++;
   next->is_write = prev->is_write;
   next->object_id = prev->object_id;
@@ -192,11 +207,11 @@ RequestPtr Cluster::make_retry_attempt(const RequestPtr& prev) {
 
 void Cluster::retry_or_record(const RequestPtr& req) {
   if (req->attempt < config_.max_retries) {
-    RequestPtr next = make_retry_attempt(req);
-    engine_.schedule_after(backoff_delay(req->attempt),
-                           [this, next]() mutable {
-                             dispatch_attempt(std::move(next));
-                           });
+    engine_.schedule_after_inline(
+        backoff_delay(req->attempt),
+        [this, next = make_retry_attempt(req)]() mutable {
+          dispatch_attempt(std::move(next));
+        });
     return;
   }
   // Retry budget spent (or retries disabled): the client gives up, and the

@@ -26,6 +26,7 @@
 #include "sim/engine.hpp"
 #include "sim/frontend.hpp"
 #include "sim/metrics.hpp"
+#include "sim/request.hpp"
 
 namespace cosm::sim {
 
@@ -55,6 +56,10 @@ class Cluster {
   }
 
  private:
+  // Fills the shared fields of a freshly acquired request (replicas must
+  // already be set) and dispatches the first attempt.
+  void submit_acquired(RequestPtr req, std::uint64_t object_id,
+                       std::uint64_t size_bytes, bool is_write);
   void on_response_started(const RequestPtr& req);
   void on_timeout(const RequestPtr& req);
   void on_attempt_failed(const RequestPtr& req);
@@ -68,6 +73,11 @@ class Cluster {
   void apply_fault(const FaultEvent& event, bool begin);
 
   ClusterConfig config_;
+  // The pool is declared before the engine on purpose: the calendar can
+  // hold callbacks owning RequestPtrs at destruction time, and members
+  // destroy in reverse declaration order — the engine (and its pending
+  // callbacks) must go first, the slabs they point into last.
+  RequestPool pool_;
   Engine engine_;
   SimMetrics metrics_;
   cosm::Rng rng_;

@@ -48,11 +48,12 @@ void Disk::set_online(bool online) {
   // recognizes the epoch bump and drops itself.
   ++epoch_;
   busy_ = false;
-  std::deque<PendingOp> killed;
-  killed.swap(queue_);
-  if (inflight_) {
-    killed.push_front(std::move(*inflight_));
+  std::vector<PendingOp> killed = queue_.take_all();
+  if (inflight_) {  // the in-service op fails first, then the queue (FIFO)
+    ++failed_;
+    PendingOp op = std::move(*inflight_);
     inflight_.reset();
+    op.done(0.0, false);
   }
   for (PendingOp& op : killed) {
     ++failed_;
@@ -76,19 +77,30 @@ double Disk::sample_service(AccessKind kind) {
   return 0.0;  // unreachable
 }
 
-void Disk::submit(AccessKind kind, CompletionFn done) {
+void Disk::submit_while_offline(CompletionFn done) {
   COSM_REQUIRE(done != nullptr, "disk completion callback required");
-  if (!online_) {
-    // I/O error reported asynchronously (same simulated instant), keeping
-    // caller code free of reentrancy.
-    ++failed_;
-    engine_.schedule_after(0.0, [done = std::move(done)] {
-      done(0.0, false);
-    });
-    return;
-  }
-  queue_.push_back({kind, std::move(done)});
-  if (!busy_) start_next();
+  // I/O error reported asynchronously (same simulated instant), keeping
+  // caller code free of reentrancy.
+  ++failed_;
+  // Error-delivery capture holds the (large) completion inline in the
+  // lambda, so this one spills to the EventCallback heap path — fine,
+  // outages are cold.
+  engine_.schedule_after(0.0, [done = std::move(done)]() mutable {
+    done(0.0, false);
+  });
+}
+
+void Disk::begin_inflight_service() {
+  const double service = degradation_ * sample_service(inflight_->kind);
+  busy_time_ += service;
+  engine_.schedule_after_inline(service, [this, service, epoch = epoch_] {
+    if (epoch != epoch_) return;  // killed by an outage meanwhile
+    ++completed_;
+    PendingOp done_op = std::move(*inflight_);
+    inflight_.reset();
+    done_op.done(service, true);
+    start_next();
+  });
 }
 
 void Disk::start_next() {
@@ -97,19 +109,9 @@ void Disk::start_next() {
     return;
   }
   busy_ = true;
-  PendingOp op = std::move(queue_.front());
+  inflight_ = std::move(queue_.front());
   queue_.pop_front();
-  const double service = degradation_ * sample_service(op.kind);
-  busy_time_ += service;
-  inflight_ = std::move(op);
-  engine_.schedule_after(service, [this, service, epoch = epoch_] {
-    if (epoch != epoch_) return;  // killed by an outage meanwhile
-    ++completed_;
-    PendingOp done_op = std::move(*inflight_);
-    inflight_.reset();
-    done_op.done(service, true);
-    start_next();
-  });
+  begin_inflight_service();
 }
 
 }  // namespace cosm::sim

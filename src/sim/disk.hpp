@@ -7,14 +7,15 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <optional>
+#include <type_traits>
+#include <utility>
 
 #include "common/rng.hpp"
 #include "numerics/distribution.hpp"
 #include "sim/cache.hpp"
 #include "sim/engine.hpp"
+#include "sim/fifo_ring.hpp"
 
 namespace cosm::sim {
 
@@ -35,15 +36,47 @@ DiskProfile default_hdd_profile();
 class Disk {
  public:
   // `ok` is false when the operation was killed by an outage rather than
-  // served (service_time is 0 in that case).
-  using CompletionFn = std::function<void(double service_time, bool ok)>;
+  // served (service_time is 0 in that case).  Inline capacity 96 covers
+  // the largest submitter capture (BackendProcess::access's continuation-
+  // carrying completion, ~88 bytes), so queueing a disk op never
+  // heap-allocates.
+  using CompletionFn = SmallFn<96, double, bool>;
 
   Disk(Engine& engine, DiskProfile profile, cosm::Rng rng);
 
   // Enqueues one operation; `done` fires at completion with the sampled
   // raw service time (not including queueing).  While offline, `done`
   // fires at the current time with ok = false.
-  void submit(AccessKind kind, CompletionFn done);
+  //
+  // Templated so the (large) completion is constructed once, directly in
+  // its resting place — straight into service when the platter is idle
+  // (the common case at moderate load; the FIFO queue is untouched), or
+  // into the queue slot — instead of relocating a SmallFn<96> through
+  // the vtable at every hand-off.  Service order, rng draw order, and
+  // therefore simulated behaviour are identical to the queue-everything
+  // formulation: `!busy_` implies an empty queue, so the direct start
+  // serves exactly the op a push-then-pop would have picked.
+  template <typename F>
+  void submit(AccessKind kind, F&& done) {
+    if (!online_) {
+      submit_while_offline(CompletionFn(std::forward<F>(done)));
+      return;
+    }
+    if (!busy_) {
+      busy_ = true;
+      inflight_.emplace();
+      inflight_->kind = kind;
+      fill(inflight_->done, std::forward<F>(done));
+      COSM_REQUIRE(inflight_->done != nullptr,
+                   "disk completion callback required");
+      begin_inflight_service();
+      return;
+    }
+    queue_.push_back(PendingOp{kind, nullptr});
+    fill(queue_.back().done, std::forward<F>(done));
+    COSM_REQUIRE(queue_.back().done != nullptr,
+                 "disk completion callback required");
+  }
 
   // Failure injection: multiplies every subsequent sampled service time
   // (1.0 = healthy).  Models media degradation (pending sector remaps,
@@ -71,13 +104,31 @@ class Disk {
     CompletionFn done;
   };
 
+  // In-place construction for lambdas, move-assign for an already-built
+  // CompletionFn (SmallFn::emplace excludes its own type).
+  template <typename F>
+  static void fill(CompletionFn& slot, F&& done) {
+    if constexpr (std::is_same_v<std::decay_t<F>, CompletionFn>) {
+      slot = std::forward<F>(done);
+    } else {
+      slot.emplace(std::forward<F>(done));
+    }
+  }
+
+  void submit_while_offline(CompletionFn done);
+  // Samples a service time for the op in inflight_ and schedules its
+  // completion event (which chains into start_next).
+  void begin_inflight_service();
   void start_next();
   double sample_service(AccessKind kind);
 
   Engine& engine_;
   DiskProfile profile_;
   cosm::Rng rng_;
-  std::deque<PendingOp> queue_;
+  // FifoRing, not deque: a PendingOp carries a SmallFn<96>, so a deque
+  // chunk held only four — steady-state traffic allocated a chunk every
+  // few ops.
+  FifoRing<PendingOp> queue_;
   // The op currently on the platter; kept here (not in the completion
   // event) so an outage can fail it and the stale event can be dropped.
   std::optional<PendingOp> inflight_;

@@ -1,35 +1,52 @@
 #include "sim/engine.hpp"
 
-#include "common/require.hpp"
+#include <algorithm>
 
 namespace cosm::sim {
 
-void Engine::schedule_at(double time, EventCallback fn) {
-  COSM_REQUIRE(time >= now_, "cannot schedule events in the past");
-  COSM_REQUIRE(fn != nullptr, "event callback must be callable");
-  calendar_.push({time, next_seq_++, std::move(fn)});
+void Engine::reserve(std::size_t events) {
+  // The arena is a deque (stable addresses) and grows chunk-wise on its
+  // own; the contiguous structures are worth pre-sizing.
+  heap_.reserve(events);
+  free_slots_.reserve(events);
 }
 
-void Engine::schedule_after(double delay, EventCallback fn) {
-  COSM_REQUIRE(delay >= 0, "event delay must be non-negative");
-  schedule_at(now_ + delay, std::move(fn));
+// Classic hole-based sifts: the node being placed rides in `node`, holes
+// move instead of swapping, so each level costs one 24-byte store.
+
+void Engine::sift_up(std::size_t index, Node node) {
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / kArity;
+    if (!earlier(node, heap_[parent])) break;
+    heap_[index] = heap_[parent];
+    index = parent;
+  }
+  heap_[index] = node;
 }
 
-bool Engine::step() {
-  if (calendar_.empty()) return false;
-  // priority_queue::top is const; the callback must be moved out before
-  // pop, so copy the handle via const_cast-free extraction.
-  Event event = calendar_.top();
-  calendar_.pop();
-  now_ = event.time;
-  ++processed_;
-  event.fn();
-  return true;
+void Engine::sift_down(std::size_t index, Node node) {
+  const std::size_t size = heap_.size();
+  for (;;) {
+    const std::size_t first_child = index * kArity + 1;
+    if (first_child >= size) break;
+    const std::size_t last_child = std::min(first_child + kArity, size);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], node)) break;
+    heap_[index] = heap_[best];
+    index = best;
+  }
+  heap_[index] = node;
 }
 
 void Engine::run_until(double end_time) {
   COSM_REQUIRE(end_time >= now_, "end time precedes current time");
-  while (!calendar_.empty() && calendar_.top().time <= end_time) {
+  while (immediate_head_ < immediate_.size() ||
+         (!heap_.empty() && heap_.front().time() <= end_time) ||
+         (monotone_head_ < monotone_.size() &&
+          monotone_[monotone_head_].time() <= end_time)) {
     step();
   }
   now_ = end_time;

@@ -1,0 +1,166 @@
+// Small-buffer-optimized, move-only callable — the simulator's
+// replacement for std::function on hot paths.
+//
+// Every simulated event used to cost a heap allocation: libstdc++'s
+// std::function inlines only 16 bytes, and the entities' captures
+// ([this, RequestPtr, epoch] and friends) are 16-40 bytes, so each
+// schedule_*() call allocated, and Engine::step()'s copy-out of the
+// calendar top allocated *again*.  SmallFn stores captures up to
+// `Capacity` bytes inline (larger ones fall back to the heap so cold
+// paths — fault arming, offline-disk error delivery — stay correct), is
+// move-only (no copy of captured state, ever), and exposes
+// `fits_inline_v` so hot call sites can static_assert that their capture
+// block really is allocation-free (see Engine::schedule_*_inline).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cosm::sim {
+
+template <std::size_t Capacity, typename... Args>
+class SmallFn {
+ public:
+  // True when F is stored inline (no allocation on construction or move).
+  template <typename F>
+  static constexpr bool fits_inline_v =
+      sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  SmallFn() = default;
+  SmallFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&, Args...>>>
+  SmallFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Decayed = std::decay_t<F>;
+    // Null std::function / function pointer wrapped in a SmallFn would
+    // only blow up at call time; map it to the empty state here so
+    // callers' null checks keep working.
+    if constexpr (std::is_constructible_v<bool, const Decayed&>) {
+      if (!static_cast<bool>(fn)) return;
+    }
+    if constexpr (fits_inline_v<Decayed>) {
+      ::new (storage()) Decayed(std::forward<F>(fn));
+      vtable_ = &inline_vtable<Decayed>;
+    } else {
+      ::new (storage()) Decayed*(new Decayed(std::forward<F>(fn)));
+      vtable_ = &heap_vtable<Decayed>;
+    }
+  }
+
+  // Constructs a callable in place (over whatever was held before):
+  // the hot-path alternative to `fn = SmallFn(lambda)`, which would
+  // relocate the capture block through the vtable twice.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&, Args...>>>
+  void emplace(F&& fn) {
+    reset();
+    using Decayed = std::decay_t<F>;
+    if constexpr (std::is_constructible_v<bool, const Decayed&>) {
+      if (!static_cast<bool>(fn)) return;
+    }
+    if constexpr (fits_inline_v<Decayed>) {
+      ::new (storage()) Decayed(std::forward<F>(fn));
+      vtable_ = &inline_vtable<Decayed>;
+    } else {
+      ::new (storage()) Decayed*(new Decayed(std::forward<F>(fn)));
+      vtable_ = &heap_vtable<Decayed>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  SmallFn& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  ~SmallFn() { reset(); }
+
+  void operator()(Args... args) {
+    vtable_->invoke(storage(), std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+  friend bool operator==(const SmallFn& fn, std::nullptr_t) {
+    return fn.vtable_ == nullptr;
+  }
+  friend bool operator!=(const SmallFn& fn, std::nullptr_t) {
+    return fn.vtable_ != nullptr;
+  }
+
+  // Diagnostic: false when the callable spilled to the heap.
+  bool is_inline() const { return vtable_ == nullptr || vtable_->is_inline; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*, Args&&...);
+    // Move-construct *dst from *src, then destroy *src's remains.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool is_inline;
+  };
+
+  template <typename F>
+  static constexpr VTable inline_vtable = {
+      [](void* s, Args&&... args) {
+        (*std::launder(static_cast<F*>(s)))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        F* from = std::launder(static_cast<F*>(src));
+        ::new (dst) F(std::move(*from));
+        from->~F();
+      },
+      [](void* s) noexcept { std::launder(static_cast<F*>(s))->~F(); },
+      true};
+
+  template <typename F>
+  static constexpr VTable heap_vtable = {
+      [](void* s, Args&&... args) {
+        (**std::launder(static_cast<F**>(s)))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) F*(*std::launder(static_cast<F**>(src)));
+      },
+      [](void* s) noexcept { delete *std::launder(static_cast<F**>(s)); },
+      false};
+
+  void* storage() { return storage_; }
+
+  void move_from(SmallFn& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(storage(), other.storage());
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage());
+      vtable_ = nullptr;
+    }
+  }
+
+  static_assert(Capacity >= sizeof(void*), "capacity below a heap pointer");
+  const VTable* vtable_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+};
+
+}  // namespace cosm::sim

@@ -28,14 +28,13 @@ void FrontendProcess::start_next() {
   RequestPtr req = std::move(queue_.front());
   queue_.pop_front();
   const double parse = config_.frontend_parse->sample(rng_);
-  engine_.schedule_after(parse, [this, req = std::move(req)]() mutable {
+  engine_.schedule_after_inline(parse, [this, req = std::move(req)]() mutable {
     ++parsed_;
     // TCP connect to the backend: one network latency to reach the pool.
-    RequestPtr captured = std::move(req);
-    engine_.schedule_after(config_.network_latency,
-                           [this, captured = std::move(captured)]() mutable {
-                             connect_(std::move(captured));
-                           });
+    engine_.schedule_after_inline(config_.network_latency,
+                                  [this, req = std::move(req)]() mutable {
+                                    connect_(std::move(req));
+                                  });
     start_next();
   });
 }

@@ -9,12 +9,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 
 #include "common/rng.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
+#include "sim/fifo_ring.hpp"
 #include "sim/request.hpp"
 
 namespace cosm::sim {
@@ -40,7 +40,7 @@ class FrontendProcess {
   const ClusterConfig& config_;
   ConnectFn connect_;
   cosm::Rng rng_;
-  std::deque<RequestPtr> queue_;
+  FifoRing<RequestPtr> queue_;
   bool busy_ = false;
   std::uint64_t parsed_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "sim/metrics.hpp"
 
+#include <algorithm>
+
 #include "common/require.hpp"
 
 namespace cosm::sim {
@@ -15,6 +17,18 @@ SimMetrics::SimMetrics(std::uint32_t device_count)
   COSM_REQUIRE(device_count > 0, "metrics need at least one device");
 }
 
+void SimMetrics::enable_streaming(const StreamingConfig& config) {
+  COSM_REQUIRE(completed_ == 0,
+               "enable_streaming must precede the first completed request");
+  latency_hist_.emplace(config.hist_min, config.hist_max,
+                        config.buckets_per_decade);
+  keep_request_samples = false;
+}
+
+void SimMetrics::reserve_request_samples(std::size_t count) {
+  if (keep_request_samples) requests_.reserve(count);
+}
+
 void SimMetrics::on_request_complete(const RequestSample& sample) {
   COSM_REQUIRE(sample.device < devices_.size(), "device id out of range");
   ++completed_;
@@ -26,10 +40,51 @@ void SimMetrics::on_request_complete(const RequestSample& sample) {
     ++retried_ok_;
   }
   ++devices_[sample.device].requests;
-  if (keep_request_samples &&
-      sample.frontend_arrival >= sample_start_time) {
-    requests_.push_back(sample);
+  if (sample.frontend_arrival >= sample_start_time) {
+    if (!sample.timed_out && !sample.failed) {
+      ++latency_count_;
+      latency_moments_.add(sample.response_latency);
+      if (latency_hist_) latency_hist_->add(sample.response_latency);
+    }
+    if (keep_request_samples) requests_.push_back(sample);
   }
+}
+
+double SimMetrics::latency_quantile(double p) const {
+  COSM_REQUIRE(p >= 0.0 && p <= 1.0, "quantile p must be in [0, 1]");
+  if (latency_hist_) return latency_hist_->quantile(p);
+  quantile_scratch_.clear();
+  quantile_scratch_.reserve(requests_.size());
+  for (const RequestSample& sample : requests_) {
+    if (!sample.timed_out && !sample.failed) {
+      quantile_scratch_.push_back(sample.response_latency);
+    }
+  }
+  if (quantile_scratch_.empty()) return 0.0;
+  const double pos = p * static_cast<double>(quantile_scratch_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto nth = quantile_scratch_.begin() +
+                   static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(quantile_scratch_.begin(), nth, quantile_scratch_.end());
+  const double lo_value = *nth;
+  if (lo + 1 >= quantile_scratch_.size()) return lo_value;
+  // The interpolation partner is the minimum of the right partition.
+  const double hi_value =
+      *std::min_element(nth + 1, quantile_scratch_.end());
+  return lo_value + (pos - static_cast<double>(lo)) * (hi_value - lo_value);
+}
+
+double SimMetrics::latency_fraction_below(double threshold) const {
+  if (latency_hist_) return latency_hist_->fraction_below(threshold);
+  std::uint64_t below = 0;
+  std::uint64_t total = 0;
+  for (const RequestSample& sample : requests_) {
+    if (sample.timed_out || sample.failed) continue;
+    ++total;
+    if (sample.response_latency <= threshold) ++below;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(below) / static_cast<double>(total);
 }
 
 void SimMetrics::on_attempt(std::uint32_t device, bool is_retry,

@@ -15,9 +15,12 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "sim/cache.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
 
 namespace cosm::sim {
 
@@ -59,6 +62,15 @@ struct OutcomeCounts {
   std::uint64_t failover_attempts = 0;  // attempts aimed at a new replica
 };
 
+// Constant-memory latency accounting for long runs (streaming mode): a
+// log-bucketed histogram for quantiles plus Welford moments, instead of
+// one retained RequestSample per request.
+struct StreamingConfig {
+  double hist_min = 1e-4;   // 0.1 ms — well under any simulated latency
+  double hist_max = 100.0;  // seconds; above goes to the clamp bucket
+  int buckets_per_decade = 200;  // <=0.6% relative quantile error
+};
+
 class SimMetrics {
  public:
   explicit SimMetrics(std::uint32_t device_count);
@@ -71,6 +83,27 @@ class SimMetrics {
   // Requests arriving before this simulated time are counted but not
   // sampled — the paper's warmup/transition exclusion.
   double sample_start_time = 0.0;
+
+  // Switches latency recording to constant memory: successful post-warmup
+  // latencies go into a log histogram + running moments and per-request
+  // samples are dropped.  Call before the run produces any sample.
+  void enable_streaming(const StreamingConfig& config = {});
+  bool streaming() const { return latency_hist_.has_value(); }
+
+  // Pre-sizes the retained-sample vector from the expected benchmark
+  // arrival count (no-op in streaming mode); kills reallocation stalls in
+  // long sampled runs.
+  void reserve_request_samples(std::size_t count);
+
+  // Response-latency distribution of successful post-warmup requests,
+  // available in BOTH modes: exact (nth_element over retained samples) in
+  // sampled mode, within one bucket width in streaming mode.
+  double latency_quantile(double p) const;
+  double latency_fraction_below(double threshold) const;
+  std::uint64_t latency_count() const { return latency_count_; }
+  const stats::StreamingStats& latency_moments() const {
+    return latency_moments_;
+  }
 
   void on_request_complete(const RequestSample& sample);
   // One attempt dispatched toward `device` (the retry-inflated arrival
@@ -104,6 +137,12 @@ class SimMetrics {
  private:
   std::vector<DeviceCounters> devices_;
   std::vector<RequestSample> requests_;
+  std::optional<stats::LogHistogram> latency_hist_;
+  stats::StreamingStats latency_moments_;
+  std::uint64_t latency_count_ = 0;
+  // Scratch for sampled-mode latency_quantile (selection, not a sort of a
+  // fresh copy); mutable because quantile queries are logically const.
+  mutable std::vector<double> quantile_scratch_;
   // op_samples_[device][kind]
   std::vector<std::array<std::vector<double>, kAccessKindCount>> op_samples_;
   std::uint64_t completed_ = 0;

@@ -1,0 +1,97 @@
+// Parallel replications: N independent simulation runs of one scenario,
+// each under its own derived seed, fanned out over cosm::parallel_for.
+//
+// Every replication owns a full Cluster (engine, pools, RNGs — nothing
+// shared), writes into its own pre-allocated result slot, and the
+// reduction happens on the calling thread in seed order AFTER the fan-out
+// returns.  Consequently the merged result is bit-identical for any
+// thread count, including the pool-free serial path (num_threads == 1) —
+// the property tests/sim/test_replication.cpp pins and the perf harness
+// gates on.
+//
+// Seed derivation per replication follows the figure benches' run_point:
+// cluster s, catalog s+1, placement s+2, arrival source s+3, so a
+// single-seed plan reproduces exactly what a hand-rolled run produces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/metrics.hpp"
+#include "stats/summary.hpp"
+#include "workload/catalog.hpp"
+#include "workload/placement.hpp"
+#include "workload/trace.hpp"
+
+namespace cosm::sim {
+
+struct ReplicationPlan {
+  // Per-replication seeds (one replication per entry).  The seed fields
+  // inside `cluster`, `catalog`, and `placement` are overridden by each
+  // replication's derived seeds.
+  std::vector<std::uint64_t> seeds;
+
+  ClusterConfig cluster;
+  workload::CatalogConfig catalog;
+  workload::PlacementConfig placement;
+  workload::PhasePlan phases;
+  double write_fraction = 0.0;
+
+  // Constant-memory latency accounting (long runs): per-request samples
+  // are dropped, quantiles come from the log histogram.
+  bool streaming = false;
+  StreamingConfig streaming_config{};
+};
+
+struct ReplicationResult {
+  std::uint64_t seed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t events = 0;  // engine events processed
+
+  // Wall-clock milliseconds spent inside the event loop (source start
+  // through drain) — excludes cluster/catalog/placement construction, so
+  // throughput harnesses can report simulation speed rather than setup
+  // speed.  Real time, not part of the deterministic output.
+  double engine_wall_ms = 0.0;
+
+  // Successful post-warmup latencies: moments always, raw samples only in
+  // sampled mode.
+  std::uint64_t latency_count = 0;
+  stats::StreamingStats moments;
+  std::vector<double> latencies;
+
+  // Order-sensitive 64-bit fold of the replication's observable output
+  // (per-request samples in sampled mode; counters + moments in streaming
+  // mode).  Equal fingerprints mean bit-identical runs.
+  std::uint64_t fingerprint = 0;
+};
+
+struct ReplicationSet {
+  // One entry per plan seed, in plan order regardless of thread count.
+  std::vector<ReplicationResult> replications;
+
+  // Reductions, merged in plan order on the calling thread.
+  std::uint64_t completed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t events = 0;
+  std::uint64_t latency_count = 0;
+  stats::StreamingStats moments;
+  // Fold of the per-replication fingerprints in plan order.
+  std::uint64_t fingerprint = 0;
+};
+
+// Runs one replication to completion on the calling thread.
+ReplicationResult run_replication(const ReplicationPlan& plan,
+                                  std::uint64_t seed);
+
+// Fans the plan's replications out over up to `num_threads` threads
+// (1 = serial on the calling thread, 0 = uncapped global pool) and merges
+// in plan order.  Bit-identical for every `num_threads` value.
+ReplicationSet run_replications(const ReplicationPlan& plan,
+                                unsigned num_threads);
+
+}  // namespace cosm::sim

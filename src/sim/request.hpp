@@ -1,13 +1,26 @@
 // Per-request state threaded through the simulator.  Events hold a
-// shared_ptr so a request lives exactly as long as something still
+// RequestPtr so a request lives exactly as long as something still
 // references it.
+//
+// RequestPtr used to be std::shared_ptr<Request>; at simulator rates that
+// meant one control-block allocation per attempt plus two *atomic*
+// refcount operations per copy on a single-threaded hot path.  It is now
+// an intrusive pointer with a plain (non-atomic) counter, and requests
+// are recycled through a RequestPool free list — reacquiring a request
+// also reuses its replicas vector's capacity.  An Engine (and everything
+// scheduled on it) is single-threaded by construction, so the non-atomic
+// count is safe; parallel replications give each replication its own
+// Cluster, pool included.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <memory>
+#include <deque>
 #include <vector>
 
 namespace cosm::sim {
+
+class RequestPool;
 
 // One *attempt* of a client request.  Retries create a fresh Request per
 // attempt (the abandoned attempt's backend work may still be in flight and
@@ -39,8 +52,138 @@ struct Request {
   bool responded = false;
   bool timed_out = false;          // client gave up before first byte
   bool failed = false;             // attempt killed by a fault
+
+ private:
+  friend class RequestPool;
+  friend class RequestPtr;
+  std::uint32_t refs_ = 0;
+  RequestPool* home_ = nullptr;  // owning pool; requests never outlive it
 };
 
-using RequestPtr = std::shared_ptr<Request>;
+// Intrusive smart pointer over pool-owned requests.  Copies bump a plain
+// counter (no atomics); the last release returns the request to its pool.
+class RequestPtr {
+ public:
+  RequestPtr() = default;
+  RequestPtr(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  // Copy operations are noexcept on purpose: lambdas that capture a
+  // RequestPtr from a `const RequestPtr&` get a *const* member, which a
+  // lambda move constructor can only copy — if that copy could throw, the
+  // lambda stops being nothrow-move-constructible and SmallFn spills it to
+  // the heap.  The operations are plain counter bumps; they never throw.
+  RequestPtr(const RequestPtr& other) noexcept : p_(other.p_) {
+    if (p_ != nullptr) ++p_->refs_;
+  }
+  RequestPtr(RequestPtr&& other) noexcept : p_(other.p_) {
+    other.p_ = nullptr;
+  }
+  RequestPtr& operator=(const RequestPtr& other) noexcept {
+    if (p_ != other.p_) {
+      release();
+      p_ = other.p_;
+      if (p_ != nullptr) ++p_->refs_;
+    }
+    return *this;
+  }
+  RequestPtr& operator=(RequestPtr&& other) noexcept {
+    if (this != &other) {
+      release();
+      p_ = other.p_;
+      other.p_ = nullptr;
+    }
+    return *this;
+  }
+  ~RequestPtr() { release(); }
+
+  Request* get() const { return p_; }
+  Request& operator*() const { return *p_; }
+  Request* operator->() const { return p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+  friend bool operator==(const RequestPtr& a, const RequestPtr& b) {
+    return a.p_ == b.p_;
+  }
+  friend bool operator==(const RequestPtr& a, std::nullptr_t) {
+    return a.p_ == nullptr;
+  }
+
+ private:
+  friend class RequestPool;
+  explicit RequestPtr(Request* p) : p_(p) {
+    if (p_ != nullptr) ++p_->refs_;
+  }
+  inline void release();
+
+  Request* p_ = nullptr;
+};
+
+// Slab allocator + free list for requests.  acquire() hands out a request
+// reset to default field values (keeping the replicas vector's capacity);
+// the pool must outlive every RequestPtr into it — Cluster guarantees
+// this by declaring its pool before the engine and all entities.
+class RequestPool {
+ public:
+  RequestPool() = default;
+  RequestPool(const RequestPool&) = delete;
+  RequestPool& operator=(const RequestPool&) = delete;
+
+  RequestPtr acquire() {
+    Request* req;
+    if (!free_.empty()) {
+      req = free_.back();
+      free_.pop_back();
+      reset(*req);
+    } else {
+      slabs_.emplace_back();
+      req = &slabs_.back();
+      req->home_ = this;
+    }
+    return RequestPtr(req);
+  }
+
+  // Total requests ever materialized / currently idle (perf telemetry).
+  std::size_t allocated() const { return slabs_.size(); }
+  std::size_t idle() const { return free_.size(); }
+
+ private:
+  friend class RequestPtr;
+
+  static void reset(Request& req) {
+    req.id = 0;
+    req.is_write = false;
+    req.object_id = 0;
+    req.size_bytes = 0;
+    req.device = 0;
+    req.chunks_total = 1;
+    req.chunks_done = 0;
+    req.attempt = 0;
+    req.replica_index = 0;
+    req.failover_count = 0;
+    req.failed_over_attempt = false;
+    req.replicas.clear();  // keeps capacity for the next attempt
+    req.original_arrival = 0.0;
+    req.frontend_arrival = 0.0;
+    req.pool_enter_time = 0.0;
+    req.accept_time = 0.0;
+    req.backend_enqueue_time = 0.0;
+    req.respond_time = 0.0;
+    req.responded = false;
+    req.timed_out = false;
+    req.failed = false;
+  }
+
+  void recycle(Request* req) { free_.push_back(req); }
+
+  // std::deque: stable addresses across growth (free list and live
+  // RequestPtrs point into the slabs).
+  std::deque<Request> slabs_;
+  std::vector<Request*> free_;
+};
+
+inline void RequestPtr::release() {
+  if (p_ != nullptr && --p_->refs_ == 0) {
+    p_->home_->recycle(p_);
+    p_ = nullptr;
+  }
+}
 
 }  // namespace cosm::sim

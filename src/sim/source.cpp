@@ -42,6 +42,17 @@ double OpenLoopSource::benchmark_start_time() const {
 }
 
 void OpenLoopSource::start() {
+  // Pre-size the metrics sample vector from the benchmark phases' expected
+  // arrival count (Poisson mean = rate * duration, plus headroom for the
+  // tail) so sampled long runs never stall on mid-run reallocation.  The
+  // cap bounds the up-front reservation for extreme plans.
+  double expected = 0.0;
+  for (const auto& segment : segments_) {
+    if (segment.is_benchmark) expected += segment.rate * segment.duration;
+  }
+  constexpr double kReserveCap = 1 << 24;
+  cluster_.metrics().reserve_request_samples(
+      static_cast<std::size_t>(std::min(1.1 * expected, kReserveCap)));
   schedule_next(0, segments_.front().start_time);
 }
 
@@ -51,7 +62,7 @@ void OpenLoopSource::schedule_next(std::size_t segment_index, double time) {
     const double gap = arrival_process_->next_gap(segment.rate, rng_);
     const double at = std::max(time, segment.start_time) + gap;
     if (at < segment.start_time + segment.duration) {
-      cluster_.engine().schedule_at(at, [this, segment_index, at] {
+      cluster_.engine().schedule_at_inline(at, [this, segment_index, at] {
         fire(segment_index, at);
       });
       return;
@@ -103,7 +114,7 @@ std::uint64_t replay_trace(Cluster& cluster,
   std::uint64_t scheduled = 0;
   for (const auto& record : trace) {
     const auto device = placement.choose_replica(record.object_id, rng);
-    cluster.engine().schedule_at(
+    cluster.engine().schedule_at_inline(
         record.timestamp,
         [&cluster, record, device] {
           cluster.submit_request(record.object_id, record.size_bytes,

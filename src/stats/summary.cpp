@@ -59,6 +59,7 @@ double StreamingStats::max() const {
 void SampleSet::add(double x) {
   samples_.push_back(x);
   sorted_valid_ = false;
+  queries_since_add_ = 0;
 }
 
 const std::vector<double>& SampleSet::sorted() const {
@@ -73,17 +74,36 @@ const std::vector<double>& SampleSet::sorted() const {
 double SampleSet::quantile(double p) const {
   COSM_REQUIRE(p >= 0 && p <= 1, "quantile level must be in [0, 1]");
   COSM_REQUIRE(!samples_.empty(), "quantile of an empty sample set");
-  const auto& s = sorted();
-  if (s.size() == 1) return s.front();
-  const double position = p * static_cast<double>(s.size() - 1);
+  if (samples_.size() == 1) return samples_.front();
+  const double position = p * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(position);
-  if (lo + 1 >= s.size()) return s.back();
   const double frac = position - static_cast<double>(lo);
+  if (!sorted_valid_ && ++queries_since_add_ <= kSortAfterQueries) {
+    // One-off query: O(n) selection instead of the O(n log n) cached sort.
+    scratch_ = samples_;
+    const auto nth =
+        scratch_.begin() + static_cast<std::ptrdiff_t>(lo);
+    std::nth_element(scratch_.begin(), nth, scratch_.end());
+    if (lo + 1 >= scratch_.size() || frac == 0.0) return *nth;
+    // The interpolation partner is the smallest element of the right
+    // partition, which nth_element already confined there.
+    const double next = *std::min_element(nth + 1, scratch_.end());
+    return *nth * (1.0 - frac) + next * frac;
+  }
+  const auto& s = sorted();
+  if (lo + 1 >= s.size()) return s.back();
   return s[lo] * (1.0 - frac) + s[lo + 1] * frac;
 }
 
 double SampleSet::fraction_below(double threshold) const {
   COSM_REQUIRE(!samples_.empty(), "empirical CDF of an empty sample set");
+  if (!sorted_valid_ && ++queries_since_add_ <= kSortAfterQueries) {
+    // One-off query: linear count, no copy, no sort.
+    std::size_t below = 0;
+    for (const double x : samples_) below += (x <= threshold) ? 1 : 0;
+    return static_cast<double>(below) /
+           static_cast<double>(samples_.size());
+  }
   const auto& s = sorted();
   const auto it = std::upper_bound(s.begin(), s.end(), threshold);
   return static_cast<double>(it - s.begin()) /

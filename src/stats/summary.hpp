@@ -31,7 +31,9 @@ class StreamingStats {
 };
 
 // Collects raw samples and answers exact order-statistics queries.
-// Sorting is deferred and cached.
+// A handful of one-off queries after a batch of adds use O(n) selection
+// (nth_element / a linear count) in a reusable scratch buffer; only
+// sustained querying pays for — and then caches — a full sort.
 class SampleSet {
  public:
   void add(double x);
@@ -51,9 +53,16 @@ class SampleSet {
   const std::vector<double>& sorted() const;
 
  private:
+  // After this many order-statistics queries since the last add, the next
+  // one builds the sorted cache: selection wins for a few queries, the
+  // cached sort amortizes better beyond that.
+  static constexpr unsigned kSortAfterQueries = 3;
+
   std::vector<double> samples_;
   mutable std::vector<double> sorted_;
+  mutable std::vector<double> scratch_;  // nth_element workspace, reused
   mutable bool sorted_valid_ = false;
+  mutable unsigned queries_since_add_ = 0;
 };
 
 }  // namespace cosm::stats
