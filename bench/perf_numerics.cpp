@@ -1,16 +1,21 @@
 // Microbenchmarks (google-benchmark) for the numerics hot paths: Laplace
 // inversion (the cost of one percentile query), FFT grid convolution (the
-// cross-check path), distribution fitting (calibration cost), and a full
-// model build-and-predict cycle (the unit of every what-if sweep).
+// cross-check path), distribution fitting (calibration cost), a full
+// model build-and-predict cycle (the unit of every what-if sweep), and
+// the transform-tape kernel against the scalar tree walk it replaces
+// (perf_numerics_tape.cpp is the gated regression harness; these are the
+// profiling-grade microbenches).
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "core/system_model.hpp"
 #include "numerics/fft.hpp"
 #include "numerics/fitting.hpp"
 #include "numerics/grid.hpp"
 #include "numerics/lt_inversion.hpp"
+#include "numerics/transform_tape.hpp"
 
 namespace {
 
@@ -93,6 +98,75 @@ void BM_ModelBuildAndPredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ModelBuildAndPredict);
+
+// One realistic 4-process device response (S_q * W_a * S_be with the
+// M/M/1/K disk substitution) — the distribution every percentile query
+// inverts, shared by the scalar-vs-tape pairs below.
+const cosm::core::SystemModel& tape_bench_model() {
+  static const cosm::core::SystemModel model = [] {
+    cosm::core::SystemParams params;
+    params.frontend.arrival_rate = 30.0;
+    params.frontend.processes = 3;
+    params.frontend.frontend_parse = std::make_shared<Degenerate>(0.8e-3);
+    cosm::core::DeviceParams device;
+    device.arrival_rate = 30.0;
+    device.data_read_rate = 36.0;
+    device.index_miss_ratio = 0.3;
+    device.meta_miss_ratio = 0.3;
+    device.data_miss_ratio = 0.7;
+    device.index_disk = std::make_shared<Gamma>(3.0, 300.0);
+    device.meta_disk = std::make_shared<Gamma>(2.5, 312.5);
+    device.data_disk = std::make_shared<Gamma>(2.8, 233.33);
+    device.backend_parse = std::make_shared<Degenerate>(0.5e-3);
+    device.processes = 4;
+    params.devices.push_back(device);
+    return cosm::core::SystemModel(params);
+  }();
+  return model;
+}
+
+void BM_ScalarTreeCdf(benchmark::State& state) {
+  const DistPtr response = tape_bench_model().devices()[0].response_time();
+  const LaplaceFn lt = [&response](std::complex<double> s) {
+    return response->laplace(s);
+  };
+  double t = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cdf_from_laplace(lt, t));
+    t = t < 0.2 ? t + 0.01 : 0.01;
+  }
+}
+BENCHMARK(BM_ScalarTreeCdf);
+
+void BM_TapeCdf(benchmark::State& state) {
+  const TransformTape& tape = tape_bench_model().devices()[0].response_tape();
+  double t = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tape.cdf(t));
+    t = t < 0.2 ? t + 0.01 : 0.01;
+  }
+}
+BENCHMARK(BM_TapeCdf);
+
+void BM_TapeCdfMany(benchmark::State& state) {
+  // A 24-point SLA sweep in one call: tape setup and dispatch amortize
+  // across the whole grid (the predict_sla_percentiles fast path).
+  const TransformTape& tape = tape_bench_model().devices()[0].response_tape();
+  std::vector<double> ts;
+  for (int i = 1; i <= 24; ++i) ts.push_back(0.01 * i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tape.cdf_many(ts));
+  }
+}
+BENCHMARK(BM_TapeCdfMany);
+
+void BM_TapeCompile(benchmark::State& state) {
+  const DistPtr response = tape_bench_model().devices()[0].response_time();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TransformTape::compile(response));
+  }
+}
+BENCHMARK(BM_TapeCompile);
 
 }  // namespace
 

@@ -105,7 +105,17 @@ void ThreadPool::parallel_for_index(
 void parallel_for(std::size_t count, unsigned num_threads,
                   const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  if (num_threads == 1 || count == 1) {
+  // Resolve "all hardware" before deciding on the fan-out: on a
+  // single-core host num_threads == 0 used to reach the pool anyway and
+  // pay queueing + latch overhead for zero extra parallelism (a measured
+  // ~3% pipeline regression).  hardware_concurrency() is a free function,
+  // so the resolution never instantiates the global pool.
+  std::size_t resolved = num_threads;
+  if (resolved == 0) {
+    resolved = std::thread::hardware_concurrency();
+    if (resolved == 0) resolved = 1;
+  }
+  if (resolved == 1 || count == 1) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }

@@ -88,7 +88,12 @@ class ThreadPool {
 // every i in [0, count):
 //   num_threads == 1  — plain serial loop on the calling thread (no pool
 //                       is touched, and none is ever created);
-//   num_threads == 0  — ThreadPool::global() with no worker cap;
+//   num_threads == 0  — "all hardware": resolved via
+//                       std::thread::hardware_concurrency() first; when
+//                       that resolves to 1 (single-core hosts) the loop
+//                       runs inline like num_threads == 1 — the pool
+//                       cannot add parallelism there, only queueing and
+//                       completion-latch overhead;
 //   num_threads == k  — ThreadPool::global() capped at k concurrent
 //                       threads (including the caller).
 // Each index must write only to its own output slot; reductions belong in

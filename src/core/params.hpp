@@ -108,7 +108,9 @@ struct ModelOptions {
 //    M/G/1/K chain solves), keyed by a value fingerprint of DeviceParams
 //    plus the options that shape the build;
 //  * cdf — per-device SLA-percentile values (one Euler inversion each),
-//    keyed by (device fingerprint, frontend fingerprint, SLA bits).
+//    keyed by (response-tape fingerprint, SLA bits); the tape fingerprint
+//    covers the device, frontend, and option state that shapes the
+//    response (see numerics::TransformTape::fingerprint).
 // Keys are 64-bit value fingerprints (numerics::hash_mix /
 // numerics::fingerprint): bit-identical parameters hit, anything else
 // misses (up to ~2^-64 fingerprint-collision odds).  Cached values are

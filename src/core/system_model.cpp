@@ -1,5 +1,6 @@
 #include "core/system_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 #include <utility>
@@ -37,36 +38,15 @@ std::uint64_t backend_fingerprint(const DeviceParams& params,
   return h;
 }
 
-// The frontend's S_q enters every device response (Eq. 2), so the device
-// cache key must cover it.
-std::uint64_t frontend_fingerprint(const FrontendParams& params) {
-  std::uint64_t h = 0x636f736d00000002ULL;
-  h = hash_mix(h, params.arrival_rate);
-  if (params.groups.empty()) {
-    h = hash_mix(h, static_cast<std::uint64_t>(params.processes));
-    h = hash_mix(h, numerics::fingerprint(*params.frontend_parse));
-    return h;
-  }
-  for (const auto& group : params.groups) {
-    h = hash_mix(h, static_cast<std::uint64_t>(group.processes));
-    h = hash_mix(h, group.traffic_share);
-    h = hash_mix(h, numerics::fingerprint(*group.frontend_parse));
-  }
-  return h;
-}
-
 }  // namespace
 
 DeviceModel::DeviceModel(const FrontendModel& frontend, DeviceParams params,
-                         ModelOptions options, const PredictOptions& predict,
-                         std::uint64_t frontend_fp) {
+                         ModelOptions options, const PredictOptions& predict) {
   if (predict.cache != nullptr) {
     const std::uint64_t backend_fp = backend_fingerprint(params, options);
     backend_ = predict.cache->backends.get_or_compute(backend_fp, [&] {
       return std::make_shared<const BackendModel>(std::move(params), options);
     });
-    fingerprint_ = hash_mix(hash_mix(backend_fp, frontend_fp),
-                            static_cast<std::uint64_t>(options.include_wta));
   } else {
     backend_ =
         std::make_shared<const BackendModel>(std::move(params), options);
@@ -78,14 +58,18 @@ DeviceModel::DeviceModel(const FrontendModel& frontend, DeviceParams params,
   }
   components.push_back(backend_->response_time());  // S_be
   response_ = std::make_shared<Convolution>(std::move(components));
+  // The tape fingerprint doubles as the CDF cache key: everything that
+  // shapes the response — device parameters, the frontend's S_q, WTA
+  // inclusion, the disk-queue variant — lands in the compiled op/param
+  // stream, and identically constructed devices compile identical tapes.
+  tape_ = numerics::TransformTape::compile(response_);
+  fingerprint_ = tape_.fingerprint();
 }
 
 SystemModel::SystemModel(SystemParams params, ModelOptions options,
                          PredictOptions predict)
     : frontend_(params.frontend), predict_(predict) {
   params.validate();
-  const std::uint64_t frontend_fp =
-      predict_.cache != nullptr ? frontend_fingerprint(params.frontend) : 0;
   // Device builds are independent (the expensive part is the per-device
   // queueing solve), so they fan out; slots keep the reduction below in
   // device order, which keeps total_rate_ bit-identical to serial.
@@ -93,7 +77,7 @@ SystemModel::SystemModel(SystemParams params, ModelOptions options,
   std::vector<std::optional<DeviceModel>> built(count);
   parallel_for(count, predict_.num_threads, [&](std::size_t i) {
     built[i].emplace(frontend_, std::move(params.devices[i]), options,
-                     predict_, frontend_fp);
+                     predict_);
   });
   devices_.reserve(count);
   for (auto& device : built) {
@@ -103,11 +87,14 @@ SystemModel::SystemModel(SystemParams params, ModelOptions options,
 }
 
 double SystemModel::device_cdf(std::size_t device, double sla) const {
+  // The tape CDF is bit-identical to response_time()->cdf(sla) (the
+  // scalar tree walk) — the tape's hard contract — so cache hits, cold
+  // evaluations, and every thread count return the same doubles.
   const DeviceModel& model = devices_[device];
-  if (predict_.cache == nullptr) return model.response_time()->cdf(sla);
+  if (predict_.cache == nullptr) return model.response_tape().cdf(sla);
   const std::uint64_t key = hash_mix(model.fingerprint(), sla);
   return predict_.cache->cdf.get_or_compute(
-      key, [&] { return model.response_time()->cdf(sla); });
+      key, [&] { return model.response_tape().cdf(sla); });
 }
 
 double SystemModel::predict_sla_percentile(double sla) const {
@@ -128,12 +115,25 @@ std::vector<double> SystemModel::predict_sla_percentiles(
   for (const double sla : slas) COSM_REQUIRE(sla > 0, "SLA must be positive");
   const std::size_t n_slas = slas.size();
   const std::size_t count = devices_.size();
-  // Flatten the (device × SLA point) grid: each cell is one independent
-  // Euler inversion, the natural unit of parallel work.
   std::vector<double> cdfs(count * n_slas);
-  parallel_for(count * n_slas, predict_.num_threads, [&](std::size_t k) {
-    cdfs[k] = device_cdf(k / n_slas, slas[k % n_slas]);
-  });
+  if (predict_.cache == nullptr) {
+    // Uncached sweep: one batched tape evaluation per device covers ALL
+    // SLA points at once (cdf_many concatenates the contours), amortizing
+    // tape dispatch across the sweep.  Element-for-element bit-identical
+    // to the per-cell path below.
+    parallel_for(count, predict_.num_threads, [&](std::size_t d) {
+      const std::vector<double> device_cdfs =
+          devices_[d].response_tape().cdf_many(slas);
+      std::copy(device_cdfs.begin(), device_cdfs.end(),
+                cdfs.begin() + static_cast<std::ptrdiff_t>(d * n_slas));
+    });
+  } else {
+    // Cached sweep: flatten the (device × SLA point) grid — each cell is
+    // one cacheable Euler inversion, the natural unit of shared work.
+    parallel_for(count * n_slas, predict_.num_threads, [&](std::size_t k) {
+      cdfs[k] = device_cdf(k / n_slas, slas[k % n_slas]);
+    });
+  }
   std::vector<double> out(n_slas, 0.0);
   for (std::size_t s = 0; s < n_slas; ++s) {
     double weighted = 0.0;
@@ -152,18 +152,46 @@ double SystemModel::predict_sla_percentile_device(std::size_t device,
   return device_cdf(device, sla);
 }
 
-double SystemModel::latency_quantile(double percentile) const {
+double SystemModel::latency_quantile(
+    double percentile, numerics::QuantileWarmStart* warm) const {
   COSM_REQUIRE(percentile > 0 && percentile < 1,
                "percentile must be in (0, 1)");
   const auto residual = [this, percentile](double t) {
     return predict_sla_percentile(t) - percentile;
   };
-  double hi = mean_response_latency() * 2.0;
-  const double lo = hi * 1e-6;
+  const bool use_warm = warm != nullptr && std::isfinite(warm->previous) &&
+                        warm->previous > 0;
+  double lo;
+  double hi;
+  if (use_warm) {
+    // Seed around the previous root; on a monotone sweep this brackets
+    // in O(1) probes instead of re-growing from the mean.  The shrink
+    // loop below restores lo when the seed overshoots the new root, so
+    // correctness never depends on the sweep direction.
+    lo = 0.5 * warm->previous;
+    hi = 2.0 * warm->previous;
+    int shrink = 0;
+    while (residual(lo) > 0 && ++shrink < 80) lo *= 0.5;
+  } else {
+    hi = mean_response_latency() * 2.0;
+    lo = hi * 1e-6;
+  }
   const bool ok = numerics::expand_bracket_upward(residual, lo, hi);
   COSM_REQUIRE(ok, "quantile could not be bracketed");
   const auto root = numerics::brent(residual, lo, hi, 1e-9);
+  if (warm != nullptr) warm->previous = root.x;
   return root.x;
+}
+
+std::vector<double> SystemModel::latency_quantiles(
+    const std::vector<double>& percentiles) const {
+  numerics::QuantileWarmStart warm;
+  std::vector<double> out;
+  out.reserve(percentiles.size());
+  for (const double p : percentiles) {
+    out.push_back(latency_quantile(p, &warm));
+  }
+  return out;
 }
 
 double SystemModel::mean_response_latency() const {

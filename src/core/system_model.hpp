@@ -37,27 +37,32 @@ class DeviceModel {
   // seconds).  `frontend` must outlive the DeviceModel (SystemModel owns
   // both).  When `predict.cache` is set, the backend build is served from
   // the cache: identical device parameter sets (by value fingerprint)
-  // share one BackendModel.  `frontend_fp` is the frontend-parameter
-  // fingerprint computed by SystemModel (0 when uncached).
+  // share one BackendModel.
   // Throws OverloadError when the device violates the model's stability
   // precondition, std::invalid_argument for genuinely bad parameters.
   DeviceModel(const FrontendModel& frontend, DeviceParams params,
-              ModelOptions options, const PredictOptions& predict = {},
-              std::uint64_t frontend_fp = 0);
+              ModelOptions options, const PredictOptions& predict = {});
 
   const BackendModel& backend() const { return *backend_; }
   // S_fe: the device's response-latency distribution at the frontend.
   numerics::DistPtr response_time() const { return response_; }
+  // S_fe compiled to a flat transform tape — what every CDF/quantile
+  // query evaluates; bit-identical to response_time()->laplace (see
+  // numerics/transform_tape.hpp).
+  const numerics::TransformTape& response_tape() const { return tape_; }
   // r_j, requests/s.
   double arrival_rate() const { return backend_->params().arrival_rate; }
-  // Cache key identity of this device's response distribution (covers
-  // device parameters, frontend parameters, and every ModelOptions field
-  // that shapes the response); 0 when built without a cache.
+  // Cache key identity of this device's response distribution: the
+  // response tape's fingerprint.  It covers device parameters, frontend
+  // parameters, and every ModelOptions field that shapes the response —
+  // all of them shape the compiled op/param stream — so identically
+  // configured devices key the same PredictionCache entries.
   std::uint64_t fingerprint() const { return fingerprint_; }
 
  private:
   std::shared_ptr<const BackendModel> backend_;
   numerics::DistPtr response_;
+  numerics::TransformTape tape_;
   std::uint64_t fingerprint_ = 0;
 };
 
@@ -88,8 +93,18 @@ class SystemModel {
   double predict_sla_percentile_device(std::size_t device,
                                        double sla) const;
   // Inverse: latency bound (seconds) such that `percentile` of requests
-  // meet it.  Precondition: percentile in (0, 1).
-  double latency_quantile(double percentile) const;
+  // meet it.  Precondition: percentile in (0, 1).  When `warm` is
+  // non-null the bracket seeds from the previous root and the new root is
+  // written back (see numerics::QuantileWarmStart) — intended for
+  // monotone sweeps; warm results agree with cold calls to the Brent
+  // tolerance, not bit-exactly.
+  double latency_quantile(double percentile,
+                          numerics::QuantileWarmStart* warm = nullptr) const;
+  // Quantile ladder: one bound per entry, warm-chaining the bracket from
+  // element to element (sort ascending for the best amortization).
+  // Equivalent to per-element latency_quantile within Brent tolerance.
+  std::vector<double> latency_quantiles(
+      const std::vector<double>& percentiles) const;
   // Rate-weighted mean response latency in seconds (for what-if analyses).
   double mean_response_latency() const;
 

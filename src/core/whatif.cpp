@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "common/require.hpp"
@@ -115,6 +116,34 @@ std::vector<std::optional<unsigned>> elastic_schedule(
   return schedule;
 }
 
+std::vector<double> latency_quantile_trend(const ClusterFactory& factory,
+                                           const std::vector<double>& period_rates,
+                                           double percentile,
+                                           unsigned device_count,
+                                           ModelOptions options,
+                                           const PredictOptions& predict) {
+  COSM_REQUIRE(factory != nullptr, "cluster factory required");
+  COSM_REQUIRE(percentile > 0 && percentile < 1,
+               "percentile must be in (0, 1)");
+  COSM_REQUIRE(device_count >= 1, "need at least one device");
+  const PredictOptions inner = inner_options(predict);
+  numerics::QuantileWarmStart warm;
+  std::vector<double> bounds;
+  bounds.reserve(period_rates.size());
+  for (const double rate : period_rates) {
+    try {
+      const SystemModel model(factory(rate, device_count), options, inner);
+      bounds.push_back(model.latency_quantile(percentile, &warm));
+    } catch (const OverloadError&) {
+      // An overloaded period has no finite quantile; keep the warm state
+      // from the last healthy period (the shrink/expand loops absorb a
+      // stale seed).
+      bounds.push_back(std::numeric_limits<double>::quiet_NaN());
+    }
+  }
+  return bounds;
+}
+
 void DegradedScenario::validate(std::size_t device_count) const {
   COSM_REQUIRE(std::isfinite(service_inflation) && service_inflation >= 1.0,
                "service_inflation must be finite and >= 1");
@@ -224,7 +253,8 @@ std::vector<std::pair<std::size_t, double>> sla_miss_contributions(
   for (std::size_t d = 0; d < model.devices().size(); ++d) {
     const auto& device = model.devices()[d];
     const double missed =
-        device.arrival_rate() * (1.0 - device.response_time()->cdf(sla));
+        device.arrival_rate() *
+        (1.0 - device.response_tape().cdf(sla));
     contributions.emplace_back(d, missed);
     total += missed;
   }

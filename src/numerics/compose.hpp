@@ -82,6 +82,8 @@ class CompoundPoissonConvolution final : public Distribution {
   double sample(Rng& rng) const override;
 
   double rate() const { return rate_; }
+  const DistPtr& base() const { return base_; }
+  const DistPtr& extra() const { return extra_; }
 
  private:
   DistPtr base_;
@@ -127,6 +129,7 @@ class Scaled final : public Distribution {
   double sample(Rng& rng) const override;
 
   double factor() const { return factor_; }
+  const DistPtr& inner() const { return inner_; }
 
  private:
   DistPtr inner_;

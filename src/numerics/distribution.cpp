@@ -43,6 +43,13 @@ std::complex<double> laplace_by_quadrature(
 
 }  // namespace
 
+void Distribution::laplace_many(std::span<const std::complex<double>> s,
+                                std::span<std::complex<double>> out) const {
+  COSM_REQUIRE(s.size() == out.size(),
+               "laplace_many spans must have equal length");
+  for (std::size_t i = 0; i < s.size(); ++i) out[i] = laplace(s[i]);
+}
+
 double Distribution::second_moment() const { return kNaN; }
 
 double Distribution::third_moment() const { return kNaN; }

@@ -20,6 +20,7 @@
 
 #include <complex>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "common/rng.hpp"
@@ -34,6 +35,18 @@ class Distribution {
 
   // Laplace–Stieltjes transform E[e^{-sT}].
   virtual std::complex<double> laplace(std::complex<double> s) const = 0;
+
+  // Batched transform evaluation: out[i] = laplace(s[i]) for every i.
+  // The default implementation is a scalar loop, so every subclass is
+  // automatically correct; it exists so batched inversion (lt_inversion's
+  // BatchLaplaceFn overloads, TransformTape's generic-leaf op) has one
+  // compatibility entry point for distributions the tape compiler cannot
+  // flatten.  Overrides MUST produce bit-identical values to the scalar
+  // loop (same per-point arithmetic order) — the inversion layer's
+  // bit-identity guarantee rests on it.  Precondition: out.size() ==
+  // s.size().
+  virtual void laplace_many(std::span<const std::complex<double>> s,
+                            std::span<std::complex<double>> out) const;
 
   virtual double mean() const = 0;
 
@@ -143,6 +156,8 @@ class Uniform final : public Distribution {
   }
   double cdf(double t) const override;
   double sample(Rng& rng) const override;
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
 
  private:
   double lo_;

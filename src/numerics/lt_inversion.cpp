@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <numbers>
+#include <utility>
 #include <vector>
 
 #include "common/require.hpp"
@@ -74,44 +76,213 @@ const std::vector<double>& stehfest_weights(int n) {
   return it->second;
 }
 
-}  // namespace
+// Contour scratch buffers, reused across inversions so the steady state
+// allocates nothing.  A per-thread free list (rather than one thread_local
+// buffer) keeps re-entrancy safe: an `lt` callback that itself runs an
+// inversion checks out a different buffer instead of clobbering its
+// caller's nodes mid-reduction.
+struct ContourScratch {
+  std::vector<std::complex<double>> nodes;
+  std::vector<std::complex<double>> values;
+};
 
-double invert_euler(const LaplaceFn& lt, double t, int m) {
+class ScratchLease {
+ public:
+  ScratchLease() : scratch_(acquire()) {}
+  ~ScratchLease() { pool().push_back(std::move(scratch_)); }
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  ContourScratch& operator*() { return *scratch_; }
+  ContourScratch* operator->() { return scratch_.get(); }
+
+ private:
+  static std::vector<std::unique_ptr<ContourScratch>>& pool() {
+    thread_local std::vector<std::unique_ptr<ContourScratch>> free_list;
+    return free_list;
+  }
+  static std::unique_ptr<ContourScratch> acquire() {
+    auto& free_list = pool();
+    if (free_list.empty()) return std::make_unique<ContourScratch>();
+    auto scratch = std::move(free_list.back());
+    free_list.pop_back();
+    return scratch;
+  }
+  std::unique_ptr<ContourScratch> scratch_;
+};
+
+void check_euler_args(double t, int m) {
   COSM_REQUIRE(t > 0, "euler inversion requires t > 0");
   COSM_REQUIRE(m >= 2 && m <= 30, "euler M out of the stable range [2, 30]");
-  // Abate & Whitt (2006): f(t) ~ (1/t) sum_{k=0}^{2M} eta_k Re lt(beta_k/t)
-  // with beta_k = M ln(10)/3 + i pi k and Euler-smoothed weights eta_k.
-  const int terms = 2 * m + 1;
-  const std::vector<double>& xi = euler_xi(m);
+}
+
+void check_talbot_args(double t, int m) {
+  COSM_REQUIRE(t > 0, "talbot inversion requires t > 0");
+  COSM_REQUIRE(m >= 4, "talbot needs at least 4 nodes");
+}
+
+// Shared bracketing + Brent over an arbitrary CDF evaluator; both
+// quantile_from_laplace overloads (and TransformTape::quantile) reduce to
+// this.  The cold path reproduces the historical bracketing exactly; the
+// warm path only changes where the bracket starts (see QuantileWarmStart).
+double quantile_impl(const std::function<double(double)>& cdf_at, double p,
+                     double mean_hint, double t_max,
+                     QuantileWarmStart* warm) {
+  COSM_REQUIRE(p > 0 && p < 1, "quantile level must be in (0, 1)");
+  COSM_REQUIRE(mean_hint > 0, "mean hint must be positive");
+  const auto residual = [&](double t) { return cdf_at(t) - p; };
+  const bool use_warm =
+      warm != nullptr && std::isfinite(warm->previous) && warm->previous > 0;
+  double lo;
+  double hi;
+  if (use_warm) {
+    // A monotone sweep moves the root a little between calls: [prev/2,
+    // 2·prev] almost always brackets immediately, skipping the geometric
+    // growth from mean_hint·1e-6.  The shrink/expand loops below still
+    // run, so correctness never depends on the sweep actually being
+    // monotone — a bad seed only costs extra probes.
+    lo = 0.5 * warm->previous;
+    hi = 2.0 * warm->previous;
+  } else {
+    lo = mean_hint * 1e-6;
+    hi = std::max(mean_hint, lo * 2.0);
+  }
+  while (residual(lo) > 0 && lo > 1e-14 * mean_hint) lo *= 0.1;
+  bool bracketed = expand_bracket_upward(residual, lo, hi);
+  COSM_REQUIRE(bracketed && hi <= t_max,
+               "quantile could not be bracketed below t_max");
+  const RootResult root = brent(residual, lo, hi, 1e-10 * mean_hint);
+  COSM_REQUIRE(root.converged, "quantile root search did not converge");
+  if (warm != nullptr) warm->previous = root.x;
+  return root.x;
+}
+
+}  // namespace
+
+// --------------------------- contour plumbing ----------------------------
+
+int euler_terms(int m) { return 2 * m + 1; }
+
+void euler_fill_nodes(double t, int m, std::span<std::complex<double>> out) {
+  check_euler_args(t, m);
+  const int terms = euler_terms(m);
+  COSM_REQUIRE(out.size() == static_cast<std::size_t>(terms),
+               "euler node span has the wrong length");
+  // Abate & Whitt (2006): contour nodes beta_k / t with beta_k =
+  // M ln(10)/3 + i pi k.
   const double a = m * std::numbers::ln10 / 3.0;
+  for (int k = 0; k < terms; ++k) {
+    const std::complex<double> beta(a, std::numbers::pi * k);
+    out[static_cast<std::size_t>(k)] = beta / t;
+  }
+}
+
+double euler_reduce(double t, int m,
+                    std::span<const std::complex<double>> values) {
+  check_euler_args(t, m);
+  const int terms = euler_terms(m);
+  COSM_REQUIRE(values.size() == static_cast<std::size_t>(terms),
+               "euler value span has the wrong length");
+  // f(t) ~ (1/t) sum_{k=0}^{2M} eta_k Re v_k with Euler-smoothed eta_k.
+  const std::vector<double>& xi = euler_xi(m);
   const double scale = std::pow(10.0, m / 3.0);
   double sum = 0.0;
   for (int k = 0; k < terms; ++k) {
-    const std::complex<double> beta(a, std::numbers::pi * k);
     const double eta =
         (k % 2 == 0 ? 1.0 : -1.0) * xi[static_cast<std::size_t>(k)] * scale;
-    sum += eta * lt(beta / t).real();
+    sum += eta * values[static_cast<std::size_t>(k)].real();
   }
   return sum / t;
 }
 
-double invert_talbot(const LaplaceFn& lt, double t, int m) {
-  COSM_REQUIRE(t > 0, "talbot inversion requires t > 0");
-  COSM_REQUIRE(m >= 4, "talbot needs at least 4 nodes");
+int talbot_terms(int m) { return m; }
+
+void talbot_fill_nodes(double t, int m, std::span<std::complex<double>> out) {
+  check_talbot_args(t, m);
+  COSM_REQUIRE(out.size() == static_cast<std::size_t>(m),
+               "talbot node span has the wrong length");
   // Fixed-Talbot (Abate & Valkó 2004): contour s(theta) = r theta (cot
-  // theta + i), r = 2m / (5t).
+  // theta + i), r = 2m / (5t); node 0 is the real point s = r.
   const double r = 2.0 * m / (5.0 * t);
-  double sum = 0.5 * std::exp(r * t) * lt(std::complex<double>(r, 0.0)).real();
+  out[0] = std::complex<double>(r, 0.0);
   for (int k = 1; k < m; ++k) {
+    const double theta = k * std::numbers::pi / m;
+    const double cot = std::cos(theta) / std::sin(theta);
+    out[static_cast<std::size_t>(k)] =
+        std::complex<double>(r * theta * cot, r * theta);
+  }
+}
+
+double talbot_reduce(double t, int m,
+                     std::span<const std::complex<double>> values) {
+  check_talbot_args(t, m);
+  COSM_REQUIRE(values.size() == static_cast<std::size_t>(m),
+               "talbot value span has the wrong length");
+  const double r = 2.0 * m / (5.0 * t);
+  double sum = 0.5 * std::exp(r * t) * values[0].real();
+  for (int k = 1; k < m; ++k) {
+    // Recompute the node geometry with the exact fill expressions so the
+    // per-node arithmetic matches the historical single-loop form.
     const double theta = k * std::numbers::pi / m;
     const double cot = std::cos(theta) / std::sin(theta);
     const std::complex<double> s(r * theta * cot, r * theta);
     const double sigma = theta + (theta * cot - 1.0) * cot;
     const std::complex<double> ds(1.0, sigma);  // (1 + i sigma)
-    const std::complex<double> term = std::exp(s * t) * lt(s) * ds;
+    const std::complex<double> term =
+        std::exp(s * t) * values[static_cast<std::size_t>(k)] * ds;
     sum += term.real();
   }
   return sum * r / m;
+}
+
+// ------------------------------- inverters -------------------------------
+
+double invert_euler(const LaplaceFn& lt, double t, int m) {
+  check_euler_args(t, m);
+  const std::size_t terms = static_cast<std::size_t>(euler_terms(m));
+  ScratchLease scratch;
+  scratch->nodes.resize(terms);
+  scratch->values.resize(terms);
+  euler_fill_nodes(t, m, scratch->nodes);
+  for (std::size_t k = 0; k < terms; ++k) {
+    scratch->values[k] = lt(scratch->nodes[k]);
+  }
+  return euler_reduce(t, m, scratch->values);
+}
+
+double invert_euler(const BatchLaplaceFn& lt_many, double t, int m) {
+  check_euler_args(t, m);
+  const std::size_t terms = static_cast<std::size_t>(euler_terms(m));
+  ScratchLease scratch;
+  scratch->nodes.resize(terms);
+  scratch->values.resize(terms);
+  euler_fill_nodes(t, m, scratch->nodes);
+  lt_many(scratch->nodes, scratch->values);
+  return euler_reduce(t, m, scratch->values);
+}
+
+double invert_talbot(const LaplaceFn& lt, double t, int m) {
+  check_talbot_args(t, m);
+  const std::size_t terms = static_cast<std::size_t>(talbot_terms(m));
+  ScratchLease scratch;
+  scratch->nodes.resize(terms);
+  scratch->values.resize(terms);
+  talbot_fill_nodes(t, m, scratch->nodes);
+  for (std::size_t k = 0; k < terms; ++k) {
+    scratch->values[k] = lt(scratch->nodes[k]);
+  }
+  return talbot_reduce(t, m, scratch->values);
+}
+
+double invert_talbot(const BatchLaplaceFn& lt_many, double t, int m) {
+  check_talbot_args(t, m);
+  const std::size_t terms = static_cast<std::size_t>(talbot_terms(m));
+  ScratchLease scratch;
+  scratch->nodes.resize(terms);
+  scratch->values.resize(terms);
+  talbot_fill_nodes(t, m, scratch->nodes);
+  lt_many(scratch->nodes, scratch->values);
+  return talbot_reduce(t, m, scratch->values);
 }
 
 double invert_gaver_stehfest(const RealLaplaceFn& lt, double t, int n) {
@@ -129,25 +300,87 @@ double invert_gaver_stehfest(const RealLaplaceFn& lt, double t, int n) {
 
 double cdf_from_laplace(const LaplaceFn& lt, double t, int m) {
   if (t <= 0.0) return 0.0;
-  const auto cdf_lt = [&lt](std::complex<double> s) { return lt(s) / s; };
-  const double value = invert_euler(cdf_lt, t, m);
+  check_euler_args(t, m);
+  const std::size_t terms = static_cast<std::size_t>(euler_terms(m));
+  ScratchLease scratch;
+  scratch->nodes.resize(terms);
+  scratch->values.resize(terms);
+  euler_fill_nodes(t, m, scratch->nodes);
+  // DIV-BY-S: inverting L[f](s)/s turns the density transform into the
+  // CDF transform; the division is fused after evaluation.
+  for (std::size_t k = 0; k < terms; ++k) {
+    scratch->values[k] = lt(scratch->nodes[k]) / scratch->nodes[k];
+  }
+  const double value = euler_reduce(t, m, scratch->values);
   return std::clamp(value, 0.0, 1.0);
 }
 
+double cdf_from_laplace(const BatchLaplaceFn& lt_many, double t, int m) {
+  if (t <= 0.0) return 0.0;
+  check_euler_args(t, m);
+  const std::size_t terms = static_cast<std::size_t>(euler_terms(m));
+  ScratchLease scratch;
+  scratch->nodes.resize(terms);
+  scratch->values.resize(terms);
+  euler_fill_nodes(t, m, scratch->nodes);
+  lt_many(scratch->nodes, scratch->values);
+  for (std::size_t k = 0; k < terms; ++k) {
+    scratch->values[k] = scratch->values[k] / scratch->nodes[k];
+  }
+  const double value = euler_reduce(t, m, scratch->values);
+  return std::clamp(value, 0.0, 1.0);
+}
+
+std::vector<double> cdf_many_from_laplace(const BatchLaplaceFn& lt_many,
+                                          std::span<const double> ts,
+                                          int m) {
+  std::vector<double> out(ts.size(), 0.0);
+  // Concatenate the contours of every positive t into one node array so
+  // the transform is evaluated exactly once.
+  std::vector<std::size_t> live;
+  live.reserve(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i] > 0.0) {
+      check_euler_args(ts[i], m);
+      live.push_back(i);
+    }
+  }
+  if (live.empty()) return out;
+  const std::size_t terms = static_cast<std::size_t>(euler_terms(m));
+  ScratchLease scratch;
+  scratch->nodes.resize(terms * live.size());
+  scratch->values.resize(terms * live.size());
+  for (std::size_t b = 0; b < live.size(); ++b) {
+    euler_fill_nodes(ts[live[b]], m,
+                     std::span<std::complex<double>>(
+                         scratch->nodes.data() + b * terms, terms));
+  }
+  lt_many(scratch->nodes, scratch->values);
+  for (std::size_t b = 0; b < live.size(); ++b) {
+    std::complex<double>* nodes = scratch->nodes.data() + b * terms;
+    std::complex<double>* values = scratch->values.data() + b * terms;
+    for (std::size_t k = 0; k < terms; ++k) values[k] = values[k] / nodes[k];
+    const double value = euler_reduce(
+        ts[live[b]], m,
+        std::span<const std::complex<double>>(values, terms));
+    out[live[b]] = std::clamp(value, 0.0, 1.0);
+  }
+  return out;
+}
+
 double quantile_from_laplace(const LaplaceFn& lt, double p, double mean_hint,
-                             double t_max) {
-  COSM_REQUIRE(p > 0 && p < 1, "quantile level must be in (0, 1)");
-  COSM_REQUIRE(mean_hint > 0, "mean hint must be positive");
-  const auto residual = [&](double t) { return cdf_from_laplace(lt, t) - p; };
-  double lo = mean_hint * 1e-6;
-  double hi = std::max(mean_hint, lo * 2.0);
-  while (residual(lo) > 0 && lo > 1e-14 * mean_hint) lo *= 0.1;
-  bool bracketed = expand_bracket_upward(residual, lo, hi);
-  COSM_REQUIRE(bracketed && hi <= t_max,
-               "quantile could not be bracketed below t_max");
-  const RootResult root = brent(residual, lo, hi, 1e-10 * mean_hint);
-  COSM_REQUIRE(root.converged, "quantile root search did not converge");
-  return root.x;
+                             double t_max, QuantileWarmStart* warm) {
+  return quantile_impl(
+      [&lt](double t) { return cdf_from_laplace(lt, t); }, p, mean_hint,
+      t_max, warm);
+}
+
+double quantile_from_laplace(const BatchLaplaceFn& lt_many, double p,
+                             double mean_hint, double t_max,
+                             QuantileWarmStart* warm) {
+  return quantile_impl(
+      [&lt_many](double t) { return cdf_from_laplace(lt_many, t); }, p,
+      mean_hint, t_max, warm);
 }
 
 }  // namespace cosm::numerics

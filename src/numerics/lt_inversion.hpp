@@ -16,12 +16,22 @@
 // At a jump discontinuity of F these methods converge to the midpoint; SLA
 // evaluation points in the experiments sit away from the model's atoms.
 //
+// Batching: every inversion materializes its whole contour up front and
+// issues ONE transform evaluation over all nodes, then reduces.  The
+// scalar LaplaceFn overloads loop that evaluation per node; the
+// BatchLaplaceFn overloads hand the full node array to the callee (a
+// Distribution::laplace_many loop, or a compiled TransformTape) in one
+// call.  Per-node arithmetic is identical either way, so scalar and
+// batched paths are bit-identical — the contract the tape's perf gates
+// and tests/numerics/test_transform_tape.cpp enforce.
+//
 // Thread-safety: every function here is safe to call concurrently — the
 // node weights each algorithm needs (Euler's xi, Stehfest's V_k) are
-// memoized per term count behind a mutex, and all remaining state is
-// call-local.  The provided `lt` callback itself must be safe to invoke
-// from multiple threads; every Distribution in this repo qualifies (they
-// are immutable after construction).
+// memoized per term count behind a mutex, contour scratch buffers are
+// thread-local, and all remaining state is call-local.  The provided `lt`
+// callback itself must be safe to invoke from multiple threads; every
+// Distribution in this repo qualifies (they are immutable after
+// construction).
 //
 // Units: `t` is in the same unit as the random variable behind the
 // transform — seconds everywhere in this repo.  `lt` must be the
@@ -30,11 +40,18 @@
 
 #include <complex>
 #include <functional>
+#include <span>
+#include <vector>
 
 namespace cosm::numerics {
 
 using LaplaceFn = std::function<std::complex<double>(std::complex<double>)>;
 using RealLaplaceFn = std::function<double(double)>;
+// Batched transform evaluation: fill out[i] = L(s[i]) for every i (spans
+// have equal length).  Bind Distribution::laplace_many or
+// TransformTape::evaluate here.
+using BatchLaplaceFn = std::function<void(
+    std::span<const std::complex<double>>, std::span<std::complex<double>>)>;
 
 // Inverts L[f] at t with the Euler algorithm using 2M+1 terms.
 // Preconditions: t > 0 (seconds), 2 <= m <= 30 — M around 20 is the sweet
@@ -43,11 +60,16 @@ using RealLaplaceFn = std::function<double(double)>;
 // std::invalid_argument.  Costs 2M+1 evaluations of `lt` on the vertical
 // contour Re s = M ln(10) / (3t).
 double invert_euler(const LaplaceFn& lt, double t, int m = 20);
+// Batched form: one lt_many call over the whole contour; bit-identical to
+// the scalar overload.
+double invert_euler(const BatchLaplaceFn& lt_many, double t, int m = 20);
 
 // Inverts L[f] at t with the fixed-Talbot algorithm using m nodes.
 // Preconditions: t > 0 (seconds), m >= 4.  Costs m evaluations of `lt` on
 // the deformed Talbot contour.
 double invert_talbot(const LaplaceFn& lt, double t, int m = 32);
+// Batched form; bit-identical to the scalar overload.
+double invert_talbot(const BatchLaplaceFn& lt_many, double t, int m = 32);
 
 // Inverts L[f] at t with Gaver–Stehfest using n terms.
 // Preconditions: t > 0 (seconds), n even and in [2, 18] (the V_k weights
@@ -62,13 +84,73 @@ double invert_gaver_stehfest(const RealLaplaceFn& lt, double t, int n = 16);
 // work — one SLA-percentile query per device costs exactly one call —
 // and what core::PredictionCache memoizes across identical devices.
 double cdf_from_laplace(const LaplaceFn& lt, double t, int m = 20);
+// Batched form; bit-identical to the scalar overload.
+double cdf_from_laplace(const BatchLaplaceFn& lt_many, double t, int m = 20);
+
+// Multi-point CDF evaluation: one value per entry of `ts` (entries <= 0
+// yield 0).  Materializes the contours of ALL t-points and issues a
+// single lt_many call over the concatenation, so SLA sweeps and Brent
+// ladders amortize transform setup (tape dispatch, virtual-call batching)
+// across points.  Element i is bit-identical to
+// cdf_from_laplace(lt_many, ts[i], m).
+std::vector<double> cdf_many_from_laplace(const BatchLaplaceFn& lt_many,
+                                          std::span<const double> ts,
+                                          int m = 20);
+
+// Warm-start state for quantile searches over monotone sweeps (SLA
+// ladders, rate grids): carries the previous root so the next bracket
+// seeds at [prev/2, 2·prev] instead of re-growing from mean_hint.  The
+// root found is the same (the CDF is monotone, Brent converges to the
+// unique crossing within tolerance); only the bracketing work changes —
+// so warm-started sweeps agree with cold calls to the Brent tolerance,
+// not bit-exactly.  Reset (or default-construct) when the swept quantity
+// jumps.
+struct QuantileWarmStart {
+  // Previous solution in seconds; <= 0 (or non-finite) means cold start.
+  double previous = 0.0;
+};
 
 // Finds the p-quantile of the same distribution by bracketing + Brent on
 // cdf_from_laplace.  Preconditions: 0 < p < 1, mean_hint > 0 (seconds;
 // seeds the bracket — use the distribution mean).  Throws
 // std::invalid_argument if the quantile cannot be bracketed below `t_max`
-// or the root search fails to converge.
+// or the root search fails to converge.  When `warm` is non-null the
+// bracket seeds from warm->previous (see QuantileWarmStart) and the root
+// found is written back to it.
 double quantile_from_laplace(const LaplaceFn& lt, double p, double mean_hint,
-                             double t_max = 1e9);
+                             double t_max = 1e9,
+                             QuantileWarmStart* warm = nullptr);
+// Batched form: every CDF probe of the search runs through `lt_many`.
+double quantile_from_laplace(const BatchLaplaceFn& lt_many, double p,
+                             double mean_hint, double t_max = 1e9,
+                             QuantileWarmStart* warm = nullptr);
+
+// ------------------- contour plumbing (shared internals) ------------------
+//
+// The scalar inverters, the batched inverters, and TransformTape's fused
+// inversion entry points all build the same contours and reduce with the
+// same weights, in the same node order.  These helpers are the single
+// source of truth for that arithmetic; they are public so the tape unit
+// (and tests) can reuse them, but they are an implementation detail of
+// the inversion layer, not a stable API.
+
+// Number of Euler contour nodes for term count m: 2m + 1.
+int euler_terms(int m);
+// Fills out[k] = (M ln10/3 + i·pi·k) / t for k in [0, 2m]; out.size()
+// must equal euler_terms(m).
+void euler_fill_nodes(double t, int m, std::span<std::complex<double>> out);
+// Euler reduction sum_k eta_k Re(values[k]) / t, with the same weight
+// expressions and summation order as the scalar loop.
+double euler_reduce(double t, int m,
+                    std::span<const std::complex<double>> values);
+
+// Number of Talbot contour nodes: m (node 0 is the real point s = r).
+int talbot_terms(int m);
+// Fills the fixed-Talbot contour s(theta_k), k in [0, m).
+void talbot_fill_nodes(double t, int m, std::span<std::complex<double>> out);
+// Talbot reduction with the same per-node geometry factors and summation
+// order as the scalar loop.
+double talbot_reduce(double t, int m,
+                     std::span<const std::complex<double>> values);
 
 }  // namespace cosm::numerics

@@ -80,6 +80,8 @@ class Shifted final : public Distribution {
   double third_moment() const override;
   double cdf(double t) const override;
   double sample(Rng& rng) const override;
+  double offset() const { return offset_; }
+  const DistPtr& inner() const { return inner_; }
 
  private:
   double offset_;

@@ -1,0 +1,106 @@
+// Structured queueing-formula transform nodes.
+//
+// The queueing layer used to publish its closed-form transforms (P–K
+// waiting time, M/M/1/K and M/G/1/K sojourn) as LaplaceDistribution
+// wrappers around opaque std::function lambdas.  That was fine for the
+// scalar laplace() walk, but an opaque callable is a wall for the
+// transform-tape compiler (numerics/transform_tape.hpp): it cannot see
+// the formula's parameters or its service-distribution child, so every
+// such node would fall back to the slow generic-leaf path.
+//
+// These classes carry the *same formulas with the same arithmetic, in the
+// same evaluation order* (bit-identical laplace() results), but expose
+// their structure: the tape compiler pattern-matches on the concrete type
+// and emits a dedicated opcode (and keeps flattening into the service
+// child).  queueing::MG1 / MM1K / MG1K emit these instead of
+// LaplaceDistribution; everything downstream (moments, cdf-by-inversion,
+// transform-only sample() behavior) is unchanged.
+#pragma once
+
+#include <vector>
+
+#include "numerics/distribution.hpp"
+
+namespace cosm::numerics {
+
+// Pollaczek–Khinchine M/G/1 waiting-time transform (paper Eq. for W_be):
+//   L[W](s) = (1 - rho) s / (r L[B](s) + s - r),     L[W](0) = 1.
+// `second_moment` may be NaN (no closed form is derived by MG1).
+class PKWaitingTime final : public Distribution {
+ public:
+  PKWaitingTime(double arrival_rate, double utilization, DistPtr service,
+                double mean, double second_moment);
+
+  std::string name() const override;
+  std::complex<double> laplace(std::complex<double> s) const override;
+  double mean() const override { return mean_; }
+  double second_moment() const override { return second_moment_; }
+
+  double arrival_rate() const { return arrival_rate_; }
+  double utilization() const { return utilization_; }
+  const DistPtr& service() const { return service_; }
+
+ private:
+  double arrival_rate_;
+  double utilization_;
+  DistPtr service_;
+  double mean_;
+  double second_moment_;
+};
+
+// M/M/1/K sojourn transform (the paper's disk-queue substitution):
+//   L[S](s) = v p0 / (1 - pK) · (1 - (r/(v+s))^K) / (v - r + s),
+// i.e. an Erlang(i+1, v) mixture over the accepted-arrival state
+// distribution, in closed form.  Pure leaf: fully described by scalars.
+class MM1KSojourn final : public Distribution {
+ public:
+  MM1KSojourn(double arrival_rate, double service_rate, int capacity,
+              double p0, double blocking, double mean, double second_moment);
+
+  std::string name() const override;
+  std::complex<double> laplace(std::complex<double> s) const override;
+  double mean() const override { return mean_; }
+  double second_moment() const override { return second_moment_; }
+
+  double arrival_rate() const { return arrival_rate_; }
+  double service_rate() const { return service_rate_; }
+  int capacity() const { return capacity_; }
+  double p0() const { return p0_; }
+  double blocking() const { return blocking_; }
+
+ private:
+  double arrival_rate_;
+  double service_rate_;
+  int capacity_;
+  double p0_;
+  double blocking_;
+  double mean_;
+  double second_moment_;
+};
+
+// M/G/1/K sojourn built from the embedded-chain state weights q_i and the
+// equilibrium residual-service transform (queueing::MG1K::sojourn_time):
+//   L[S](s) = q_0 L[B] + sum_{i>=1} q_i · (1-L[B])/(s m1) · L[B]^{i-1} L[B].
+class MG1KSojourn final : public Distribution {
+ public:
+  MG1KSojourn(DistPtr service, double mean_service,
+              std::vector<double> weights, double mean, double second_moment);
+
+  std::string name() const override;
+  std::complex<double> laplace(std::complex<double> s) const override;
+  double mean() const override { return mean_; }
+  double second_moment() const override { return second_moment_; }
+
+  const DistPtr& service() const { return service_; }
+  double mean_service() const { return mean_service_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  DistPtr service_;
+  double mean_service_;
+  std::vector<double> weights_;
+  double mean_;
+  double second_moment_;
+};
+
+}  // namespace cosm::numerics

@@ -6,13 +6,13 @@
 #include <numbers>
 
 #include "numerics/fft.hpp"
+#include "numerics/transform_nodes.hpp"
 
 #include "common/require.hpp"
 
 namespace cosm::queueing {
 
 using numerics::DistPtr;
-using numerics::LaplaceDistribution;
 
 MG1::MG1(double arrival_rate, DistPtr service)
     : arrival_rate_(arrival_rate), service_(std::move(service)) {
@@ -85,20 +85,18 @@ std::vector<double> MG1::queue_length_distribution(int max_n) const {
 
 DistPtr MG1::waiting_time() const {
   require_stable();
-  const double r = arrival_rate_;
   const double rho = utilization();
-  const DistPtr service = service_;
-  numerics::LaplaceFn lt = [r, rho, service](std::complex<double> s) {
-    if (std::abs(s) < 1e-14) return std::complex<double>(1.0, 0.0);
-    return (1.0 - rho) * s / (r * service->laplace(s) + s - r);
-  };
   double mean = std::numeric_limits<double>::quiet_NaN();
   if (std::isfinite(service_->second_moment())) {
     mean = arrival_rate_ * service_->second_moment() /
            (2.0 * (1.0 - rho));
   }
-  return std::make_shared<LaplaceDistribution>(
-      "mg1_waiting_time", std::move(lt), mean,
+  // A structured node rather than an opaque LaplaceDistribution lambda:
+  // same formula, same arithmetic order (bit-identical transform values),
+  // but the transform-tape compiler can see the parameters and flatten
+  // through the service child.
+  return std::make_shared<numerics::PKWaitingTime>(
+      arrival_rate_, rho, service_, mean,
       std::numeric_limits<double>::quiet_NaN());
 }
 

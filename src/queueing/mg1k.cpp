@@ -5,6 +5,7 @@
 
 #include "common/require.hpp"
 #include "numerics/quadrature.hpp"
+#include "numerics/transform_nodes.hpp"
 
 namespace cosm::queueing {
 
@@ -72,25 +73,6 @@ numerics::DistPtr MG1K::sojourn_time() const {
   std::vector<double> weights(capacity_);
   const double admit = 1.0 - blocking_probability();
   for (int i = 0; i < capacity_; ++i) weights[i] = p_[i] / admit;
-  numerics::LaplaceFn lt = [service, mean_service,
-                            weights](std::complex<double> s) {
-    // The residual transform (1 - L[B])/(s B̄) cancels catastrophically
-    // for |s B̄| below double precision noise; L ~ 1 there anyway.
-    if (std::abs(s) * mean_service < 1e-8) {
-      return std::complex<double>(1.0, 0.0);
-    }
-    const std::complex<double> lb = service->laplace(s);
-    // Equilibrium residual service transform.
-    const std::complex<double> residual =
-        (1.0 - lb) / (s * mean_service);
-    std::complex<double> total = weights[0] * lb;
-    std::complex<double> lb_power = 1.0;  // L[B]^{i-1}
-    for (std::size_t i = 1; i < weights.size(); ++i) {
-      total += weights[i] * residual * lb_power * lb;
-      lb_power *= lb;
-    }
-    return total;
-  };
   // Moments from the same construction (may differ slightly from the
   // exact Little's-law mean because of the residual approximation).  The
   // second moment uses the equilibrium residual moments E[R] = m2/(2 m1)
@@ -112,8 +94,11 @@ numerics::DistPtr MG1K::sojourn_time() const {
     mean += weights[i] * state_mean;
     m2 += weights[i] * (state_var + state_mean * state_mean);
   }
-  return std::make_shared<numerics::LaplaceDistribution>(
-      "mg1k_sojourn", std::move(lt), mean, m2);
+  // Structured node (same transform, same evaluation order — see
+  // numerics/transform_nodes.hpp) so the tape compiler keeps flattening
+  // into the service distribution.
+  return std::make_shared<numerics::MG1KSojourn>(
+      service, mean_service, std::move(weights), mean, m2);
 }
 
 void MG1K::solve() {

@@ -1,0 +1,153 @@
+// Core-layer guarantees of the transform tape: the compiled tape is what
+// every prediction query evaluates, its CDF is bit-identical to the
+// scalar tree walk, and its fingerprint keys the PredictionCache so
+// identically configured devices share entries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/system_model.hpp"
+#include "core/whatif.hpp"
+#include "numerics/lt_inversion.hpp"
+
+namespace cosm::core {
+namespace {
+
+using numerics::Degenerate;
+using numerics::DistPtr;
+using numerics::Gamma;
+
+FrontendParams tape_frontend(double rate) {
+  FrontendParams params;
+  params.arrival_rate = rate;
+  params.processes = 3;
+  params.frontend_parse = std::make_shared<Degenerate>(0.0008);
+  return params;
+}
+
+DeviceParams tape_device(double rate) {
+  DeviceParams params;
+  params.arrival_rate = rate;
+  params.data_read_rate = rate * 1.2;
+  params.index_miss_ratio = 0.3;
+  params.meta_miss_ratio = 0.3;
+  params.data_miss_ratio = 0.7;
+  params.index_disk = std::make_shared<Gamma>(3.0, 300.0);
+  params.meta_disk = std::make_shared<Gamma>(2.5, 312.5);
+  params.data_disk = std::make_shared<Gamma>(2.8, 233.33);
+  params.backend_parse = std::make_shared<Degenerate>(0.0005);
+  params.processes = 1;
+  return params;
+}
+
+SystemParams tape_system(double total_rate, unsigned devices) {
+  SystemParams params;
+  params.frontend = tape_frontend(total_rate);
+  for (unsigned d = 0; d < devices; ++d) {
+    params.devices.push_back(tape_device(total_rate / devices));
+  }
+  return params;
+}
+
+TEST(TapeIntegration, DeviceTapeCdfBitIdenticalToScalarTreeWalk) {
+  const SystemModel model(tape_system(80.0, 2));
+  for (const auto& device : model.devices()) {
+    const DistPtr response = device.response_time();
+    const numerics::LaplaceFn lt = [&response](std::complex<double> s) {
+      return response->laplace(s);
+    };
+    for (const double sla : {0.005, 0.02, 0.05, 0.15}) {
+      EXPECT_EQ(device.response_tape().cdf(sla),
+                numerics::cdf_from_laplace(lt, sla));
+    }
+  }
+}
+
+TEST(TapeIntegration, PredictionMatchesManualTapeWeightedSum) {
+  const SystemModel model(tape_system(90.0, 3));
+  const double sla = 0.03;
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const auto& device : model.devices()) {
+    weighted += device.arrival_rate() * device.response_tape().cdf(sla);
+    total += device.arrival_rate();
+  }
+  EXPECT_EQ(model.predict_sla_percentile(sla), weighted / total);
+}
+
+TEST(TapeIntegration, IdenticalDevicesShareTapeFingerprint) {
+  const SystemModel model(tape_system(96.0, 3));
+  const std::uint64_t fp = model.devices()[0].fingerprint();
+  EXPECT_EQ(fp, model.devices()[0].response_tape().fingerprint());
+  for (const auto& device : model.devices()) {
+    EXPECT_EQ(device.fingerprint(), fp);
+  }
+  // A different parameter set must not collide with the healthy one.
+  SystemParams other = tape_system(96.0, 3);
+  other.devices[0].data_miss_ratio = 0.8;
+  const SystemModel changed(other);
+  EXPECT_NE(changed.devices()[0].fingerprint(), fp);
+  EXPECT_EQ(changed.devices()[1].fingerprint(), fp);
+}
+
+TEST(TapeIntegration, CachedAndUncachedPredictionsBitIdentical) {
+  PredictionCache cache;
+  const SystemParams params = tape_system(84.0, 2);
+  const SystemModel uncached(params);
+  const SystemModel cached(params, {}, PredictOptions{1, &cache});
+  const std::vector<double> slas = {0.004, 0.01, 0.03, 0.08, 0.2};
+  EXPECT_EQ(uncached.predict_sla_percentiles(slas),
+            cached.predict_sla_percentiles(slas));
+  // Second pass is served from the cache and must reproduce the values.
+  EXPECT_EQ(uncached.predict_sla_percentiles(slas),
+            cached.predict_sla_percentiles(slas));
+}
+
+TEST(TapeIntegration, LatencyQuantilesWarmChainAgreesWithColdCalls) {
+  const SystemModel model(tape_system(70.0, 2));
+  const std::vector<double> percentiles = {0.5, 0.9, 0.95, 0.99};
+  const std::vector<double> chained = model.latency_quantiles(percentiles);
+  ASSERT_EQ(chained.size(), percentiles.size());
+  for (std::size_t i = 0; i < percentiles.size(); ++i) {
+    const double cold = model.latency_quantile(percentiles[i]);
+    EXPECT_NEAR(chained[i], cold, 1e-6 * cold);
+    // Each bound must actually deliver its percentile.
+    EXPECT_NEAR(model.predict_sla_percentile(chained[i]), percentiles[i],
+                1e-6);
+  }
+  EXPECT_TRUE(std::is_sorted(chained.begin(), chained.end()));
+}
+
+TEST(TapeIntegration, QuantileTrendMatchesPerPeriodQuantiles) {
+  const ClusterFactory factory = [](double rate, unsigned devices) {
+    return tape_system(rate, devices);
+  };
+  const std::vector<double> rates = {60.0, 72.0, 84.0, 96.0, 88.0, 66.0};
+  const std::vector<double> trend =
+      latency_quantile_trend(factory, rates, 0.95, 2);
+  ASSERT_EQ(trend.size(), rates.size());
+  for (std::size_t p = 0; p < rates.size(); ++p) {
+    const SystemModel model(factory(rates[p], 2));
+    const double cold = model.latency_quantile(0.95);
+    EXPECT_NEAR(trend[p], cold, 1e-6 * cold) << "period " << p;
+  }
+}
+
+TEST(TapeIntegration, QuantileTrendMarksOverloadedPeriodsNaN) {
+  const ClusterFactory factory = [](double rate, unsigned devices) {
+    return tape_system(rate, devices);
+  };
+  // The middle rate saturates the per-device M/G/1 stages; its entry must
+  // be NaN while the neighbors stay finite (warm state survives the gap).
+  const std::vector<double> rates = {60.0, 5e5, 64.0};
+  const std::vector<double> trend =
+      latency_quantile_trend(factory, rates, 0.9, 2);
+  ASSERT_EQ(trend.size(), 3u);
+  EXPECT_TRUE(std::isfinite(trend[0]));
+  EXPECT_TRUE(std::isnan(trend[1]));
+  EXPECT_TRUE(std::isfinite(trend[2]));
+}
+
+}  // namespace
+}  // namespace cosm::core

@@ -1,0 +1,337 @@
+// Bit-identity of the transform tape against the scalar tree walk — the
+// tape's hard contract.  Every EXPECT on transform values uses exact
+// double equality: the tape must replicate the scalar per-node arithmetic
+// order, not merely approximate it.
+
+#include "numerics/transform_tape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "numerics/compose.hpp"
+#include "numerics/distribution.hpp"
+#include "numerics/lt_inversion.hpp"
+#include "numerics/phase_type.hpp"
+#include "numerics/transform_nodes.hpp"
+#include "queueing/mg1.hpp"
+#include "queueing/mg1k.hpp"
+#include "queueing/mm1k.hpp"
+
+namespace cosm::numerics {
+namespace {
+
+using Complex = std::complex<double>;
+
+// Contour-like probe points plus the guard-branch neighborhoods (tiny
+// |s| for the P–K / M/M/1/K / Uniform / Gamma series branches).
+std::vector<Complex> probe_points() {
+  std::vector<Complex> s;
+  for (int k = 0; k < 21; ++k) {
+    s.emplace_back(15.35, 3.1415 * k * 9.7);  // Euler-style vertical line
+  }
+  s.emplace_back(1e-16, 0.0);   // below every small-|s| guard
+  s.emplace_back(1e-9, 1e-9);   // below Uniform's 1e-8 guard
+  s.emplace_back(1e-7, 0.0);    // between guards
+  s.emplace_back(0.5, -2.0);    // negative imaginary part
+  s.emplace_back(250.0, 1000.0);
+  return s;
+}
+
+void expect_tape_bit_identical(const DistPtr& dist) {
+  const TransformTape tape = TransformTape::compile(dist);
+  ASSERT_TRUE(tape.compiled());
+  const std::vector<Complex> s = probe_points();
+  std::vector<Complex> batched(s.size());
+  tape.evaluate(s, batched);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const Complex scalar = dist->laplace(s[i]);
+    EXPECT_EQ(scalar.real(), batched[i].real())
+        << dist->name() << " at s = " << s[i];
+    EXPECT_EQ(scalar.imag(), batched[i].imag())
+        << dist->name() << " at s = " << s[i];
+  }
+}
+
+TEST(TransformTape, LeafDistributionsBitIdentical) {
+  expect_tape_bit_identical(std::make_shared<Degenerate>(0.0));
+  expect_tape_bit_identical(std::make_shared<Degenerate>(3.25e-3));
+  expect_tape_bit_identical(std::make_shared<Exponential>(123.5));
+  expect_tape_bit_identical(std::make_shared<Gamma>(3.7, 412.0));
+  expect_tape_bit_identical(std::make_shared<Gamma>(250.0, 1e4));
+  expect_tape_bit_identical(std::make_shared<Uniform>(1e-3, 7e-3));
+  expect_tape_bit_identical(std::make_shared<Erlang>(4, 800.0));
+  expect_tape_bit_identical(std::make_shared<HyperExponential>(
+      std::vector<HyperExponential::Branch>{{0.3, 100.0}, {0.7, 900.0}}));
+}
+
+TEST(TransformTape, QuadratureLeavesUseGenericPathBitIdentical) {
+  // No closed form: these must compile to generic laplace_many leaves.
+  const auto lognormal = std::make_shared<Lognormal>(-6.0, 0.8);
+  const TransformTape tape = TransformTape::compile(lognormal);
+  EXPECT_EQ(tape.generic_leaf_count(), 1u);
+  expect_tape_bit_identical(lognormal);
+  expect_tape_bit_identical(std::make_shared<Weibull>(1.7, 2.5e-3));
+  expect_tape_bit_identical(std::make_shared<TruncatedNormal>(5e-3, 2e-3));
+  expect_tape_bit_identical(std::make_shared<Pareto>(2.5, 1e-3));
+}
+
+TEST(TransformTape, QueueingNodesBitIdentical) {
+  const auto service = std::make_shared<Gamma>(3.0, 900.0);
+  const queueing::MG1 mg1(120.0, service);
+  expect_tape_bit_identical(mg1.waiting_time());
+  expect_tape_bit_identical(mg1.sojourn_time());
+
+  const queueing::MM1K mm1k(300.0, 400.0, 4);
+  expect_tape_bit_identical(mm1k.sojourn_time());
+
+  const queueing::MG1K mg1k(300.0, service, 4);
+  expect_tape_bit_identical(mg1k.sojourn_time());
+}
+
+TEST(TransformTape, CombinatorsBitIdentical) {
+  const auto gamma = std::make_shared<Gamma>(2.8, 560.0);
+  const auto expo = std::make_shared<Exponential>(220.0);
+  const auto mix = atom_at_zero_mixture(0.35, gamma);
+  const auto conv = std::make_shared<Convolution>(
+      std::vector<DistPtr>{mix, expo, std::make_shared<Degenerate>(4e-4)});
+  const auto compound =
+      std::make_shared<CompoundPoissonConvolution>(conv, 0.8, mix);
+  const auto scaled = std::make_shared<Scaled>(compound, 1.5);
+  const auto shifted = std::make_shared<Shifted>(2e-4, scaled);
+  expect_tape_bit_identical(mix);
+  expect_tape_bit_identical(conv);
+  expect_tape_bit_identical(compound);
+  expect_tape_bit_identical(scaled);
+  expect_tape_bit_identical(shifted);
+}
+
+TEST(TransformTape, NestedScalingEvaluatesInnerAtProductArgument) {
+  // Scaled(Scaled(X, a), b) must evaluate X at a * (b * s), exactly as
+  // the nested scalar walk does.
+  const auto inner = std::make_shared<Gamma>(3.1, 700.0);
+  const auto once = std::make_shared<Scaled>(inner, 1.3);
+  const auto twice = std::make_shared<Scaled>(once, 0.7);
+  expect_tape_bit_identical(twice);
+}
+
+TEST(TransformTape, SharedSubtreeIsEvaluatedOnceViaSlot) {
+  // The same Gamma object under two mixtures: CSE must emit one
+  // evaluation + store, and load it for the second occurrence.
+  const auto shared = std::make_shared<Gamma>(2.0, 300.0);
+  const auto left = atom_at_zero_mixture(0.3, shared);
+  const auto right = atom_at_zero_mixture(0.6, shared);
+  const auto conv =
+      std::make_shared<Convolution>(std::vector<DistPtr>{left, right});
+  const TransformTape tape = TransformTape::compile(conv);
+  EXPECT_GE(tape.slot_count(), 1u);
+  expect_tape_bit_identical(conv);
+
+  // The same object under DIFFERENT scale factors is NOT the same
+  // subexpression; values must still match the scalar walk.
+  const auto scaled_mix = std::make_shared<Mixture>(
+      std::vector<Mixture::Component>{
+          {0.5, std::make_shared<Scaled>(shared, 2.0)},
+          {0.5, std::make_shared<Scaled>(shared, 3.0)}});
+  expect_tape_bit_identical(scaled_mix);
+}
+
+TEST(TransformTape, FingerprintsDistinguishParametersAndMatchTwins) {
+  const auto a = TransformTape::compile(std::make_shared<Gamma>(3.0, 500.0));
+  const auto twin =
+      TransformTape::compile(std::make_shared<Gamma>(3.0, 500.0));
+  const auto other =
+      TransformTape::compile(std::make_shared<Gamma>(3.0, 501.0));
+  EXPECT_EQ(a.fingerprint(), twin.fingerprint());
+  EXPECT_NE(a.fingerprint(), other.fingerprint());
+}
+
+TEST(TransformTape, CdfMatchesScalarInversionBitwise) {
+  const auto service = std::make_shared<Gamma>(3.0, 900.0);
+  const queueing::MG1 mg1(150.0, service);
+  const DistPtr sojourn = mg1.sojourn_time();
+  const TransformTape tape = TransformTape::compile(sojourn);
+  const LaplaceFn lt = [&sojourn](Complex s) { return sojourn->laplace(s); };
+  for (const double t : {1e-4, 2.3e-3, 8e-3, 2.5e-2, 0.4}) {
+    EXPECT_EQ(tape.cdf(t), cdf_from_laplace(lt, t));
+  }
+  EXPECT_EQ(tape.cdf(0.0), 0.0);
+  EXPECT_EQ(tape.cdf(-1.0), 0.0);
+}
+
+TEST(TransformTape, CdfManyMatchesPerPointBitwise) {
+  const auto service = std::make_shared<Gamma>(2.5, 700.0);
+  const queueing::MM1K disk(250.0, 350.0, 4);
+  const auto response = std::make_shared<Convolution>(std::vector<DistPtr>{
+      disk.sojourn_time(), service, std::make_shared<Degenerate>(5e-4)});
+  const TransformTape tape = TransformTape::compile(response);
+  const std::vector<double> ts = {-1.0, 0.0,  1e-4, 5e-3, 5e-3,
+                                  2e-2, 0.11, 0.5,  2.0};
+  const std::vector<double> batch = tape.cdf_many(ts);
+  ASSERT_EQ(batch.size(), ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(batch[i], tape.cdf(ts[i])) << "t = " << ts[i];
+  }
+}
+
+TEST(TransformTape, QuantileWarmStartAgreesWithCold) {
+  const auto service = std::make_shared<Gamma>(3.0, 900.0);
+  const queueing::MG1 mg1(150.0, service);
+  const DistPtr sojourn = mg1.sojourn_time();
+  const TransformTape tape = TransformTape::compile(sojourn);
+  const double mean = sojourn->mean();
+  QuantileWarmStart warm;
+  for (const double p : {0.5, 0.9, 0.95, 0.99}) {
+    const double cold = tape.quantile(p, mean);
+    const double warmed = tape.quantile(p, mean, 1e9, &warm);
+    // Warm starting changes the bracket, not the root: agreement is at
+    // the Brent tolerance level (1e-10 * mean_hint), not bit-exact.
+    EXPECT_NEAR(warmed, cold, 1e-7 * cold);
+    EXPECT_EQ(warm.previous, warmed);
+  }
+}
+
+TEST(LaplaceManyDefault, MatchesScalarLoop) {
+  const Lognormal dist(-6.2, 0.9);
+  const std::vector<Complex> s = probe_points();
+  std::vector<Complex> out(s.size());
+  dist.laplace_many(s, out);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(out[i], dist.laplace(s[i]));
+  }
+}
+
+// ------------------------------ fuzzing ---------------------------------
+
+// Random tree generator: composes the full node algebra (leaves,
+// mixtures, convolutions, compound Poisson, scaling, shifting, queueing
+// sojourns) with deliberate subtree *sharing* so CSE paths are exercised.
+class TreeFuzzer {
+ public:
+  explicit TreeFuzzer(std::uint64_t seed) : rng_(seed) {}
+
+  DistPtr build(int depth) {
+    // Reuse an existing subtree 25% of the time once some exist: shared
+    // nodes are what CSE must get right.
+    if (!pool_.empty() && pick(4) == 0) {
+      return pool_[pick(pool_.size())];
+    }
+    DistPtr result = depth <= 0 ? leaf() : combinator(depth);
+    pool_.push_back(result);
+    return result;
+  }
+
+ private:
+  DistPtr leaf() {
+    switch (pick(6)) {
+      case 0:
+        return std::make_shared<Degenerate>(uniform(0.0, 2e-3));
+      case 1:
+        return std::make_shared<Exponential>(uniform(50.0, 2000.0));
+      case 2:
+        return std::make_shared<Gamma>(uniform(0.5, 6.0),
+                                       uniform(100.0, 3000.0));
+      case 3:
+        return std::make_shared<Uniform>(1e-4, uniform(2e-4, 5e-3));
+      case 4:
+        return std::make_shared<Erlang>(1 + pick(5), uniform(200.0, 2000.0));
+      default: {
+        const double p = uniform(0.05, 0.95);
+        return std::make_shared<HyperExponential>(
+            std::vector<HyperExponential::Branch>{
+                {p, uniform(100.0, 1000.0)},
+                {1.0 - p, uniform(1000.0, 5000.0)}});
+      }
+    }
+  }
+
+  DistPtr combinator(int depth) {
+    switch (pick(7)) {
+      case 0: {
+        const double w = uniform(0.05, 0.95);
+        return std::make_shared<Mixture>(std::vector<Mixture::Component>{
+            {w, build(depth - 1)}, {1.0 - w, build(depth - 1)}});
+      }
+      case 1: {
+        std::vector<DistPtr> parts;
+        const std::size_t n = 2 + pick(2);
+        for (std::size_t i = 0; i < n; ++i) parts.push_back(build(depth - 1));
+        return std::make_shared<Convolution>(std::move(parts));
+      }
+      case 2:
+        return std::make_shared<CompoundPoissonConvolution>(
+            build(depth - 1), uniform(0.0, 2.0), build(depth - 1));
+      case 3:
+        return std::make_shared<Scaled>(build(depth - 1), uniform(0.2, 3.0));
+      case 4:
+        return std::make_shared<Shifted>(uniform(0.0, 1e-3),
+                                         build(depth - 1));
+      case 5: {
+        // M/M/1/K sojourn leaf with randomized load below saturation.
+        const double v = uniform(500.0, 2000.0);
+        const queueing::MM1K q(uniform(0.3, 0.9) * v, v, 2 + pick(6));
+        return q.sojourn_time();
+      }
+      default: {
+        // P-K waiting time over a random (finite-moment) service law.
+        const auto service =
+            std::make_shared<Gamma>(uniform(1.0, 5.0),
+                                    uniform(2000.0, 8000.0));
+        const double rho = uniform(0.2, 0.85);
+        const queueing::MG1 q(rho / service->mean(), service);
+        return q.waiting_time();
+      }
+    }
+  }
+
+  std::size_t pick(std::size_t n) {
+    return static_cast<std::size_t>(rng_.uniform() * static_cast<double>(n)) %
+           n;
+  }
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * rng_.uniform();
+  }
+
+  cosm::Rng rng_;
+  std::vector<DistPtr> pool_;
+};
+
+TEST(TransformTapeFuzz, RandomTreesBitIdenticalToScalarWalk) {
+  const std::vector<Complex> s = probe_points();
+  std::vector<Complex> batched(s.size());
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    TreeFuzzer fuzzer(seed);
+    const DistPtr tree = fuzzer.build(4);
+    const TransformTape tape = TransformTape::compile(tree);
+    ASSERT_TRUE(tape.compiled()) << "seed " << seed;
+    tape.evaluate(s, batched);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const Complex scalar = tree->laplace(s[i]);
+      ASSERT_EQ(scalar.real(), batched[i].real())
+          << "seed " << seed << " at s = " << s[i];
+      ASSERT_EQ(scalar.imag(), batched[i].imag())
+          << "seed " << seed << " at s = " << s[i];
+    }
+  }
+}
+
+TEST(TransformTapeFuzz, RandomTreeCdfManyMatchesScalarCdf) {
+  const std::vector<double> ts = {1e-4, 1e-3, 5e-3, 2e-2, 0.1};
+  for (std::uint64_t seed = 101; seed <= 120; ++seed) {
+    TreeFuzzer fuzzer(seed);
+    const DistPtr tree = fuzzer.build(3);
+    const TransformTape tape = TransformTape::compile(tree);
+    const LaplaceFn lt = [&tree](Complex s) { return tree->laplace(s); };
+    const std::vector<double> batch = tape.cdf_many(ts);
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      ASSERT_EQ(batch[i], cdf_from_laplace(lt, ts[i]))
+          << "seed " << seed << " t = " << ts[i];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cosm::numerics
