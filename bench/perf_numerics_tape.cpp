@@ -37,6 +37,7 @@
 #include "numerics/compose.hpp"
 #include "numerics/lt_inversion.hpp"
 #include "numerics/transform_tape.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -55,6 +56,7 @@ struct Config {
   int repeat = 3;
   double min_speedup = 0.0;  // 0 disables the perf gate
   std::string out = "BENCH_numerics.json";
+  std::string trace_json;  // empty = observability stays disabled
 };
 
 Config parse_args(int argc, char** argv) {
@@ -72,6 +74,8 @@ Config parse_args(int argc, char** argv) {
       config.min_speedup = std::stod(value_of("--min-speedup="));
     } else if (arg.rfind("--out=", 0) == 0) {
       config.out = value_of("--out=");
+    } else if (arg.rfind("--trace-json=", 0) == 0) {
+      config.trace_json = value_of("--trace-json=");
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       std::exit(3);
@@ -239,6 +243,7 @@ std::string fmt(double value, int precision) {
 
 int main(int argc, char** argv) {
   const Config config = parse_args(argc, argv);
+  if (!config.trace_json.empty()) cosm::obs::set_enabled(true);
   const std::vector<double> ts = sla_grid(config.sla_points);
 
   std::vector<ScenarioResult> results;
@@ -350,6 +355,16 @@ int main(int argc, char** argv) {
     }
   }
   std::cout << "  wrote " << config.out << "\n";
+
+  if (!config.trace_json.empty()) {
+    std::ofstream trace(config.trace_json);
+    if (!trace) {
+      std::cerr << "cannot open " << config.trace_json << " for writing\n";
+      return 3;
+    }
+    cosm::obs::export_json(trace);
+    std::cout << "  wrote " << config.trace_json << "\n";
+  }
 
   if (!all_identical) {
     std::cerr << "FAIL: a mode's outputs differ from the scalar tree walk\n";

@@ -31,6 +31,7 @@
 
 #include "core/system_model.hpp"
 #include "numerics/distribution.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -46,6 +47,7 @@ struct Config {
   int rate_points = 6;
   int repeat = 3;
   std::string out = "BENCH_pipeline.json";
+  std::string trace_json;  // empty = observability stays disabled
 };
 
 Config parse_args(int argc, char** argv) {
@@ -64,6 +66,8 @@ Config parse_args(int argc, char** argv) {
       config.repeat = std::stoi(value_of("--repeat="));
     } else if (arg.rfind("--out=", 0) == 0) {
       config.out = value_of("--out=");
+    } else if (arg.rfind("--trace-json=", 0) == 0) {
+      config.trace_json = value_of("--trace-json=");
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       std::exit(3);
@@ -222,6 +226,7 @@ void append_mode_json(std::ostringstream& json, const ModeResult& mode,
 
 int main(int argc, char** argv) {
   const Config config = parse_args(argc, argv);
+  if (!config.trace_json.empty()) cosm::obs::set_enabled(true);
   const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
   const unsigned fanout =
       config.threads == 0 ? hardware : config.threads;
@@ -318,6 +323,16 @@ int main(int argc, char** argv) {
     }
   }
   std::cout << "  wrote " << config.out << "\n";
+
+  if (!config.trace_json.empty()) {
+    std::ofstream trace(config.trace_json);
+    if (!trace) {
+      std::cerr << "cannot open " << config.trace_json << " for writing\n";
+      return 3;
+    }
+    cosm::obs::export_json(trace);
+    std::cout << "  wrote " << config.trace_json << "\n";
+  }
 
   if (!all_identical) {
     std::cerr << "FAIL: a mode's outputs differ from serial\n";

@@ -45,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/replication.hpp"
 #include "workload/catalog.hpp"
 
@@ -74,6 +75,7 @@ struct Config {
   int repeat = 3;
   double min_speedup = 0.0;  // 0 = baseline gate off
   std::string out = "BENCH_sim.json";
+  std::string trace_json;  // empty = observability stays disabled
 };
 
 Config parse_args(int argc, char** argv) {
@@ -98,6 +100,8 @@ Config parse_args(int argc, char** argv) {
       config.min_speedup = std::stod(value_of("--min-speedup="));
     } else if (arg.rfind("--out=", 0) == 0) {
       config.out = value_of("--out=");
+    } else if (arg.rfind("--trace-json=", 0) == 0) {
+      config.trace_json = value_of("--trace-json=");
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       std::exit(3);
@@ -232,6 +236,7 @@ void append_mode_json(std::ostringstream& json, const ModeResult& mode,
 
 int main(int argc, char** argv) {
   const Config config = parse_args(argc, argv);
+  if (!config.trace_json.empty()) cosm::obs::set_enabled(true);
   const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
   const unsigned fanout = config.threads == 0 ? hardware : config.threads;
 
@@ -372,6 +377,16 @@ int main(int argc, char** argv) {
     }
   }
   std::cout << "  wrote " << config.out << "\n";
+
+  if (!config.trace_json.empty()) {
+    std::ofstream trace(config.trace_json);
+    if (!trace) {
+      std::cerr << "cannot open " << config.trace_json << " for writing\n";
+      return 3;
+    }
+    cosm::obs::export_json(trace);
+    std::cout << "  wrote " << config.trace_json << "\n";
+  }
 
   if (!deterministic || !modes_agree || !replications_identical) {
     std::cerr << "FAIL: determinism contract violated (repeat fingerprints, "

@@ -3,14 +3,20 @@
 // retry/failover — and check each degraded phase against the what-if
 // prediction that an operator could have computed *before* the drill.
 //
-//   $ ./failure_drill [rate]
+//   $ ./failure_drill [rate] [--trace-json=PATH]
+//
+// With --trace-json, the run exports sim-engine spans, retry/failover
+// counters, and what-if stage timings (docs/OBSERVABILITY.md).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <memory>
 #include <vector>
 
 #include "core/whatif.hpp"
 #include "example_common.hpp"
+#include "obs/obs.hpp"
 #include "sim/cluster.hpp"
 #include "sim/source.hpp"
 
@@ -37,7 +43,16 @@ struct Phase {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double rate = argc > 1 ? std::atof(argv[1]) : 60.0;
+  double rate = 60.0;
+  const char* trace_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
+      trace_path = argv[i] + 13;
+    } else {
+      rate = std::atof(argv[i]);
+    }
+  }
+  if (trace_path != nullptr) cosm::obs::set_enabled(true);
 
   // --- Run the drill in the simulator -------------------------------
   cosm::sim::ClusterConfig config;
@@ -158,5 +173,15 @@ int main(int argc, char** argv) {
   std::printf("\nCompare each prediction with the matching drill phase "
               "above: the what-if brackets the simulator without running "
               "it.\n");
+
+  if (trace_path != nullptr) {
+    std::ofstream trace(trace_path);
+    if (!trace) {
+      std::fprintf(stderr, "cannot open %s for writing\n", trace_path);
+      return 3;
+    }
+    cosm::obs::export_json(trace);
+    std::printf("wrote trace to %s\n", trace_path);
+  }
   return 0;
 }

@@ -1,18 +1,35 @@
 // Quickstart: build the paper's model for a small cluster and predict the
 // percentile of requests meeting each SLA.
 //
-//   $ ./quickstart
+//   $ ./quickstart [--trace-json=PATH]
 //
 // Walks through the three parameter groups (device performance properties,
 // system online metrics, topology), builds a SystemModel, and queries it.
+// With --trace-json, stage timings and counters (tape compiles, inversion
+// quality, cache activity) are exported for inspection — see
+// docs/OBSERVABILITY.md.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
 
 #include "core/system_model.hpp"
+#include "obs/obs.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using cosm::numerics::Degenerate;
   using cosm::numerics::Gamma;
+
+  const char* trace_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
+      trace_path = argv[i] + 13;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 3;
+    }
+  }
+  if (trace_path != nullptr) cosm::obs::set_enabled(true);
 
   // --- Device performance properties (Sec. IV-A: offline benchmarking) --
   // Disk service times per operation kind; Gamma(k, l) has mean k / l.
@@ -62,5 +79,15 @@ int main() {
               1e3 * model.mean_response_latency());
   std::printf("latency bound met by 95%% of requests: %.2f ms\n",
               1e3 * model.latency_quantile(0.95));
+
+  if (trace_path != nullptr) {
+    std::ofstream trace(trace_path);
+    if (!trace) {
+      std::fprintf(stderr, "cannot open %s for writing\n", trace_path);
+      return 3;
+    }
+    cosm::obs::export_json(trace);
+    std::printf("wrote trace to %s\n", trace_path);
+  }
   return 0;
 }

@@ -90,6 +90,10 @@ void ThreadPool::parallel_for_index(
   for (std::size_t t = 0; t < helpers; ++t) {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.emplace_back(drain);
+    if (obs::enabled()) {
+      obs::add(obs::Counter::kPoolSubmits);
+      obs::record_max(obs::Counter::kPoolMaxQueueDepth, queue_.size());
+    }
   }
   if (helpers > 0) cv_.notify_all();
   drain();  // the calling thread participates

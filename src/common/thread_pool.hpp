@@ -27,6 +27,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace cosm {
 
 class ThreadPool {
@@ -55,6 +57,10 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       queue_.emplace_back([task] { (*task)(); });
+      if (obs::enabled()) {
+        obs::add(obs::Counter::kPoolSubmits);
+        obs::record_max(obs::Counter::kPoolMaxQueueDepth, queue_.size());
+      }
     }
     cv_.notify_one();
     return result;

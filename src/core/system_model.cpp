@@ -8,6 +8,7 @@
 #include "common/require.hpp"
 #include "common/thread_pool.hpp"
 #include "numerics/roots.hpp"
+#include "obs/obs.hpp"
 
 namespace cosm::core {
 
@@ -42,11 +43,20 @@ std::uint64_t backend_fingerprint(const DeviceParams& params,
 
 DeviceModel::DeviceModel(const FrontendModel& frontend, DeviceParams params,
                          ModelOptions options, const PredictOptions& predict) {
+  obs::Span span("core.device_build");
   if (predict.cache != nullptr) {
+    // Open-coded get_or_compute (lookup; on miss compute outside the
+    // lock and insert) so hits and misses land in the obs counters.
     const std::uint64_t backend_fp = backend_fingerprint(params, options);
-    backend_ = predict.cache->backends.get_or_compute(backend_fp, [&] {
-      return std::make_shared<const BackendModel>(std::move(params), options);
-    });
+    if (auto cached = predict.cache->backends.lookup(backend_fp)) {
+      obs::add(obs::Counter::kBackendCacheHit);
+      backend_ = std::move(*cached);
+    } else {
+      obs::add(obs::Counter::kBackendCacheMiss);
+      backend_ =
+          std::make_shared<const BackendModel>(std::move(params), options);
+      predict.cache->backends.insert(backend_fp, backend_);
+    }
   } else {
     backend_ =
         std::make_shared<const BackendModel>(std::move(params), options);
@@ -93,12 +103,19 @@ double SystemModel::device_cdf(std::size_t device, double sla) const {
   const DeviceModel& model = devices_[device];
   if (predict_.cache == nullptr) return model.response_tape().cdf(sla);
   const std::uint64_t key = hash_mix(model.fingerprint(), sla);
-  return predict_.cache->cdf.get_or_compute(
-      key, [&] { return model.response_tape().cdf(sla); });
+  if (auto cached = predict_.cache->cdf.lookup(key)) {
+    obs::add(obs::Counter::kCdfCacheHit);
+    return *cached;
+  }
+  obs::add(obs::Counter::kCdfCacheMiss);
+  const double value = model.response_tape().cdf(sla);
+  predict_.cache->cdf.insert(key, value);
+  return value;
 }
 
 double SystemModel::predict_sla_percentile(double sla) const {
   COSM_REQUIRE(sla > 0, "SLA must be positive");
+  obs::Span span("core.predict_sla");
   const std::size_t count = devices_.size();
   std::vector<double> cdfs(count);
   parallel_for(count, predict_.num_threads,
@@ -113,6 +130,7 @@ double SystemModel::predict_sla_percentile(double sla) const {
 std::vector<double> SystemModel::predict_sla_percentiles(
     const std::vector<double>& slas) const {
   for (const double sla : slas) COSM_REQUIRE(sla > 0, "SLA must be positive");
+  obs::Span span("core.predict_sla_sweep");
   const std::size_t n_slas = slas.size();
   const std::size_t count = devices_.size();
   std::vector<double> cdfs(count * n_slas);
@@ -152,15 +170,32 @@ double SystemModel::predict_sla_percentile_device(std::size_t device,
   return device_cdf(device, sla);
 }
 
+std::uint64_t SystemModel::regime_fingerprint() const {
+  // Shape-only identity of the device set: device count plus each tape's
+  // structure fingerprint (opcodes, not rates).  Rate sweeps keep this
+  // constant; a device failing out, healing back, or gaining a slowdown
+  // wrapper changes it — exactly the "curve family" boundary where a
+  // carried warm-start root stops being a trustworthy seed.
+  std::uint64_t h =
+      hash_mix(0x636f736d00000002ULL,
+               static_cast<std::uint64_t>(devices_.size()));
+  for (const auto& device : devices_) {
+    h = hash_mix(h, device.response_tape().structure_fingerprint());
+  }
+  return h | 1;  // never 0, which QuantileWarmStart reads as "untracked"
+}
+
 double SystemModel::latency_quantile(
     double percentile, numerics::QuantileWarmStart* warm) const {
   COSM_REQUIRE(percentile > 0 && percentile < 1,
                "percentile must be in (0, 1)");
+  obs::Span span("core.latency_quantile");
+  if (warm != nullptr) warm->enter_regime(regime_fingerprint());
   const auto residual = [this, percentile](double t) {
     return predict_sla_percentile(t) - percentile;
   };
-  const bool use_warm = warm != nullptr && std::isfinite(warm->previous) &&
-                        warm->previous > 0;
+  bool use_warm = warm != nullptr && std::isfinite(warm->previous) &&
+                  warm->previous > 0;
   double lo;
   double hi;
   if (use_warm) {
@@ -172,13 +207,30 @@ double SystemModel::latency_quantile(
     hi = 2.0 * warm->previous;
     int shrink = 0;
     while (residual(lo) > 0 && ++shrink < 80) lo *= 0.5;
-  } else {
+    if (residual(lo) > 0) {
+      // The carried root is so far above the new one that 80 halvings
+      // never found the left edge — a stale seed the regime guard could
+      // not catch (same structure, wildly different rates).  Fall back
+      // to a cold seed instead of handing Brent an invalid bracket.
+      obs::add(obs::Counter::kQuantileWarmFallback);
+      use_warm = false;
+    }
+  }
+  if (!use_warm) {
+    obs::add(obs::Counter::kQuantileColdStart);
     hi = mean_response_latency() * 2.0;
     lo = hi * 1e-6;
+  } else {
+    obs::add(obs::Counter::kQuantileWarmAccept);
   }
   const bool ok = numerics::expand_bracket_upward(residual, lo, hi);
   COSM_REQUIRE(ok, "quantile could not be bracketed");
   const auto root = numerics::brent(residual, lo, hi, 1e-9);
+  // Silent-failure fix: brent reports non-convergence through
+  // RootResult::converged, and this was the one call site that never
+  // looked — a diverged search handed its last iterate to callers as if
+  // it were the quantile.
+  COSM_REQUIRE(root.converged, "quantile root search failed to converge");
   if (warm != nullptr) warm->previous = root.x;
   return root.x;
 }

@@ -107,6 +107,12 @@ class SystemModel {
       const std::vector<double>& percentiles) const;
   // Rate-weighted mean response latency in seconds (for what-if analyses).
   double mean_response_latency() const;
+  // Shape-only identity of the device set (count + per-device structural
+  // tape fingerprints; rates excluded).  latency_quantile feeds this to
+  // QuantileWarmStart::enter_regime so a carried root survives rate
+  // sweeps but is discarded across structural changes (failed device,
+  // healed device, slowdown wrapper).  Never returns 0.
+  std::uint64_t regime_fingerprint() const;
 
  private:
   double device_cdf(std::size_t device, double sla) const;

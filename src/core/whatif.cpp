@@ -8,6 +8,7 @@
 #include "common/require.hpp"
 #include "common/thread_pool.hpp"
 #include "numerics/compose.hpp"
+#include "obs/obs.hpp"
 
 namespace cosm::core {
 
@@ -107,6 +108,7 @@ std::vector<std::optional<unsigned>> elastic_schedule(
     const SlaTarget& target, unsigned max_devices, ModelOptions options,
     const PredictOptions& predict) {
   COSM_REQUIRE(factory != nullptr, "cluster factory required");
+  obs::Span span("whatif.elastic");
   const PredictOptions inner = inner_options(predict);
   std::vector<std::optional<unsigned>> schedule(period_rates.size());
   parallel_for(period_rates.size(), predict.num_threads, [&](std::size_t p) {
@@ -126,6 +128,7 @@ std::vector<double> latency_quantile_trend(const ClusterFactory& factory,
   COSM_REQUIRE(percentile > 0 && percentile < 1,
                "percentile must be in (0, 1)");
   COSM_REQUIRE(device_count >= 1, "need at least one device");
+  obs::Span span("whatif.trend");
   const PredictOptions inner = inner_options(predict);
   numerics::QuantileWarmStart warm;
   std::vector<double> bounds;
@@ -135,10 +138,13 @@ std::vector<double> latency_quantile_trend(const ClusterFactory& factory,
       const SystemModel model(factory(rate, device_count), options, inner);
       bounds.push_back(model.latency_quantile(percentile, &warm));
     } catch (const OverloadError&) {
-      // An overloaded period has no finite quantile; keep the warm state
-      // from the last healthy period (the shrink/expand loops absorb a
-      // stale seed).
       bounds.push_back(std::numeric_limits<double>::quiet_NaN());
+      // An overloaded period has no finite quantile — and the root
+      // carried from the last healthy period was measured right at the
+      // saturation wall, the worst possible seed for whatever rate the
+      // trend recovers to.  Restart cold after the gap (stale-bracket
+      // fix; tests/core/test_warm_start_regime.cpp covers the recovery).
+      warm.reset();
     }
   }
   return bounds;
@@ -236,6 +242,7 @@ std::vector<double> degraded_sla_percentiles(
   for (const DegradedScenario& scenario : scenarios) {
     scenario.validate(healthy.devices.size());
   }
+  obs::Span span("whatif.degraded_sweep");
   const PredictOptions inner = inner_options(predict);
   std::vector<double> percentiles(scenarios.size());
   parallel_for(scenarios.size(), predict.num_threads, [&](std::size_t i) {

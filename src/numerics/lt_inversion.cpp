@@ -11,6 +11,7 @@
 
 #include "common/require.hpp"
 #include "numerics/roots.hpp"
+#include "obs/obs.hpp"
 
 namespace cosm::numerics {
 
@@ -121,6 +122,41 @@ void check_talbot_args(double t, int m) {
   COSM_REQUIRE(m >= 4, "talbot needs at least 4 nodes");
 }
 
+// Records the per-inversion obs accounting: one verdict counter, the
+// call, and the contour budget spent.
+void count_inversion(InversionQuality quality, int terms) {
+  if (!obs::enabled()) return;
+  switch (quality) {
+    case InversionQuality::kConverged:
+      obs::add(obs::Counter::kInversionConverged);
+      break;
+    case InversionQuality::kTruncated:
+      obs::add(obs::Counter::kInversionTruncated);
+      break;
+    case InversionQuality::kClamped:
+      obs::add(obs::Counter::kInversionClamped);
+      break;
+    case InversionQuality::kNonFinite:
+      obs::add(obs::Counter::kInversionNonFinite);
+      break;
+  }
+  obs::add(obs::Counter::kInversionCalls);
+  obs::add(obs::Counter::kInversionTerms,
+           static_cast<std::uint64_t>(terms));
+}
+
+// Clamp + classify + count in one place: every CDF inversion in this file
+// funnels through here, so no out-of-range raw sum can vanish without at
+// least a counter bump.  The returned value preserves the historical
+// arithmetic exactly: std::clamp for finite raws, and a non-finite raw
+// passes through std::clamp unchanged (both comparisons are false) — so
+// checked and unchecked callers see bit-identical doubles.
+CdfPoint finish_cdf(double raw, int terms) {
+  const InversionQuality quality = classify_cdf_value(raw);
+  count_inversion(quality, terms);
+  return CdfPoint{std::clamp(raw, 0.0, 1.0), quality};
+}
+
 // Shared bracketing + Brent over an arbitrary CDF evaluator; both
 // quantile_from_laplace overloads (and TransformTape::quantile) reduce to
 // this.  The cold path reproduces the historical bracketing exactly; the
@@ -131,7 +167,7 @@ double quantile_impl(const std::function<double(double)>& cdf_at, double p,
   COSM_REQUIRE(p > 0 && p < 1, "quantile level must be in (0, 1)");
   COSM_REQUIRE(mean_hint > 0, "mean hint must be positive");
   const auto residual = [&](double t) { return cdf_at(t) - p; };
-  const bool use_warm =
+  bool use_warm =
       warm != nullptr && std::isfinite(warm->previous) && warm->previous > 0;
   double lo;
   double hi;
@@ -143,9 +179,24 @@ double quantile_impl(const std::function<double(double)>& cdf_at, double p,
     // monotone — a bad seed only costs extra probes.
     lo = 0.5 * warm->previous;
     hi = 2.0 * warm->previous;
+    obs::add(obs::Counter::kQuantileWarmAccept);
   } else {
     lo = mean_hint * 1e-6;
     hi = std::max(mean_hint, lo * 2.0);
+    obs::add(obs::Counter::kQuantileColdStart);
+  }
+  if (use_warm) {
+    // A seed that needs more than 12 decades of shrink to recover the
+    // left edge is not warm — it is stale beyond repair (a regime change
+    // the caller did not fingerprint).  Bound the ladder and re-seed
+    // cold rather than probing toward an invalid bracket.
+    int shrink = 0;
+    while (residual(lo) > 0 && ++shrink <= 12) lo *= 0.1;
+    if (residual(lo) > 0) {
+      obs::add(obs::Counter::kQuantileWarmFallback);
+      lo = mean_hint * 1e-6;
+      hi = std::max(mean_hint, lo * 2.0);
+    }
   }
   while (residual(lo) > 0 && lo > 1e-14 * mean_hint) lo *= 0.1;
   bool bracketed = expand_bracket_upward(residual, lo, hi);
@@ -298,8 +349,28 @@ double invert_gaver_stehfest(const RealLaplaceFn& lt, double t, int n) {
   return sum * ln2_over_t;
 }
 
-double cdf_from_laplace(const LaplaceFn& lt, double t, int m) {
-  if (t <= 0.0) return 0.0;
+InversionQuality classify_cdf_value(double raw) {
+  if (!std::isfinite(raw)) return InversionQuality::kNonFinite;
+  // excess > 0 means the raw sum sits outside [0, 1] by that much.
+  const double excess = std::max(0.0 - raw, raw - 1.0);
+  if (excess <= 1e-9) return InversionQuality::kConverged;
+  if (excess <= 1e-3) return InversionQuality::kTruncated;
+  return InversionQuality::kClamped;
+}
+
+void QuantileWarmStart::enter_regime(std::uint64_t regime_fp) {
+  if (regime == regime_fp) return;
+  if (regime != 0 && previous > 0) {
+    // A carried root from a different curve family is worse than no seed:
+    // discard it loudly (the counter) instead of reusing it silently.
+    obs::add(obs::Counter::kQuantileWarmRejectRegime);
+  }
+  previous = 0.0;
+  regime = regime_fp;
+}
+
+CdfPoint cdf_from_laplace_checked(const LaplaceFn& lt, double t, int m) {
+  if (t <= 0.0) return CdfPoint{0.0, InversionQuality::kConverged};
   check_euler_args(t, m);
   const std::size_t terms = static_cast<std::size_t>(euler_terms(m));
   ScratchLease scratch;
@@ -311,12 +382,13 @@ double cdf_from_laplace(const LaplaceFn& lt, double t, int m) {
   for (std::size_t k = 0; k < terms; ++k) {
     scratch->values[k] = lt(scratch->nodes[k]) / scratch->nodes[k];
   }
-  const double value = euler_reduce(t, m, scratch->values);
-  return std::clamp(value, 0.0, 1.0);
+  return finish_cdf(euler_reduce(t, m, scratch->values),
+                    static_cast<int>(terms));
 }
 
-double cdf_from_laplace(const BatchLaplaceFn& lt_many, double t, int m) {
-  if (t <= 0.0) return 0.0;
+CdfPoint cdf_from_laplace_checked(const BatchLaplaceFn& lt_many, double t,
+                                  int m) {
+  if (t <= 0.0) return CdfPoint{0.0, InversionQuality::kConverged};
   check_euler_args(t, m);
   const std::size_t terms = static_cast<std::size_t>(euler_terms(m));
   ScratchLease scratch;
@@ -327,14 +399,31 @@ double cdf_from_laplace(const BatchLaplaceFn& lt_many, double t, int m) {
   for (std::size_t k = 0; k < terms; ++k) {
     scratch->values[k] = scratch->values[k] / scratch->nodes[k];
   }
-  const double value = euler_reduce(t, m, scratch->values);
-  return std::clamp(value, 0.0, 1.0);
+  return finish_cdf(euler_reduce(t, m, scratch->values),
+                    static_cast<int>(terms));
 }
 
-std::vector<double> cdf_many_from_laplace(const BatchLaplaceFn& lt_many,
-                                          std::span<const double> ts,
-                                          int m) {
+double cdf_from_laplace(const LaplaceFn& lt, double t, int m) {
+  return cdf_from_laplace_checked(lt, t, m).value;
+}
+
+double cdf_from_laplace(const BatchLaplaceFn& lt_many, double t, int m) {
+  return cdf_from_laplace_checked(lt_many, t, m).value;
+}
+
+namespace {
+
+// Shared worker for both cdf_many overloads; `quality` may be empty (no
+// propagation) or ts-sized.
+std::vector<double> cdf_many_impl(const BatchLaplaceFn& lt_many,
+                                  std::span<const double> ts, int m,
+                                  std::span<InversionQuality> quality) {
+  COSM_REQUIRE(quality.empty() || quality.size() == ts.size(),
+               "quality span must match the t grid");
   std::vector<double> out(ts.size(), 0.0);
+  for (std::size_t i = 0; i < quality.size(); ++i) {
+    quality[i] = InversionQuality::kConverged;  // exact 0 for t <= 0
+  }
   // Concatenate the contours of every positive t into one node array so
   // the transform is evaluated exactly once.
   std::vector<std::size_t> live;
@@ -346,6 +435,7 @@ std::vector<double> cdf_many_from_laplace(const BatchLaplaceFn& lt_many,
     }
   }
   if (live.empty()) return out;
+  obs::Span span("numerics.cdf_many");
   const std::size_t terms = static_cast<std::size_t>(euler_terms(m));
   ScratchLease scratch;
   scratch->nodes.resize(terms * live.size());
@@ -360,12 +450,30 @@ std::vector<double> cdf_many_from_laplace(const BatchLaplaceFn& lt_many,
     std::complex<double>* nodes = scratch->nodes.data() + b * terms;
     std::complex<double>* values = scratch->values.data() + b * terms;
     for (std::size_t k = 0; k < terms; ++k) values[k] = values[k] / nodes[k];
-    const double value = euler_reduce(
+    const double raw = euler_reduce(
         ts[live[b]], m,
         std::span<const std::complex<double>>(values, terms));
-    out[live[b]] = std::clamp(value, 0.0, 1.0);
+    const CdfPoint point = finish_cdf(raw, static_cast<int>(terms));
+    out[live[b]] = point.value;
+    if (!quality.empty()) quality[live[b]] = point.quality;
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<double> cdf_many_from_laplace(const BatchLaplaceFn& lt_many,
+                                          std::span<const double> ts,
+                                          int m) {
+  return cdf_many_impl(lt_many, ts, m, {});
+}
+
+std::vector<double> cdf_many_from_laplace(
+    const BatchLaplaceFn& lt_many, std::span<const double> ts, int m,
+    std::span<InversionQuality> quality) {
+  COSM_REQUIRE(quality.size() == ts.size(),
+               "quality span must match the t grid");
+  return cdf_many_impl(lt_many, ts, m, quality);
 }
 
 double quantile_from_laplace(const LaplaceFn& lt, double p, double mean_hint,

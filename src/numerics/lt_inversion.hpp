@@ -39,6 +39,7 @@
 #pragma once
 
 #include <complex>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -77,15 +78,59 @@ double invert_talbot(const BatchLaplaceFn& lt_many, double t, int m = 32);
 // double precision).  Real-axis evaluations only.
 double invert_gaver_stehfest(const RealLaplaceFn& lt, double t, int n = 16);
 
+// Quality verdict of one CDF inversion — how far the raw Euler sum sat
+// outside the mathematically required [0, 1] before the clamp:
+//  * kConverged  — in range up to the inversion's intrinsic accuracy
+//                  (|excess| <= 1e-9; the ~10^-8 Abate–Whitt error floor
+//                  at M=20 rounded up);
+//  * kTruncated  — visible series-truncation overshoot (excess <= 1e-3):
+//                  the result is usable but the term count is marginal
+//                  for this transform at this t;
+//  * kClamped    — the raw value was wildly out of range (e.g. -0.4): the
+//                  clamped value is a fabrication, not an estimate — the
+//                  inversion diverged for this transform/t/m combination;
+//  * kNonFinite  — the raw value was NaN or infinite (overflow inside the
+//                  transform or the reduction).
+// Every inversion bumps exactly one obs counter (inversion.converged /
+// .truncated / .clamped / .nonfinite) so failed inversions are visible in
+// any traced run; the *_checked entry points additionally hand the
+// verdict to the caller.  See docs/OBSERVABILITY.md for the semantics.
+enum class InversionQuality : std::uint8_t {
+  kConverged,
+  kTruncated,
+  kClamped,
+  kNonFinite,
+};
+
+// Classifies a raw (pre-clamp) CDF value against the thresholds above.
+InversionQuality classify_cdf_value(double raw);
+
+// A CDF point with its quality verdict.  `value` preserves the historical
+// return exactly (clamped to [0, 1]; a non-finite raw value propagates
+// unchanged) so checked and unchecked paths are bit-identical.
+struct CdfPoint {
+  double value = 0.0;
+  InversionQuality quality = InversionQuality::kConverged;
+};
+
 // Evaluates the CDF at t of the distribution whose density transform is
 // `lt`, by inverting lt(s)/s; the result is clamped to [0, 1].  t <= 0
 // returns 0 (our latencies are strictly positive away from atoms at zero,
 // where inversion is ill-posed anyway).  This is the pipeline's unit of
 // work — one SLA-percentile query per device costs exactly one call —
 // and what core::PredictionCache memoizes across identical devices.
+// The inversion's quality verdict is recorded in the obs counters; use
+// the _checked form to receive it directly.
 double cdf_from_laplace(const LaplaceFn& lt, double t, int m = 20);
 // Batched form; bit-identical to the scalar overload.
 double cdf_from_laplace(const BatchLaplaceFn& lt_many, double t, int m = 20);
+
+// Checked forms: same value, plus the quality verdict.  A kClamped or
+// kNonFinite verdict means the returned value is NOT a valid CDF estimate
+// and must not be silently trusted.
+CdfPoint cdf_from_laplace_checked(const LaplaceFn& lt, double t, int m = 20);
+CdfPoint cdf_from_laplace_checked(const BatchLaplaceFn& lt_many, double t,
+                                  int m = 20);
 
 // Multi-point CDF evaluation: one value per entry of `ts` (entries <= 0
 // yield 0).  Materializes the contours of ALL t-points and issues a
@@ -96,6 +141,15 @@ double cdf_from_laplace(const BatchLaplaceFn& lt_many, double t, int m = 20);
 std::vector<double> cdf_many_from_laplace(const BatchLaplaceFn& lt_many,
                                           std::span<const double> ts,
                                           int m = 20);
+// Quality-propagating form: quality[i] receives the verdict for ts[i]
+// (entries with ts[i] <= 0 report kConverged for their exact 0).
+// Precondition: quality.size() == ts.size().  Values are bit-identical
+// to the quality-less overload — out-of-range raw sums are still clamped
+// into the returned vector, but the verdict tells the caller (and the
+// obs counters tell any traced run) that flooring happened.
+std::vector<double> cdf_many_from_laplace(const BatchLaplaceFn& lt_many,
+                                          std::span<const double> ts, int m,
+                                          std::span<InversionQuality> quality);
 
 // Warm-start state for quantile searches over monotone sweeps (SLA
 // ladders, rate grids): carries the previous root so the next bracket
@@ -105,9 +159,32 @@ std::vector<double> cdf_many_from_laplace(const BatchLaplaceFn& lt_many,
 // so warm-started sweeps agree with cold calls to the Brent tolerance,
 // not bit-exactly.  Reset (or default-construct) when the swept quantity
 // jumps.
+//
+// Regime guard: a carried root is only a good seed while consecutive
+// sweep points belong to the same *curve family* — the same device set,
+// the same structural model.  Crossing a regime change (a failed device
+// dropping out of a what-if sweep, a degraded device set healing) can
+// leave the seed orders of magnitude off, and a stale bracket then costs
+// a long shrink/expand ladder — or, for searches without a validity
+// check, a wrong bracket.  Callers that can fingerprint their regime
+// (e.g. SystemModel::latency_quantile folds the devices' structural tape
+// fingerprints) call enter_regime() before seeding: a fingerprint change
+// resets the carried root and bumps quantile.warm_reject_regime.
 struct QuantileWarmStart {
   // Previous solution in seconds; <= 0 (or non-finite) means cold start.
   double previous = 0.0;
+  // Curve-family fingerprint of the sweep the carried root belongs to;
+  // 0 = not tracked (enter_regime never called).
+  std::uint64_t regime = 0;
+
+  // Declares that the next search belongs to `regime_fp` (any non-zero
+  // value).  A change of regime invalidates the carried root.
+  void enter_regime(std::uint64_t regime_fp);
+
+  void reset() {
+    previous = 0.0;
+    regime = 0;
+  }
 };
 
 // Finds the p-quantile of the same distribution by bracketing + Brent on

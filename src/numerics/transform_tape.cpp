@@ -9,6 +9,7 @@
 
 #include "common/require.hpp"
 #include "numerics/compose.hpp"
+#include "obs/obs.hpp"
 #include "numerics/memo_cache.hpp"
 #include "numerics/phase_type.hpp"
 #include "numerics/transform_nodes.hpp"
@@ -233,6 +234,10 @@ class TapeCompiler {
     }
     if (extra != 0) fp = hash_mix(fp, extra);
     tape_.fingerprint_ = fp;
+    // Shape-only hash: opcode + a, never params or leaf values.
+    tape_.structure_fingerprint_ = hash_mix(
+        tape_.structure_fingerprint_,
+        (static_cast<std::uint64_t>(code) << 32) | a);
     pending_param_count_ = 0;
   }
 
@@ -288,7 +293,14 @@ class TapeCompiler {
 };
 
 TransformTape TransformTape::compile(const DistPtr& root) {
-  return TapeCompiler().run(root);
+  obs::Span span("tape.compile");
+  TransformTape tape = TapeCompiler().run(root);
+  if (obs::enabled()) {
+    obs::add(obs::Counter::kTapeCompiles);
+    obs::add(obs::Counter::kTapeOps,
+             static_cast<std::uint64_t>(tape.ops_.size()));
+  }
+  return tape;
 }
 
 // ------------------------------- evaluator -------------------------------
@@ -300,6 +312,11 @@ void TransformTape::evaluate(std::span<const std::complex<double>> s,
                "evaluate spans must have equal length");
   const std::size_t batch = s.size();
   if (batch == 0) return;
+  if (obs::enabled()) {
+    obs::add(obs::Counter::kTapeEvalBatches);
+    obs::add(obs::Counter::kTapeEvalPoints,
+             static_cast<std::uint64_t>(batch));
+  }
 
   WorkspaceLease ws;
   ws->values.resize(value_depth_ * batch);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace cosm::sim {
 
 void Engine::reserve(std::size_t events) {
@@ -41,8 +43,13 @@ void Engine::sift_down(std::size_t index, Node node) {
   heap_[index] = node;
 }
 
+// Instrumentation sits on the run_* entry points, never inside step():
+// one span and one counter delta per drain, zero work per event.
+
 void Engine::run_until(double end_time) {
   COSM_REQUIRE(end_time >= now_, "end time precedes current time");
+  obs::Span span("sim.run_until");
+  const std::uint64_t before = processed_;
   while (immediate_head_ < immediate_.size() ||
          (!heap_.empty() && heap_.front().time() <= end_time) ||
          (monotone_head_ < monotone_.size() &&
@@ -50,11 +57,15 @@ void Engine::run_until(double end_time) {
     step();
   }
   now_ = end_time;
+  obs::add(obs::Counter::kSimEvents, processed_ - before);
 }
 
 void Engine::run_all() {
+  obs::Span span("sim.run_all");
+  const std::uint64_t before = processed_;
   while (step()) {
   }
+  obs::add(obs::Counter::kSimEvents, processed_ - before);
 }
 
 }  // namespace cosm::sim

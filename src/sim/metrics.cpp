@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/require.hpp"
+#include "obs/obs.hpp"
 
 namespace cosm::sim {
 
@@ -32,6 +33,13 @@ void SimMetrics::reserve_request_samples(std::size_t count) {
 void SimMetrics::on_request_complete(const RequestSample& sample) {
   COSM_REQUIRE(sample.device < devices_.size(), "device id out of range");
   ++completed_;
+  if (obs::enabled()) {
+    obs::add(obs::Counter::kSimRequests);
+    if (sample.failed) obs::add(obs::Counter::kSimFailures);
+    if (sample.timed_out && !sample.failed) {
+      obs::add(obs::Counter::kSimTimeouts);
+    }
+  }
   if (sample.failed) {
     ++failed_;
   } else if (sample.timed_out) {
@@ -48,6 +56,12 @@ void SimMetrics::on_request_complete(const RequestSample& sample) {
     }
     if (keep_request_samples) requests_.push_back(sample);
   }
+}
+
+stats::QuantileEstimate SimMetrics::latency_quantile_checked(double p) const {
+  COSM_REQUIRE(p >= 0.0 && p <= 1.0, "quantile p must be in [0, 1]");
+  if (latency_hist_) return latency_hist_->quantile_checked(p);
+  return {latency_quantile(p), stats::QuantileBound::kExact};
 }
 
 double SimMetrics::latency_quantile(double p) const {
@@ -91,8 +105,14 @@ void SimMetrics::on_attempt(std::uint32_t device, bool is_retry,
                             bool is_failover) {
   COSM_REQUIRE(device < devices_.size(), "device id out of range");
   ++devices_[device].attempts;
-  if (is_retry) ++retry_attempts_;
-  if (is_failover) ++failover_attempts_;
+  if (is_retry) {
+    ++retry_attempts_;
+    obs::add(obs::Counter::kSimRetryAttempts);
+  }
+  if (is_failover) {
+    ++failover_attempts_;
+    obs::add(obs::Counter::kSimFailoverAttempts);
+  }
 }
 
 OutcomeCounts SimMetrics::outcomes() const {

@@ -5,6 +5,7 @@
 
 #include "common/require.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 #include "sim/cluster.hpp"
 #include "sim/source.hpp"
 
@@ -27,6 +28,8 @@ std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
 
 ReplicationResult run_replication(const ReplicationPlan& plan,
                                   std::uint64_t seed) {
+  obs::Span span("sim.replication");
+  obs::add(obs::Counter::kSimReplications);
   ClusterConfig cluster_config = plan.cluster;
   cluster_config.seed = seed;
   Cluster cluster(cluster_config);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/require.hpp"
+#include "obs/obs.hpp"
 
 namespace cosm::stats {
 
@@ -37,7 +38,12 @@ double LogHistogram::bucket_lower_edge(std::size_t index) const {
 }
 
 void LogHistogram::add(double value) {
-  ++counts_[bucket_index(value)];
+  const std::size_t index = bucket_index(value);
+  if (obs::enabled()) {
+    if (index == 0) obs::add(obs::Counter::kHistUnderflowAdd);
+    if (index == counts_.size() - 1) obs::add(obs::Counter::kHistOverflowAdd);
+  }
+  ++counts_[index];
   ++total_;
 }
 
@@ -52,6 +58,10 @@ void LogHistogram::merge(const LogHistogram& other) {
 }
 
 double LogHistogram::quantile(double p) const {
+  return quantile_checked(p).value;
+}
+
+QuantileEstimate LogHistogram::quantile_checked(double p) const {
   COSM_REQUIRE(p >= 0 && p <= 1, "quantile level must be in [0, 1]");
   COSM_REQUIRE(total_ > 0, "quantile of an empty histogram");
   const double target = p * static_cast<double>(total_);
@@ -59,6 +69,18 @@ double LogHistogram::quantile(double p) const {
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const double next = cumulative + static_cast<double>(counts_[i]);
     if (next >= target) {
+      // Clamp buckets retain no position information — interpolating
+      // inside them fabricates a value (the old bug: a midpoint between
+      // 0 and min_value for underflow).  When the quantile actually
+      // lands on recorded clamp-bucket mass, report the provable bound.
+      if (i == 0 && counts_[0] > 0) {
+        obs::add(obs::Counter::kHistQuantileClamped);
+        return {min_value_, QuantileBound::kUpperBound};
+      }
+      if (i == counts_.size() - 1 && counts_[i] > 0) {
+        obs::add(obs::Counter::kHistQuantileClamped);
+        return {bucket_lower_edge(i), QuantileBound::kLowerBound};
+      }
       const double lower = bucket_lower_edge(i);
       const double upper = (i + 1 < counts_.size())
                                ? bucket_lower_edge(i + 1)
@@ -67,11 +89,11 @@ double LogHistogram::quantile(double p) const {
           counts_[i] > 0
               ? (target - cumulative) / static_cast<double>(counts_[i])
               : 0.0;
-      return lower + (upper - lower) * inside;
+      return {lower + (upper - lower) * inside, QuantileBound::kExact};
     }
     cumulative = next;
   }
-  return bucket_lower_edge(counts_.size() - 1);
+  return {bucket_lower_edge(counts_.size() - 1), QuantileBound::kExact};
 }
 
 double LogHistogram::fraction_below(double threshold) const {

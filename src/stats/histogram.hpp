@@ -10,6 +10,30 @@
 
 namespace cosm::stats {
 
+// How to read a QuantileEstimate: kExact means the quantile fell in a
+// core bucket and the interpolated value is good to one bucket width.
+// The clamp verdicts mean the quantile fell in a clamp bucket, where the
+// histogram retains no position information — the estimate is then the
+// tightest provable bound, not an interpolation:
+//  * kUpperBound — underflow bucket; the true quantile is <= value
+//    (value = the histogram's min_value);
+//  * kLowerBound — overflow bucket; the true quantile is >= value
+//    (value = the last tracked bucket edge).
+// Historical bug: quantile() used to interpolate *inside* clamp buckets,
+// fabricating a midpoint between 0 and min_value (or pinning to the
+// overflow edge) with no indication anything was wrong.  Both paths now
+// return the bound and bump the hist.quantile_clamped obs counter.
+enum class QuantileBound : std::uint8_t {
+  kExact,
+  kLowerBound,
+  kUpperBound,
+};
+
+struct QuantileEstimate {
+  double value = 0.0;
+  QuantileBound bound = QuantileBound::kExact;
+};
+
 class LogHistogram {
  public:
   // Values in [min_value, max_value] are bucketed geometrically with
@@ -23,8 +47,12 @@ class LogHistogram {
 
   std::uint64_t count() const { return total_; }
   // Quantile estimate (bucket lower edge + linear interpolation); exact to
-  // within one bucket width.
+  // within one bucket width for core buckets.  When the quantile falls in
+  // a clamp bucket this returns the provable bound — see QuantileBound;
+  // use quantile_checked to learn which case occurred.
   double quantile(double p) const;
+  // Same value, plus whether it is exact or a clamp-bucket bound.
+  QuantileEstimate quantile_checked(double p) const;
   // Fraction of recorded values <= threshold.
   double fraction_below(double threshold) const;
 

@@ -1,0 +1,160 @@
+// Warm-start regime guard: a quantile root carried across models must be
+// discarded when the underlying curve family changes (degraded vs
+// healthy cluster), yet survive plain rate sweeps.  The historical bug:
+// whatif::latency_quantile_trend carried a degraded-regime bracket into
+// the healthy model after an overload gap, which could seed the search
+// on the wrong side of the root.  These tests pin the fingerprint
+// rejection, the trend's reset-on-overload, and recovery from a
+// poisoned seed.
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/whatif.hpp"
+#include "numerics/distribution.hpp"
+#include "obs/obs.hpp"
+
+namespace cosm::core {
+namespace {
+
+using numerics::Degenerate;
+using numerics::Gamma;
+
+struct ObsGuard {
+  ObsGuard() {
+    obs::reset();
+    obs::set_enabled(true);
+  }
+  ~ObsGuard() {
+    obs::set_enabled(false);
+    obs::reset();
+  }
+};
+
+SystemParams even_cluster(double total_rate, unsigned devices) {
+  SystemParams params;
+  params.frontend.arrival_rate = total_rate;
+  params.frontend.processes = 3;
+  params.frontend.frontend_parse = std::make_shared<Degenerate>(0.8e-3);
+  for (unsigned d = 0; d < devices; ++d) {
+    DeviceParams device;
+    device.arrival_rate = total_rate / devices;
+    device.data_read_rate = device.arrival_rate * 1.2;
+    device.index_miss_ratio = 0.3;
+    device.meta_miss_ratio = 0.3;
+    device.data_miss_ratio = 0.7;
+    device.index_disk = std::make_shared<Gamma>(3.0, 300.0);
+    device.meta_disk = std::make_shared<Gamma>(2.5, 312.5);
+    device.data_disk = std::make_shared<Gamma>(2.8, 233.33);
+    device.backend_parse = std::make_shared<Degenerate>(0.5e-3);
+    device.processes = 1;
+    params.devices.push_back(device);
+  }
+  return params;
+}
+
+const ClusterFactory kFactory = [](double rate, unsigned devices) {
+  return even_cluster(rate, devices);
+};
+
+TEST(RegimeFingerprint, InvariantAcrossRateSweeps) {
+  // Rates are parameters, not structure: the whole point of the warm
+  // start is surviving a rate sweep, so the fingerprint must not move.
+  const SystemModel slow_day(even_cluster(60.0, 4));
+  const SystemModel busy_day(even_cluster(140.0, 4));
+  EXPECT_EQ(slow_day.regime_fingerprint(), busy_day.regime_fingerprint());
+  EXPECT_NE(slow_day.regime_fingerprint(), 0u);
+}
+
+TEST(RegimeFingerprint, ChangesWhenTheCurveFamilyChanges) {
+  const SystemModel healthy(even_cluster(80.0, 4));
+
+  // A failed device changes the device count.
+  DegradedScenario outage;
+  outage.failed_device = 1;
+  const SystemModel after_outage(degrade(even_cluster(80.0, 4), outage));
+  EXPECT_NE(healthy.regime_fingerprint(), after_outage.regime_fingerprint());
+
+  // A slowed device wraps its disks in Scaled: same count, new tape
+  // shape.
+  DegradedScenario slowdown;
+  slowdown.slow_device = 2;
+  slowdown.service_inflation = 3.0;
+  const SystemModel degraded(degrade(even_cluster(80.0, 4), slowdown));
+  EXPECT_NE(healthy.regime_fingerprint(), degraded.regime_fingerprint());
+}
+
+TEST(WarmStartRegime, DegradedSeedIsRejectedOnTheHealthyModel) {
+  ObsGuard guard;
+  DegradedScenario slowdown;
+  slowdown.slow_device = 2;
+  slowdown.service_inflation = 3.0;
+  const SystemModel degraded(degrade(even_cluster(80.0, 4), slowdown));
+  const SystemModel healthy(even_cluster(80.0, 4));
+  const double cold = healthy.latency_quantile(0.95);
+
+  numerics::QuantileWarmStart warm;
+  const double on_degraded = degraded.latency_quantile(0.95, &warm);
+  EXPECT_GT(on_degraded, cold);  // degradation pushes the p95 up
+  EXPECT_GT(warm.previous, 0.0);
+
+  // Crossing into the healthy model must drop the carried root (the
+  // fingerprints differ) and still land on the cold answer.
+  const double crossed = healthy.latency_quantile(0.95, &warm);
+  EXPECT_NEAR(crossed, cold, 1e-6 * cold);
+  EXPECT_GE(obs::counter_value(obs::Counter::kQuantileWarmRejectRegime), 1u);
+}
+
+TEST(WarmStartRegime, RateSweepKeepsTheSeedWarm) {
+  ObsGuard guard;
+  numerics::QuantileWarmStart warm;
+  const std::vector<double> rates = {60.0, 80.0, 100.0, 120.0};
+  for (const double rate : rates) {
+    const SystemModel model(even_cluster(rate, 4));
+    const double with_warm = model.latency_quantile(0.95, &warm);
+    const double cold = model.latency_quantile(0.95);
+    EXPECT_NEAR(with_warm, cold, 1e-6 * cold) << "rate " << rate;
+  }
+  // First call is cold; every later sweep step accepts the carried seed.
+  EXPECT_EQ(obs::counter_value(obs::Counter::kQuantileWarmAccept),
+            static_cast<std::uint64_t>(rates.size()) - 1);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kQuantileWarmRejectRegime), 0u);
+}
+
+TEST(WarmStartRegime, TrendResetsAcrossAnOverloadGap) {
+  ObsGuard guard;
+  // 400 req/s over 4 devices saturates: the middle period is overloaded
+  // and must come back NaN, and the recovery period must match the
+  // pre-gap answer instead of inheriting a bracket from the overload
+  // boundary.
+  const std::vector<double> rates = {80.0, 400.0, 80.0};
+  const std::vector<double> trend =
+      latency_quantile_trend(kFactory, rates, 0.95, 4);
+  ASSERT_EQ(trend.size(), 3u);
+  EXPECT_TRUE(std::isfinite(trend[0]));
+  EXPECT_TRUE(std::isnan(trend[1]));
+  EXPECT_TRUE(std::isfinite(trend[2]));
+  EXPECT_NEAR(trend[2], trend[0], 1e-6 * trend[0]);
+
+  // The post-gap period restarts cold (warm.reset() on overload), so at
+  // least two cold starts happen across the trend.
+  EXPECT_GE(obs::counter_value(obs::Counter::kQuantileColdStart), 2u);
+}
+
+TEST(WarmStartRegime, PoisonedSeedStillRecoversTheColdRoot) {
+  const SystemModel model(even_cluster(80.0, 4));
+  const double cold = model.latency_quantile(0.95);
+
+  // A wildly stale seed (six decades high) must be absorbed by the
+  // shrink ladder — same root, no exception.
+  numerics::QuantileWarmStart poisoned;
+  poisoned.regime = model.regime_fingerprint();
+  poisoned.previous = 1e6 * cold;
+  const double recovered = model.latency_quantile(0.95, &poisoned);
+  EXPECT_NEAR(recovered, cold, 1e-6 * cold);
+}
+
+}  // namespace
+}  // namespace cosm::core

@@ -1,0 +1,86 @@
+// Clamp-bucket quantile semantics: when the requested quantile lands in
+// the underflow or overflow bucket, the histogram has no position
+// information — it must report the tightest provable bound (and say so),
+// not interpolate a fabricated midpoint.  These tests pin the fixed
+// behavior and the obs counters that make the clamping visible.
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+
+namespace cosm::stats {
+namespace {
+
+struct ObsGuard {
+  ObsGuard() {
+    obs::reset();
+    obs::set_enabled(true);
+  }
+  ~ObsGuard() {
+    obs::set_enabled(false);
+    obs::reset();
+  }
+};
+
+TEST(HistogramClamp, UnderflowQuantileIsAnUpperBound) {
+  LogHistogram h(1e-3, 1.0, 10);
+  // Every sample sits below the tracked range: the histogram only knows
+  // "less than min_value".
+  for (int i = 0; i < 100; ++i) h.add(1e-6);
+  const QuantileEstimate estimate = h.quantile_checked(0.5);
+  EXPECT_EQ(estimate.bound, QuantileBound::kUpperBound);
+  // The bound is min_value itself, not a midpoint between 0 and
+  // min_value (the historical fabrication).
+  EXPECT_EQ(estimate.value, 1e-3);
+}
+
+TEST(HistogramClamp, OverflowQuantileIsALowerBound) {
+  LogHistogram h(1e-3, 1.0, 10);
+  h.add(0.5);
+  // Heavy tail beyond max_value: the P99 is provably >= the last tracked
+  // edge, and that is all the histogram can say.
+  for (int i = 0; i < 99; ++i) h.add(50.0);
+  const QuantileEstimate estimate = h.quantile_checked(0.99);
+  EXPECT_EQ(estimate.bound, QuantileBound::kLowerBound);
+  EXPECT_GE(estimate.value, 1.0);
+}
+
+TEST(HistogramClamp, CoreBucketQuantileStaysExact) {
+  LogHistogram h(1e-3, 1.0, 100);
+  for (int i = 0; i < 1000; ++i) h.add(0.01 + 1e-5 * i);
+  const QuantileEstimate estimate = h.quantile_checked(0.5);
+  EXPECT_EQ(estimate.bound, QuantileBound::kExact);
+  EXPECT_NEAR(estimate.value, 0.015, 0.002);
+}
+
+TEST(HistogramClamp, LegacyQuantileReturnsTheSameValue) {
+  LogHistogram h(1e-3, 1.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(1e-6);
+  for (int i = 0; i < 10; ++i) h.add(0.5);
+  for (int i = 0; i < 10; ++i) h.add(1e6);
+  for (const double p : {0.01, 0.2, 0.5, 0.8, 0.99}) {
+    EXPECT_EQ(h.quantile(p), h.quantile_checked(p).value) << p;
+  }
+}
+
+TEST(HistogramClamp, ObsCountersReportClampTraffic) {
+  ObsGuard guard;
+  LogHistogram h(1e-3, 1.0, 10);
+  h.add(1e-6);  // underflow
+  h.add(1e6);   // overflow
+  h.add(1e6);   // overflow
+  h.add(0.5);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kHistUnderflowAdd), 1u);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kHistOverflowAdd), 2u);
+
+  EXPECT_EQ(obs::counter_value(obs::Counter::kHistQuantileClamped), 0u);
+  h.quantile_checked(0.5);  // core bucket: no clamp verdict
+  EXPECT_EQ(obs::counter_value(obs::Counter::kHistQuantileClamped), 0u);
+  h.quantile_checked(0.01);  // underflow bucket
+  h.quantile_checked(0.99);  // overflow bucket
+  EXPECT_EQ(obs::counter_value(obs::Counter::kHistQuantileClamped), 2u);
+}
+
+}  // namespace
+}  // namespace cosm::stats

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validate a cosm obs trace export against docs/obs_trace.schema.json.
+
+Stdlib only (no jsonschema dependency): implements the subset of JSON
+Schema the checked-in schema actually uses — type, required, properties,
+items, const, minimum, pattern.
+
+Usage:
+    python3 tools/validate_trace.py trace.json [more.json ...]
+    python3 tools/validate_trace.py --require-span core.predict_sla \
+        --require-counter inversion.calls trace.json
+
+Exit status 0 if every file validates (and every required span/counter
+is present with counters nonzero), 1 otherwise.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+SCHEMA_PATH = Path(__file__).resolve().parent.parent / "docs" / "obs_trace.schema.json"
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "number": (int, float),
+    "integer": int,
+}
+
+
+def _check(instance, schema, path, errors):
+    expected = schema.get("type")
+    if expected is not None:
+        py_type = _TYPES[expected]
+        ok = isinstance(instance, py_type)
+        # bool is an int subclass in Python; don't let true pass as integer.
+        if ok and expected in ("integer", "number") and isinstance(instance, bool):
+            ok = False
+        if not ok:
+            errors.append(f"{path}: expected {expected}, got {type(instance).__name__}")
+            return
+    if "const" in schema and instance != schema["const"]:
+        errors.append(f"{path}: expected constant {schema['const']!r}, got {instance!r}")
+    if "minimum" in schema and isinstance(instance, (int, float)):
+        if instance < schema["minimum"]:
+            errors.append(f"{path}: {instance} below minimum {schema['minimum']}")
+    if "pattern" in schema and isinstance(instance, str):
+        if not re.match(schema["pattern"], instance):
+            errors.append(f"{path}: {instance!r} does not match {schema['pattern']!r}")
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, subschema in schema.get("properties", {}).items():
+            if key in instance:
+                _check(instance[key], subschema, f"{path}.{key}", errors)
+    if isinstance(instance, list) and "items" in schema:
+        for i, element in enumerate(instance):
+            _check(element, schema["items"], f"{path}[{i}]", errors)
+
+
+def validate_file(trace_path, schema, require_spans, require_counters):
+    errors = []
+    try:
+        instance = json.loads(Path(trace_path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{trace_path}: unreadable or invalid JSON: {exc}"]
+    _check(instance, schema, "$", errors)
+    if errors:
+        return [f"{trace_path}: {e}" for e in errors]
+
+    span_names = {span["name"] for span in instance.get("spans", [])}
+    for name in require_spans:
+        if name not in span_names:
+            errors.append(f"{trace_path}: required span {name!r} not in trace")
+    counters = {c["name"]: c["value"] for c in instance.get("counters", [])}
+    for name in require_counters:
+        if counters.get(name, 0) <= 0:
+            errors.append(f"{trace_path}: required counter {name!r} is zero or absent")
+    return errors
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("traces", nargs="+", help="trace JSON files to validate")
+    parser.add_argument("--schema", default=str(SCHEMA_PATH))
+    parser.add_argument("--require-span", action="append", default=[],
+                        help="fail unless a span with this name is present")
+    parser.add_argument("--require-counter", action="append", default=[],
+                        help="fail unless this counter is present and nonzero")
+    args = parser.parse_args(argv)
+
+    schema = json.loads(Path(args.schema).read_text())
+    failures = []
+    for trace in args.traces:
+        failures.extend(
+            validate_file(trace, schema, args.require_span, args.require_counter))
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    if not failures:
+        print(f"OK {len(args.traces)} trace(s) valid against {args.schema}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
