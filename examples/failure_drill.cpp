@@ -3,10 +3,14 @@
 // retry/failover — and check each degraded phase against the what-if
 // prediction that an operator could have computed *before* the drill.
 //
-//   $ ./failure_drill [rate] [--trace-json=PATH]
+//   $ ./failure_drill [rate] [--hedge=SECONDS] [--trace-json=PATH]
 //
-// With --trace-json, the run exports sim-engine spans, retry/failover
-// counters, and what-if stage timings (docs/OBSERVABILITY.md).
+// With --hedge, reads dispatch a hedged second attempt once the deadline
+// passes without a response (cancel-on-first-complete): the drill then
+// shows how hedging absorbs the slowdown phase, and the what-if section
+// adds the hedged prediction.  With --trace-json, the run exports
+// sim-engine spans, retry/failover/hedge counters, and what-if stage
+// timings (docs/OBSERVABILITY.md).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,10 +48,13 @@ struct Phase {
 
 int main(int argc, char** argv) {
   double rate = 60.0;
+  double hedge_delay = 0.0;
   const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
       trace_path = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--hedge=", 8) == 0) {
+      hedge_delay = std::atof(argv[i] + 8);
     } else {
       rate = std::atof(argv[i]);
     }
@@ -65,6 +72,7 @@ int main(int argc, char** argv) {
   config.request_timeout = 0.25;
   config.max_retries = 2;            // retry with failover to a replica
   config.retry_backoff_base = 0.05;
+  config.hedge_delay = hedge_delay;  // 0 = hedging off
   config.seed = 42;
   config.faults.disk_slowdown(2, kSlowStart, kSlowEnd - kSlowStart,
                               kInflation);
@@ -118,8 +126,14 @@ int main(int argc, char** argv) {
   }
 
   std::printf("failure drill: %.0f req/s over %u devices, SLA %.0f ms, "
-              "%u retries with replica failover\n\n",
+              "%u retries with replica failover\n",
               rate, kDevices, kSla * 1e3, config.max_retries);
+  if (hedge_delay > 0.0) {
+    std::printf("hedged GETs: second attempt after %.0f ms, first response "
+                "wins, loser cancelled\n",
+                hedge_delay * 1e3);
+  }
+  std::printf("\n");
   std::printf("%-28s %-10s %-18s %-9s %s\n", "phase", "requests",
               "P[latency <= SLA]", "retried", "failed");
   for (const Phase& phase : phases) {
@@ -142,6 +156,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(outcomes.failed),
               static_cast<unsigned long long>(outcomes.retry_attempts),
               static_cast<unsigned long long>(outcomes.failover_attempts));
+  if (hedge_delay > 0.0) {
+    std::printf("hedging:  %llu hedges issued, %llu won the race, "
+                "%llu losing attempts cancelled\n",
+                static_cast<unsigned long long>(outcomes.hedge_attempts),
+                static_cast<unsigned long long>(outcomes.hedge_wins),
+                static_cast<unsigned long long>(outcomes.cancelled_attempts));
+  }
 
   // --- What the operator could have predicted beforehand ------------
   const auto healthy = cosm_examples::make_cluster(rate, kDevices);
@@ -170,6 +191,17 @@ int main(int argc, char** argv) {
               100.0 * cosm::core::degraded_sla_percentile(healthy, outage,
                                                           kSla),
               outage.retry_rate_factor);
+  if (hedge_delay > 0.0) {
+    cosm::core::ModelOptions hedged_options;
+    hedged_options.redundancy.mode =
+        cosm::core::RedundancyOptions::Mode::kHedge;
+    hedged_options.redundancy.hedge_delay = hedge_delay;
+    std::printf("  hedged at %3.0f ms:        %6.2f%%  (order-statistic "
+                "response, hedge-inflated lambda)\n",
+                hedge_delay * 1e3,
+                100.0 * cosm::core::redundant_sla_percentile(
+                            healthy, kSla, hedged_options));
+  }
   std::printf("\nCompare each prediction with the matching drill phase "
               "above: the what-if brackets the simulator without running "
               "it.\n");

@@ -81,6 +81,33 @@ struct SystemParams {
   void validate() const;
 };
 
+// Redundancy-aware response shaping (tail-tolerance extension): the
+// model-side mirror of the simulator's hedged GETs and (n,k) fan-out
+// reads.  The device response S_fe is wrapped in the matching
+// order-statistic distribution (numerics::OrderStatistic /
+// numerics::HedgedResponse) under the independent-replica approximation;
+// see docs/MODEL.md for the math and its limits.
+struct RedundancyOptions {
+  enum class Mode {
+    kNone,    // single attempt (the paper's model, the default)
+    kHedge,   // second attempt after hedge_delay, first response wins
+    kMinOfN,  // n concurrent attempts, first response wins
+    kKthOfN,  // n coded attempts, k-th response completes
+  };
+  Mode mode = Mode::kNone;
+  // Concurrent attempts for kMinOfN / kKthOfN (hedging always races 2).
+  unsigned n = 2;
+  // Responses required for kKthOfN (1 <= k <= n).
+  unsigned k = 1;
+  // Hedge deadline in seconds (kHedge only; must be > 0).
+  double hedge_delay = 0.01;
+  // Fork-join correction: blend the independent order statistic toward
+  // the single-attempt tail by the backend utilization (busy queues are
+  // exactly when concurrent attempts correlate).  Off = pure
+  // independence, the optimistic bound.
+  bool fork_join_correction = true;
+};
+
 // Model variants for the paper's baseline comparison (Sec. V-C) and the
 // disk-queue extension.
 struct ModelOptions {
@@ -98,6 +125,8 @@ struct ModelOptions {
   // assumption the paper blames for S16's systematic error.
   enum class DiskQueue { kMM1K, kMG1K };
   DiskQueue disk_queue = DiskQueue::kMM1K;
+  // Redundant-read response shaping (kNone reproduces the paper exactly).
+  RedundancyOptions redundancy = {};
 };
 
 // Shared memoization across models (Sec. "parallel pipeline" extension):

@@ -7,6 +7,7 @@
 
 #include "common/require.hpp"
 #include "common/thread_pool.hpp"
+#include "numerics/order_statistics.hpp"
 #include "numerics/roots.hpp"
 #include "obs/obs.hpp"
 
@@ -68,10 +69,39 @@ DeviceModel::DeviceModel(const FrontendModel& frontend, DeviceParams params,
   }
   components.push_back(backend_->response_time());  // S_be
   response_ = std::make_shared<Convolution>(std::move(components));
+  const RedundancyOptions& red = options.redundancy;
+  if (red.mode != RedundancyOptions::Mode::kNone) {
+    // Redundant reads complete from several concurrent attempts; wrap the
+    // single-attempt response in the matching order statistic (see
+    // numerics/order_statistics.hpp).  The fork-join correction feeds the
+    // backend utilization in as the attempt correlation.
+    const double corr =
+        red.fork_join_correction
+            ? std::clamp(backend_->utilization(), 0.0, 1.0)
+            : 0.0;
+    switch (red.mode) {
+      case RedundancyOptions::Mode::kHedge:
+        response_ = std::make_shared<numerics::HedgedResponse>(
+            response_, red.hedge_delay, corr);
+        break;
+      case RedundancyOptions::Mode::kMinOfN:
+        response_ = std::make_shared<numerics::OrderStatistic>(
+            response_, red.n, 1, corr);
+        break;
+      case RedundancyOptions::Mode::kKthOfN:
+        response_ = std::make_shared<numerics::OrderStatistic>(
+            response_, red.n, red.k, corr);
+        break;
+      case RedundancyOptions::Mode::kNone:
+        break;
+    }
+  }
   // The tape fingerprint doubles as the CDF cache key: everything that
   // shapes the response — device parameters, the frontend's S_q, WTA
-  // inclusion, the disk-queue variant — lands in the compiled op/param
-  // stream, and identically constructed devices compile identical tapes.
+  // inclusion, the disk-queue variant, the redundancy wrap (its combined
+  // grid lands in the op params; the hedged wrap in the generic-leaf
+  // fingerprint) — lands in the compiled op/param stream, and identically
+  // constructed devices compile identical tapes.
   tape_ = numerics::TransformTape::compile(response_);
   fingerprint_ = tape_.fingerprint();
 }

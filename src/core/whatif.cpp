@@ -252,6 +252,169 @@ std::vector<double> degraded_sla_percentiles(
   return percentiles;
 }
 
+namespace {
+
+void validate_redundancy(const RedundancyOptions& redundancy) {
+  using Mode = RedundancyOptions::Mode;
+  if (redundancy.mode == Mode::kHedge) {
+    COSM_REQUIRE(std::isfinite(redundancy.hedge_delay) &&
+                     redundancy.hedge_delay > 0,
+                 "hedge delay must be finite and positive");
+  }
+  if (redundancy.mode == Mode::kMinOfN ||
+      redundancy.mode == Mode::kKthOfN) {
+    COSM_REQUIRE(redundancy.n >= 1, "redundancy needs n >= 1");
+    COSM_REQUIRE(redundancy.k >= 1 && redundancy.k <= redundancy.n,
+                 "redundancy needs 1 <= k <= n");
+  }
+}
+
+}  // namespace
+
+double redundancy_arrival_inflation(const RedundancyOptions& redundancy,
+                                    double cdf_at_delay) {
+  validate_redundancy(redundancy);
+  COSM_REQUIRE(std::isfinite(cdf_at_delay) && cdf_at_delay >= 0 &&
+                   cdf_at_delay <= 1,
+               "cdf_at_delay must be a probability");
+  using Mode = RedundancyOptions::Mode;
+  switch (redundancy.mode) {
+    case Mode::kNone:
+      return 1.0;
+    case Mode::kHedge:
+      // A hedge fires iff the primary is still outstanding at d.
+      return 2.0 - cdf_at_delay;
+    case Mode::kMinOfN:
+    case Mode::kKthOfN:
+      return static_cast<double>(redundancy.n);
+  }
+  return 1.0;  // unreachable; placates -Wreturn-type
+}
+
+double redundancy_data_inflation(const RedundancyOptions& redundancy,
+                                 double cdf_at_delay) {
+  if (redundancy.mode == RedundancyOptions::Mode::kKthOfN) {
+    validate_redundancy(redundancy);
+    // n coded attempts each reading 1/k of the object.
+    return static_cast<double>(redundancy.n) /
+           static_cast<double>(redundancy.k);
+  }
+  return redundancy_arrival_inflation(redundancy, cdf_at_delay);
+}
+
+SystemParams apply_redundancy_load(const SystemParams& healthy,
+                                   const RedundancyOptions& redundancy,
+                                   double cdf_at_delay) {
+  const double arrival_factor =
+      redundancy_arrival_inflation(redundancy, cdf_at_delay);
+  const double data_factor =
+      redundancy_data_inflation(redundancy, cdf_at_delay);
+  SystemParams params = healthy;
+  params.frontend.arrival_rate *= arrival_factor;
+  for (DeviceParams& device : params.devices) {
+    device.arrival_rate *= arrival_factor;
+    device.data_read_rate *= data_factor;
+    // Coded attempts read less data per attempt than a full request, so
+    // the inflated data rate can fall below the inflated request rate;
+    // the backend model requires r_data >= r (at least one data read per
+    // union operation), which still holds per attempt.
+    device.data_read_rate =
+        std::max(device.data_read_rate, device.arrival_rate);
+  }
+  return params;
+}
+
+double redundant_sla_percentile(const SystemParams& healthy, double sla,
+                                ModelOptions options,
+                                const PredictOptions& predict) {
+  COSM_REQUIRE(sla > 0, "SLA bound must be positive");
+  const RedundancyOptions& red = options.redundancy;
+  validate_redundancy(red);
+  obs::Span span("whatif.redundant_sla");
+  try {
+    if (red.mode != RedundancyOptions::Mode::kHedge) {
+      const SystemModel model(apply_redundancy_load(healthy, red), options,
+                              predict);
+      return model.predict_sla_percentile(sla);
+    }
+    // Hedging: the inflation factor 2 - F(d) needs F(d) of the hedged
+    // system itself.  Seed from the HEALTHY model's F(d) — the
+    // optimistic end, so a stable fixed point is approached from below
+    // rather than pre-declared overloaded by the factor-2 worst case —
+    // then iterate: each round rebuilds the model at the implied load
+    // and re-reads F(d).  The map is monotone and bounded in [1, 2], so
+    // a few rounds settle it far below the model's own accuracy; bail
+    // out early once the factor moves < 1e-4.  Overload at any round
+    // means the true hedged load has no stable fixed point: return 0.
+    const SystemModel seed_model(healthy, options, predict);
+    double cdf_at_delay =
+        seed_model.predict_sla_percentile(red.hedge_delay);
+    double percentile = seed_model.predict_sla_percentile(sla);
+    double last_factor = 1.0;
+    for (int round = 0; round < 4; ++round) {
+      const double factor =
+          redundancy_arrival_inflation(red, cdf_at_delay);
+      if (std::abs(factor - last_factor) < 1e-4) break;
+      last_factor = factor;
+      const SystemModel model(
+          apply_redundancy_load(healthy, red, cdf_at_delay), options,
+          predict);
+      cdf_at_delay = model.predict_sla_percentile(red.hedge_delay);
+      percentile = model.predict_sla_percentile(sla);
+    }
+    return percentile;
+  } catch (const OverloadError&) {
+    return 0.0;  // redundancy saturated the cluster: the "hurt" side
+  }
+}
+
+std::vector<RedundancyChoice> evaluate_redundancy_policies(
+    const SystemParams& healthy,
+    const std::vector<RedundancyOptions>& candidates, double sla,
+    ModelOptions options, const PredictOptions& predict) {
+  COSM_REQUIRE(sla > 0, "SLA bound must be positive");
+  for (const RedundancyOptions& candidate : candidates) {
+    validate_redundancy(candidate);
+  }
+  obs::Span span("whatif.redundancy_search");
+  ModelOptions baseline_options = options;
+  baseline_options.redundancy = RedundancyOptions{};
+  const PredictOptions inner = inner_options(predict);
+  // Baseline first (serial) so every worker compares against one number.
+  double baseline = 0.0;
+  try {
+    const SystemModel model(healthy, baseline_options, inner);
+    baseline = model.predict_sla_percentile(sla);
+  } catch (const OverloadError&) {
+    baseline = 0.0;
+  }
+  std::vector<RedundancyChoice> choices(candidates.size());
+  parallel_for(candidates.size(), predict.num_threads, [&](std::size_t i) {
+    ModelOptions candidate_options = options;
+    candidate_options.redundancy = candidates[i];
+    choices[i].options = candidates[i];
+    choices[i].percentile =
+        redundant_sla_percentile(healthy, sla, candidate_options, inner);
+    choices[i].beats_baseline = choices[i].percentile > baseline;
+  });
+  return choices;
+}
+
+std::optional<RedundancyChoice> best_redundancy_policy(
+    const SystemParams& healthy,
+    const std::vector<RedundancyOptions>& candidates, double sla,
+    ModelOptions options, const PredictOptions& predict) {
+  const std::vector<RedundancyChoice> choices =
+      evaluate_redundancy_policies(healthy, candidates, sla, options,
+                                   predict);
+  std::optional<RedundancyChoice> best;
+  for (const RedundancyChoice& choice : choices) {
+    if (!choice.beats_baseline) continue;
+    if (!best || choice.percentile > best->percentile) best = choice;
+  }
+  return best;
+}
+
 std::vector<std::pair<std::size_t, double>> sla_miss_contributions(
     const SystemModel& model, double sla) {
   COSM_REQUIRE(sla > 0, "SLA bound must be positive");

@@ -163,4 +163,77 @@ std::vector<double> degraded_sla_percentiles(
     const std::vector<DegradedScenario>& scenarios, double sla,
     ModelOptions options = {}, const PredictOptions& predict = {});
 
+// ----- Redundancy what-if (tail-tolerance extension) -----
+//
+// Redundant reads cut the per-request tail but multiply the offered
+// load: every hedge and every fan-out sibling is a real attempt the
+// devices must serve (the simulator counts them in per-device attempted
+// load, SimMetrics::on_attempt).  The model mirrors both sides:
+// ModelOptions::redundancy wraps the response in the order statistic
+// (the help), and apply_redundancy_load inflates the arrival rates (the
+// hurt).  Their crossing is the help->hurt crossover the
+// extension_redundancy bench locates.
+
+// Arrival-rate multiplier for the request stream under `redundancy`.
+//  * kHedge:  1 + P[T > d] = 2 - F(d) — a hedge fires only when the
+//    primary is still outstanding at the deadline; `cdf_at_delay` is
+//    F(d) of the per-request response (pass 0 for the worst case).
+//  * kMinOfN / kKthOfN: n — every attempt is dispatched up front.
+//    Cancellation trims the tail of that work in the simulator, so n is
+//    a (documented) conservative ceiling.
+double redundancy_arrival_inflation(const RedundancyOptions& redundancy,
+                                    double cdf_at_delay = 0.0);
+
+// Data-read-rate multiplier.  Differs from the request multiplier only
+// for kKthOfN, where each of the n coded attempts reads 1/k of the
+// object: n/k.  Applying both multipliers also shrinks the per-attempt
+// extra-read ratio (data_read_rate / arrival_rate) by k — exactly the
+// smaller coded chunks the backend model should see.
+double redundancy_data_inflation(const RedundancyOptions& redundancy,
+                                 double cdf_at_delay = 0.0);
+
+// Applies the two multipliers to every device (and the frontend rate),
+// returning the redundancy-inflated parameter set.
+SystemParams apply_redundancy_load(const SystemParams& healthy,
+                                   const RedundancyOptions& redundancy,
+                                   double cdf_at_delay = 0.0);
+
+// P[latency <= sla] under `options.redundancy`, with the arrival
+// inflation applied self-consistently: for hedging, F(d) depends on the
+// inflated load which depends on F(d), so the helper iterates the fixed
+// point (a few rounds; the map is a contraction for stable systems).
+// Returns 0 when the inflated system is overloaded — redundancy that
+// saturates the cluster certainly misses the SLA, which is the "hurt"
+// side of the crossover.  Precondition: sla > 0.
+double redundant_sla_percentile(const SystemParams& healthy, double sla,
+                                ModelOptions options = {},
+                                const PredictOptions& predict = {});
+
+// One evaluated redundancy policy: the options, the achieved percentile
+// at the target SLA (0 when overloaded), and whether it beats the
+// single-attempt baseline.
+struct RedundancyChoice {
+  RedundancyOptions options;
+  double percentile = 0.0;
+  bool beats_baseline = false;
+};
+
+// Policy search: evaluates every candidate (fanning across
+// PredictOptions::num_threads) plus the single-attempt baseline, and
+// returns the candidates in input order with `beats_baseline` filled.
+// The best policy is the max-percentile entry; ties resolve to the
+// earliest candidate.  Use candidates spanning hedge deadlines and
+// redundancy degrees to search both axes against one SLA target.
+std::vector<RedundancyChoice> evaluate_redundancy_policies(
+    const SystemParams& healthy,
+    const std::vector<RedundancyOptions>& candidates, double sla,
+    ModelOptions options = {}, const PredictOptions& predict = {});
+
+// The argmax over evaluate_redundancy_policies — nullopt when no
+// candidate beats the single-attempt baseline at the target.
+std::optional<RedundancyChoice> best_redundancy_policy(
+    const SystemParams& healthy,
+    const std::vector<RedundancyOptions>& candidates, double sla,
+    ModelOptions options = {}, const PredictOptions& predict = {});
+
 }  // namespace cosm::core

@@ -1,0 +1,153 @@
+// Order-statistic latency distributions — the redundancy extension's
+// model-side counterpart of the simulator's hedged and (n,k) fan-out
+// reads.
+//
+// The paper's model predicts the latency of ONE attempt.  Tail-tolerant
+// request scheduling completes a logical request from SEVERAL concurrent
+// attempts: a hedged GET finishes when either the primary attempt or a
+// delayed second attempt responds, and an (n,k) coded read finishes on
+// the k-th of n attempts.  Under the independent-replica approximation
+// (attempt latencies i.i.d. copies of the single-attempt response T with
+// CDF F), the completed-request CDF has closed forms in F:
+//
+//   min of n        F_(1:n)(t) = 1 - (1 - F(t))^n
+//   k-th of n       F_(k:n)(t) = sum_{j=k}^{n} C(n,j) F(t)^j (1-F(t))^{n-j}
+//   hedged at d     F_h(t)     = F(t)                         for t <  d
+//                                1 - (1-F(t))(1-F(t-d))       for t >= d
+//
+// F itself only exists as a Laplace transform (the response convolution),
+// so these combinators cannot stay in transform space: an order statistic
+// of a distribution has no algebraic expression in its transform.  The
+// classes below therefore materialize F ONCE on a uniform grid (batched
+// tape inversion over ~512 points, horizon at the 0.9999 quantile), apply
+// the closed form pointwise, and serve the result as a piecewise-linear
+// CDF: cdf() interpolates the grid, laplace() integrates the grid in
+// closed form per segment (so the distribution composes with the rest of
+// the transform algebra), and moments come from the same grid.  Residual
+// tail mass beyond the horizon is carried as an atom at the horizon,
+// keeping laplace(0) == 1 and the moments consistent.
+//
+// Fork-join correction.  Independence is optimistic: concurrent attempts
+// share arrival bursts, so their queues are busy at the same times and
+// the realized diversity is smaller than n.  `correlation` in [0, 1]
+// blends the independent order-statistic SURVIVAL function geometrically
+// toward the single-attempt survival,
+//
+//   1 - F_corr = (1 - F_os)^{1-c} (1 - F)^{c},
+//
+// which for the min statistic is exactly an effective replica count
+// n_eff = n - c (n - 1): full diversity at c = 0, no benefit at c = 1.
+// The model layer passes the backend utilization as c (busy queues are
+// exactly when attempts correlate); see core::RedundancyOptions.
+//
+// Tape integration: the compiler flattens OrderStatistic to a dedicated
+// MIN-OF-K / KTH-OF-N leaf op carrying the combined grid in its params
+// (fingerprinted like any other leaf), evaluated through the SAME
+// piecewise_cdf_laplace helper as the scalar walk — bit-identical by
+// construction.  HedgedResponse rides the generic-leaf fallback, which
+// is bit-identical by definition (it calls laplace_many).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "numerics/distribution.hpp"
+
+namespace cosm::numerics {
+
+namespace detail {
+
+// Laplace–Stieltjes transform of the piecewise-linear CDF with values
+// cdf[i] at t_i = i * dt, an atom of mass cdf[0] at zero and an atom of
+// the residual tail mass 1 - cdf[count-1] at the horizon t_{count-1}:
+//
+//   L(s) = cdf[0]
+//        + sum_i (cdf[i+1]-cdf[i])/dt * e^{-s t_i} * (1 - e^{-s dt})/s
+//        + (1 - cdf[count-1]) e^{-s t_{count-1}},
+//
+// with the (1 - e^{-z})/s factor switching to its series
+// dt (1 - z/2 + z^2/6 - z^3/24), z = s dt, for small |z|.  This is the
+// ONE definition both the scalar laplace() of the grid-backed
+// distributions and the tape's MIN-OF-K / KTH-OF-N ops call, so tape and
+// tree evaluation are bit-identical.  Precondition: count >= 2, dt > 0.
+std::complex<double> piecewise_cdf_laplace(std::complex<double> s, double dt,
+                                           const double* cdf,
+                                           std::size_t count);
+
+}  // namespace detail
+
+// Latency of the k-th fastest of n concurrent attempts, each distributed
+// as `base` (independent-replica approximation, optionally blended by
+// `correlation` — see file comment).  k == 1 is the hedge-everything /
+// replicated-read min; k < n is an (n,k) coded read that needs any k
+// chunks.  Transform-only for the simulator (sample() throws): the
+// simulator runs real fan-out instead.
+class OrderStatistic final : public Distribution {
+ public:
+  // Preconditions: base != nullptr with finite positive mean,
+  // 1 <= k <= n, n >= 1, correlation in [0, 1], grid_points >= 2.
+  OrderStatistic(DistPtr base, unsigned n, unsigned k,
+                 double correlation = 0.0, std::size_t grid_points = 513);
+
+  std::string name() const override;
+  std::complex<double> laplace(std::complex<double> s) const override;
+  double mean() const override { return mean_; }
+  double second_moment() const override { return second_; }
+  double cdf(double t) const override;
+
+  unsigned n() const { return n_; }
+  unsigned k() const { return k_; }
+  double correlation() const { return correlation_; }
+  const DistPtr& base() const { return base_; }
+
+  // The combined F_(k:n) grid (tape-compiler interface): values at
+  // t_i = i * grid_dt().
+  double grid_dt() const { return dt_; }
+  const std::vector<double>& grid() const { return grid_; }
+
+ private:
+  DistPtr base_;
+  unsigned n_;
+  unsigned k_;
+  double correlation_;
+  double dt_ = 0.0;
+  std::vector<double> grid_;
+  double mean_ = 0.0;
+  double second_ = 0.0;
+};
+
+// Latency of a request hedged at deadline `delay`: the primary attempt
+// races a second attempt issued `delay` seconds later (both distributed
+// as `base`; independent-replica approximation with the same
+// `correlation` blend).  Compiles through the tape's generic-leaf path.
+class HedgedResponse final : public Distribution {
+ public:
+  // Preconditions: base != nullptr with finite positive mean, delay > 0
+  // and finite, correlation in [0, 1], grid_points >= 2.
+  HedgedResponse(DistPtr base, double delay, double correlation = 0.0,
+                 std::size_t grid_points = 513);
+
+  std::string name() const override;
+  std::complex<double> laplace(std::complex<double> s) const override;
+  double mean() const override { return mean_; }
+  double second_moment() const override { return second_; }
+  double cdf(double t) const override;
+
+  double delay() const { return delay_; }
+  double correlation() const { return correlation_; }
+  const DistPtr& base() const { return base_; }
+  double grid_dt() const { return dt_; }
+  const std::vector<double>& grid() const { return grid_; }
+
+ private:
+  DistPtr base_;
+  double delay_;
+  double correlation_;
+  double dt_ = 0.0;
+  std::vector<double> grid_;
+  double mean_ = 0.0;
+  double second_ = 0.0;
+};
+
+}  // namespace cosm::numerics

@@ -11,6 +11,7 @@
 #include "numerics/compose.hpp"
 #include "obs/obs.hpp"
 #include "numerics/memo_cache.hpp"
+#include "numerics/order_statistics.hpp"
 #include "numerics/phase_type.hpp"
 #include "numerics/transform_nodes.hpp"
 
@@ -160,6 +161,19 @@ class TapeCompiler {
               push_params({mk->arrival_rate(), mk->service_rate(),
                            static_cast<double>(mk->capacity()), mk->p0(),
                            mk->blocking()}));
+    } else if (const auto* os = dynamic_cast<const OrderStatistic*>(d)) {
+      // The base distribution is already folded into the combined
+      // F_(k:n) grid at construction, so the op is a leaf: [dt, F...] in
+      // params, grid size in `a`.  MIN-OF-K and KTH-OF-N share an
+      // evaluator; the distinct opcodes keep min-of-n and k-of-n tapes
+      // structurally distinct for regime fingerprints.
+      std::vector<double> params;
+      params.reserve(1 + os->grid().size());
+      params.push_back(os->grid_dt());
+      for (const double f : os->grid()) params.push_back(f);
+      push_op(os->k() == 1 ? OpCode::kMinOfK : OpCode::kKthOfN,
+              static_cast<std::uint32_t>(os->grid().size()),
+              push_params(params));
     } else if (const auto* mix = dynamic_cast<const Mixture*>(d)) {
       std::vector<double> weights;
       weights.reserve(mix->components().size());
@@ -254,6 +268,8 @@ class TapeCompiler {
         case OpCode::kLeafErlang:
         case OpCode::kLeafHyperExp:
         case OpCode::kLeafMM1K:
+        case OpCode::kMinOfK:
+        case OpCode::kKthOfN:
         case OpCode::kLeafGeneric:
         case OpCode::kLoad:
           ++value_height;
@@ -425,6 +441,18 @@ void TransformTape::evaluate(std::span<const std::complex<double>> s,
               std::pow(arrival / (service + sc), capacity);
           dst[i] = service * p0 / (1.0 - blocking) * (1.0 - ratio_pow) /
                    (service - arrival + sc);
+        }
+        ++top;
+        break;
+      }
+      case OpCode::kMinOfK:
+      case OpCode::kKthOfN: {
+        std::complex<double>* dst = values + top * batch;
+        const double dt = p[0];
+        const double* const cdf = p + 1;
+        const std::size_t count = op.a;
+        for (std::size_t i = 0; i < batch; ++i) {
+          dst[i] = detail::piecewise_cdf_laplace(sv[i], dt, cdf, count);
         }
         ++top;
         break;

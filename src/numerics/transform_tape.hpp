@@ -139,6 +139,10 @@ class TransformTape {
     kLeafErlang,       // params [stages (as double), rate]
     kLeafHyperExp,     // a = branches, params [p0, r0, p1, r1, ...]
     kLeafMM1K,         // params [arrival, service, capacity, p0, blocking]
+    kMinOfK,           // a = grid points, params [dt, F_0, ..., F_{a-1}]:
+                       // OrderStatistic with k == 1 (min of n), evaluated
+                       // via piecewise_cdf_laplace on the combined grid
+    kKthOfN,           // same layout, OrderStatistic with k > 1
     kLeafGeneric,      // a = index into leaves_; calls laplace_many
     kMul,              // a = child count (Convolution)
     kMix,              // a = child count, params [w0, ..., w_{a-1}]

@@ -44,6 +44,12 @@ constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "sim.retry_attempts",
     "sim.failover_attempts",
     "sim.replications",
+    "sim.hedge.issued",
+    "sim.hedge.wins",
+    "sim.fanout.groups",
+    "sim.cancel.attempts",
+    "sim.cancel.skipped_work",
+    "sim.cancel.late_responses",
     "pool.submits",
     "pool.max_queue_depth",
 };

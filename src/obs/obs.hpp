@@ -99,6 +99,15 @@ enum class Counter : std::uint32_t {
   kSimFailoverAttempts,
   kSimReplications,
 
+  // Redundancy-aware requests (robustness extension): hedged attempts,
+  // (n,k) fan-out groups, and the cancel-on-first-complete path.
+  kSimHedgeIssued,      // hedge attempts dispatched past the deadline
+  kSimHedgeWins,        // groups whose winning response was a hedge
+  kSimFanoutGroups,     // (n,k) fan-out groups created
+  kSimCancelAttempts,   // live attempts cancelled when their group won
+  kSimCancelSkippedWork,    // queued/in-flight work dropped as cancelled
+  kSimCancelLateResponses,  // responses that arrived after their group won
+
   // ThreadPool.
   kPoolSubmits,
   kPoolMaxQueueDepth,  // gauge: high-water mark, via record_max

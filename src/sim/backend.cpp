@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/require.hpp"
+#include "obs/obs.hpp"
 
 namespace cosm::sim {
 
@@ -69,31 +70,40 @@ void BackendProcess::enqueue(Task task) {
 }
 
 void BackendProcess::start_next() {
-  // Ready request work first; the listening socket is only looked at when
-  // the loop has nothing else ready (config_.defer_accepts).
-  FifoRing<Task>* source = nullptr;
-  if (!tasks_.empty()) {
-    source = &tasks_;
-  } else if (!accept_tasks_.empty()) {
-    source = &accept_tasks_;
-  } else {
-    busy_ = false;
+  for (;;) {
+    // Ready request work first; the listening socket is only looked at
+    // when the loop has nothing else ready (config_.defer_accepts).
+    FifoRing<Task>* source = nullptr;
+    if (!tasks_.empty()) {
+      source = &tasks_;
+    } else if (!accept_tasks_.empty()) {
+      source = &accept_tasks_;
+    } else {
+      busy_ = false;
+      return;
+    }
+    busy_ = true;
+    std::size_t pick = 0;
+    if (config_.service_order == ClusterConfig::ServiceOrder::kSiro &&
+        source->size() > 1) {
+      // epoll readiness order is uncorrelated with arrival order.
+      pick = rng_.uniform_index(source->size());
+    }
+    Task task = std::move((*source)[pick]);
+    if (pick == 0) {  // FCFS (and the common SIRO draw): plain pop
+      source->pop_front();
+    } else {
+      source->erase(pick);
+    }
+    // Cancel-on-first-complete unwind: the group this task served already
+    // completed — drop the task at the boundary instead of executing it.
+    if (task.req != nullptr && task.req->cancelled) {
+      obs::add(obs::Counter::kSimCancelSkippedWork);
+      continue;
+    }
+    execute(std::move(task));
     return;
   }
-  busy_ = true;
-  std::size_t pick = 0;
-  if (config_.service_order == ClusterConfig::ServiceOrder::kSiro &&
-      source->size() > 1) {
-    // epoll readiness order is uncorrelated with arrival order.
-    pick = rng_.uniform_index(source->size());
-  }
-  Task task = std::move((*source)[pick]);
-  if (pick == 0) {  // FCFS (and the common SIRO draw): plain pop
-    source->pop_front();
-  } else {
-    source->erase(pick);
-  }
-  execute(std::move(task));
 }
 
 void BackendProcess::execute(Task task) {
@@ -121,15 +131,26 @@ void BackendProcess::run_accept() {
   bool any = false;
   if (config_.accept_strategy == AcceptStrategy::kBatchDrain) {
     device_.drain_pool(accept_scratch_);
-    any = !accept_scratch_.empty();
     const double now = engine_.now();
     for (RequestPtr& req : accept_scratch_) {
+      if (req->cancelled) {  // group already won; closing the socket is free
+        obs::add(obs::Counter::kSimCancelSkippedWork);
+        continue;
+      }
+      any = true;
       accept_connection(std::move(req), now);
     }
     accept_scratch_.clear();
-  } else if (RequestPtr one = device_.take_one_from_pool()) {
-    any = true;
-    accept_connection(std::move(one), engine_.now());
+  } else {
+    RequestPtr one = device_.take_one_from_pool();
+    while (one != nullptr && one->cancelled) {
+      obs::add(obs::Counter::kSimCancelSkippedWork);
+      one = device_.take_one_from_pool();
+    }
+    if (one != nullptr) {
+      any = true;
+      accept_connection(std::move(one), engine_.now());
+    }
   }
   // Only a successful accept pays the accept cost; EAGAIN is free.
   const double cost = any ? config_.accept_cost : 0.0;
@@ -165,6 +186,11 @@ void BackendProcess::run_start_request(RequestPtr req) {
       parse, [this, req = std::move(req), epoch = epoch_]() mutable {
         if (epoch != epoch_) {
           device_.notify_request_failed(req);
+          return;
+        }
+        if (req->cancelled) {  // group won while we parsed
+          obs::add(obs::Counter::kSimCancelSkippedWork);
+          start_next();
           return;
         }
         access(AccessKind::kIndex, req, 0, [this, req]() mutable {
@@ -270,6 +296,13 @@ void BackendProcess::run_next_chunk(RequestPtr req) {
 void BackendProcess::read_chunk_then_transmit(RequestPtr req) {
   const std::uint32_t chunk = req->chunks_done;
   access(AccessKind::kData, req, chunk, [this, req]() mutable {
+    if (req->cancelled) {
+      // Chunk-loop boundary: the group completed while this chunk was on
+      // the disk; the read was wasted work, the transmission is skipped.
+      obs::add(obs::Counter::kSimCancelSkippedWork);
+      start_next();
+      return;
+    }
     if (!req->responded) {
       // Headers are formed from the metadata and the response starts once
       // the first data chunk is in hand (paper, Sec. III-B).
@@ -295,9 +328,12 @@ void BackendProcess::read_chunk_then_transmit(RequestPtr req) {
 
 void BackendProcess::on_chunk_transmitted(RequestPtr req) {
   ++req->chunks_done;
-  if (req->chunks_done < req->chunks_total) {
-    enqueue({Task::Kind::kNextChunk, std::move(req)});
+  if (req->chunks_done >= req->chunks_total) return;
+  if (req->cancelled) {  // chunk-loop boundary: stop streaming to a loser
+    obs::add(obs::Counter::kSimCancelSkippedWork);
+    return;
   }
+  enqueue({Task::Kind::kNextChunk, std::move(req)});
 }
 
 double BackendProcess::chunk_transfer_time(
@@ -379,7 +415,10 @@ void BackendDevice::set_request_failed_callback(RequestFailedFn fn) {
 }
 
 void BackendDevice::notify_request_failed(const RequestPtr& req) {
-  if (!req || req->responded || req->timed_out || req->failed) return;
+  if (!req || req->responded || req->timed_out || req->failed ||
+      req->cancelled) {
+    return;  // already terminal (cancelled attempts settled at cancel time)
+  }
   req->failed = true;
   // Devices driven outside a Cluster (unit tests) may leave this unwired;
   // the attempt is still marked failed.

@@ -98,6 +98,40 @@ struct ClusterConfig {
   double retry_backoff_base = 0.05;
   double retry_backoff_cap = 1.0;
   bool failover = true;
+  // Fraction of each backoff randomized (0 = the exact deterministic
+  // delay above; no RNG draw happens, keeping legacy runs bit-identical).
+  // With jitter j in (0, 1], the delay is scaled by a per-seed uniform
+  // factor in [1-j, 1], de-synchronizing the retry storm that a scripted
+  // outage would otherwise produce.  Still bit-deterministic per seed.
+  double retry_jitter = 0.0;
+
+  // ----- Redundancy (robustness extension) -----
+  // How a multi-replica read picks the device for its FIRST attempt:
+  //  * kPrimary          — the request's given primary (legacy behaviour;
+  //    draws no RNG, keeps seeded runs bit-identical).
+  //  * kLeastOutstanding — the replica whose device has the fewest
+  //    attempts currently in flight from this cluster (ties to the
+  //    earliest replica in the list; no RNG draw).
+  //  * kPowerOfTwo       — sample two replicas uniformly, keep the less
+  //    loaded (two uniform_index draws per multi-replica read).
+  enum class ReplicaChoice { kPrimary, kLeastOutstanding, kPowerOfTwo };
+  ReplicaChoice replica_choice = ReplicaChoice::kPrimary;
+
+  // Hedged GETs: when > 0 and a read carries >= 2 replicas, a second
+  // attempt is issued against another replica once the deadline passes
+  // without a first response byte; the first response wins and the loser
+  // is cancelled (cancel-on-first-complete).  hedge_max bounds extra
+  // attempts per request (each a further hedge_delay apart).  0 disables.
+  double hedge_delay = 0.0;
+  std::uint32_t hedge_max = 1;
+
+  // (n,k) erasure-coded fan-out reads: each read fans out to
+  // min(fanout_n, replica count) devices, every attempt fetching a coded
+  // chunk of ceil(size / fanout_k) bytes, and the request completes on
+  // the k-th response; the n-k stragglers are cancelled.  fanout_n <= 1
+  // disables.  Mutually exclusive with hedging (validate() enforces it).
+  std::uint32_t fanout_n = 0;
+  std::uint32_t fanout_k = 1;
 
   // Scripted faults, armed on the engine calendar at construction.
   FaultSchedule faults;

@@ -1,6 +1,7 @@
 #include "sim/frontend.hpp"
 
 #include "common/require.hpp"
+#include "obs/obs.hpp"
 
 namespace cosm::sim {
 
@@ -20,6 +21,12 @@ void FrontendProcess::accept_request(RequestPtr req) {
 }
 
 void FrontendProcess::start_next() {
+  // Cancel-on-first-complete unwind: drop cancelled requests (their group
+  // already won) without spending parse time on them.
+  while (!queue_.empty() && queue_.front()->cancelled) {
+    obs::add(obs::Counter::kSimCancelSkippedWork);
+    queue_.pop_front();
+  }
   if (queue_.empty()) {
     busy_ = false;
     return;

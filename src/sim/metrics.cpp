@@ -44,7 +44,7 @@ void SimMetrics::on_request_complete(const RequestSample& sample) {
     ++failed_;
   } else if (sample.timed_out) {
     ++timeouts_;
-  } else if (sample.attempts > 1) {
+  } else if (sample.retried) {
     ++retried_ok_;
   }
   ++devices_[sample.device].requests;
@@ -115,6 +115,26 @@ void SimMetrics::on_attempt(std::uint32_t device, bool is_retry,
   }
 }
 
+void SimMetrics::on_hedge_issued() {
+  ++hedge_attempts_;
+  obs::add(obs::Counter::kSimHedgeIssued);
+}
+
+void SimMetrics::on_hedge_win() {
+  ++hedge_wins_;
+  obs::add(obs::Counter::kSimHedgeWins);
+}
+
+void SimMetrics::on_fanout_group() {
+  ++fanout_groups_;
+  obs::add(obs::Counter::kSimFanoutGroups);
+}
+
+void SimMetrics::on_attempt_cancelled() {
+  ++cancelled_attempts_;
+  obs::add(obs::Counter::kSimCancelAttempts);
+}
+
 OutcomeCounts SimMetrics::outcomes() const {
   OutcomeCounts counts;
   counts.timed_out = timeouts_;
@@ -123,6 +143,10 @@ OutcomeCounts SimMetrics::outcomes() const {
   counts.ok = completed_ - timeouts_ - failed_ - retried_ok_;
   counts.retry_attempts = retry_attempts_;
   counts.failover_attempts = failover_attempts_;
+  counts.hedge_attempts = hedge_attempts_;
+  counts.hedge_wins = hedge_wins_;
+  counts.fanout_groups = fanout_groups_;
+  counts.cancelled_attempts = cancelled_attempts_;
   return counts;
 }
 

@@ -28,6 +28,10 @@ struct RequestSample {
   bool is_write = false;
   bool timed_out = false;
   bool failed = false;            // every attempt was killed by a fault
+  // At least one timeout/fault-triggered retry happened.  Distinct from
+  // attempts > 1: hedged and fan-out requests dispatch several attempts
+  // up front without any of them being a retry.
+  bool retried = false;
   double frontend_arrival = 0.0;
   double response_latency = 0.0;  // first-byte-at-frontend - arrival
   double backend_latency = 0.0;   // backend parse-queue entry -> respond
@@ -36,6 +40,7 @@ struct RequestSample {
   std::uint32_t chunks = 0;
   std::uint32_t attempts = 1;     // 1 = served on the first try
   std::uint32_t failovers = 0;    // attempts that switched replica
+  std::uint32_t hedges = 0;       // hedge attempts issued for this request
 };
 
 struct DeviceCounters {
@@ -60,6 +65,11 @@ struct OutcomeCounts {
   std::uint64_t failed = 0;       // last attempt fault-killed, retries spent
   std::uint64_t retry_attempts = 0;     // extra attempts dispatched
   std::uint64_t failover_attempts = 0;  // attempts aimed at a new replica
+  // Redundancy extension.
+  std::uint64_t hedge_attempts = 0;     // hedge attempts dispatched
+  std::uint64_t hedge_wins = 0;         // requests won by a hedge attempt
+  std::uint64_t fanout_groups = 0;      // (n,k) fan-out groups created
+  std::uint64_t cancelled_attempts = 0;  // losers cancelled by a completion
 };
 
 // Constant-memory latency accounting for long runs (streaming mode): a
@@ -113,8 +123,14 @@ class SimMetrics {
 
   void on_request_complete(const RequestSample& sample);
   // One attempt dispatched toward `device` (the retry-inflated arrival
-  // accounting; called for first tries and retries alike).
+  // accounting; called for first tries, retries, hedges, and fan-out
+  // siblings alike — every attempt is load the device actually saw).
   void on_attempt(std::uint32_t device, bool is_retry, bool is_failover);
+  // Redundancy lifecycle taps (each also files its obs counter).
+  void on_hedge_issued();
+  void on_hedge_win();
+  void on_fanout_group();
+  void on_attempt_cancelled();
   void on_cache_access(std::uint32_t device, AccessKind kind, bool hit);
   void on_disk_op(std::uint32_t device, AccessKind kind,
                   double service_time);
@@ -157,6 +173,10 @@ class SimMetrics {
   std::uint64_t retried_ok_ = 0;
   std::uint64_t retry_attempts_ = 0;
   std::uint64_t failover_attempts_ = 0;
+  std::uint64_t hedge_attempts_ = 0;
+  std::uint64_t hedge_wins_ = 0;
+  std::uint64_t fanout_groups_ = 0;
+  std::uint64_t cancelled_attempts_ = 0;
 };
 
 }  // namespace cosm::sim

@@ -21,6 +21,11 @@
 namespace cosm::sim {
 
 class RequestPool;
+class WeakRequestRef;
+
+// Sentinel for Request::group_id: the attempt belongs to no fan-out /
+// hedge group (the common, redundancy-disabled case).
+inline constexpr std::uint32_t kNoGroup = 0xffffffffu;
 
 // One *attempt* of a client request.  Retries create a fresh Request per
 // attempt (the abandoned attempt's backend work may still be in flight and
@@ -42,6 +47,16 @@ struct Request {
   bool failed_over_attempt = false;   // THIS attempt targets a new device
   std::vector<std::uint32_t> replicas;  // failover candidates (>= 1 entry)
 
+  // Redundancy (robustness extension).  Hedged and (n,k) fan-out attempts
+  // share a FanoutGroup owned by the Cluster; `cancelled` marks an attempt
+  // whose group already completed — the frontend/backend unwind its
+  // remaining work at the next task boundary instead of serving it.
+  std::uint32_t group_id = kNoGroup;
+  bool is_hedge = false;     // attempt issued by the hedge timer
+  bool cancelled = false;    // group won elsewhere; drop remaining work
+  bool settled = false;      // attempt reached a terminal state (Cluster
+                             // per-device outstanding accounting ran)
+
   // Timeline (simulated seconds).
   double original_arrival = 0.0;   // client submit time of attempt 0
   double frontend_arrival = 0.0;   // entered a frontend process queue
@@ -56,7 +71,14 @@ struct Request {
  private:
   friend class RequestPool;
   friend class RequestPtr;
+  friend class WeakRequestRef;
   std::uint32_t refs_ = 0;
+  // Bumped every time the pool recycles this slot.  A WeakRequestRef
+  // snapshots the generation it saw; a later lock() with a mismatched
+  // generation means the attempt it watched is gone (and the slot may
+  // already serve a different request) — the epoch half of the pool's
+  // refcount/epoch safety machinery.
+  std::uint64_t generation_ = 0;
   RequestPool* home_ = nullptr;  // owning pool; requests never outlive it
 };
 
@@ -108,12 +130,40 @@ class RequestPtr {
 
  private:
   friend class RequestPool;
+  friend class WeakRequestRef;
   explicit RequestPtr(Request* p) : p_(p) {
     if (p_ != nullptr) ++p_->refs_;
   }
   inline void release();
 
   Request* p_ = nullptr;
+};
+
+// Non-owning reference that survives the request's recycling: lock()
+// returns a strong pointer only while the slot still holds the SAME
+// attempt it was created from (generation match), and null once the pool
+// recycled — or recycled and re-issued — the slot.  Used by timers (e.g.
+// the hedge deadline) that must observe an attempt without extending its
+// lifetime and must never resurrect a recycled request.  Safe without
+// ownership because pool slabs have stable addresses for the pool's whole
+// lifetime.
+class WeakRequestRef {
+ public:
+  WeakRequestRef() = default;
+  explicit WeakRequestRef(const RequestPtr& strong)
+      : p_(strong.p_), generation_(p_ != nullptr ? p_->generation_ : 0) {}
+
+  RequestPtr lock() const {
+    if (p_ == nullptr || p_->generation_ != generation_) return nullptr;
+    return RequestPtr(p_);
+  }
+  bool expired() const {
+    return p_ == nullptr || p_->generation_ != generation_;
+  }
+
+ private:
+  Request* p_ = nullptr;
+  std::uint64_t generation_ = 0;
 };
 
 // Slab allocator + free list for requests.  acquire() hands out a request
@@ -160,6 +210,10 @@ class RequestPool {
     req.failover_count = 0;
     req.failed_over_attempt = false;
     req.replicas.clear();  // keeps capacity for the next attempt
+    req.group_id = kNoGroup;
+    req.is_hedge = false;
+    req.cancelled = false;
+    req.settled = false;
     req.original_arrival = 0.0;
     req.frontend_arrival = 0.0;
     req.pool_enter_time = 0.0;
@@ -171,7 +225,12 @@ class RequestPool {
     req.failed = false;
   }
 
-  void recycle(Request* req) { free_.push_back(req); }
+  // Recycling bumps the slot's generation so every WeakRequestRef taken
+  // against the old occupant expires atomically with the free-list push.
+  void recycle(Request* req) {
+    ++req->generation_;
+    free_.push_back(req);
+  }
 
   // std::deque: stable addresses across growth (free list and live
   // RequestPtrs point into the slabs).

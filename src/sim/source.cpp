@@ -80,8 +80,12 @@ void OpenLoopSource::fire(std::size_t segment_index, double time) {
   ++arrivals_;
   const workload::ObjectId object = catalog_.sample_object(rng_);
   const auto& config = cluster_.config();
-  if (config.max_retries > 0 && config.failover) {
-    // Hand the full replica set to the cluster so retries can fail over.
+  const bool redundancy =
+      config.hedge_delay > 0.0 || config.fanout_n > 1 ||
+      config.replica_choice != ClusterConfig::ReplicaChoice::kPrimary;
+  if ((config.max_retries > 0 && config.failover) || redundancy) {
+    // Hand the full replica set to the cluster so retries can fail over
+    // (and hedges / fan-out reads / replica-choice scheduling can spread).
     // Exactly one uniform_index draw, same as choose_replica, so seeded
     // runs are unchanged by the retry knobs being on.
     std::vector<std::uint32_t> replicas = placement_.replicas_of(object);

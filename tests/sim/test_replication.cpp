@@ -81,6 +81,25 @@ TEST(Replication, ParallelBitIdenticalToSerialStreaming) {
   expect_identical(serial, run_replications(plan, 8));
 }
 
+TEST(Replication, HedgedParallelBitIdenticalToSerial) {
+  // Redundancy extension: hedged GETs + power-of-two replica choice +
+  // jittered retries exercise the cancel-on-first-complete machinery in
+  // every replication.  Bit-identity across {1, 2, 8} threads must hold
+  // exactly as it does for the plain plan.
+  ReplicationPlan plan = small_plan(/*streaming=*/false);
+  plan.cluster.request_timeout = 0.25;
+  plan.cluster.max_retries = 1;
+  plan.cluster.retry_jitter = 0.3;
+  plan.cluster.hedge_delay = 0.04;
+  plan.cluster.replica_choice =
+      cosm::sim::ClusterConfig::ReplicaChoice::kPowerOfTwo;
+  const ReplicationSet serial = run_replications(plan, 1);
+  ASSERT_GT(serial.completed, 0u);
+  ASSERT_GT(serial.latency_count, 0u);
+  expect_identical(serial, run_replications(plan, 2));
+  expect_identical(serial, run_replications(plan, 8));
+}
+
 TEST(Replication, SingleReplicationMatchesSetSlot) {
   const ReplicationPlan plan = small_plan(/*streaming=*/false);
   const ReplicationSet set = run_replications(plan, 2);

@@ -167,6 +167,55 @@ TEST(Retries, DeterministicForFixedSeed) {
   EXPECT_GT(a.retry_attempts, 0u);
 }
 
+TEST(Retries, JitteredBackoffStaysInBandAndIsSeedDeterministic) {
+  // retry_jitter = 0.5 scales each backoff by a per-seed uniform factor
+  // in [0.5, 1]: the two backoffs of this run (bases 50 ms and 100 ms)
+  // land in [75 ms, 150 ms] total, and the draw is a pure function of
+  // the seed — same seed bit-identical, different seed different.
+  const auto run = [](std::uint64_t seed) {
+    ClusterConfig config = fault_config(1);
+    config.max_retries = 2;
+    config.retry_backoff_base = 0.05;
+    config.retry_jitter = 0.5;
+    config.seed = seed;
+    config.faults.device_outage(0, 0.0, 100.0);
+    Cluster cluster(config);
+    cluster.engine().schedule_at(0.0, [&] {
+      cluster.submit_request(1, 1000, 0);
+    });
+    cluster.engine().run_all();
+    return cluster.metrics().requests().front().response_latency;
+  };
+  const double latency = run(2024);
+  // Three 1 ms parses plus the jittered backoffs.
+  EXPECT_GE(latency, 0.003 + 0.5 * (0.05 + 0.1) - 1e-9);
+  EXPECT_LE(latency, 0.003 + (0.05 + 0.1) + 1e-9);
+  EXPECT_EQ(run(2024), latency);  // bitwise reproducible
+  EXPECT_NE(run(77), latency);    // the seed actually feeds the jitter
+}
+
+TEST(Retries, ZeroJitterKeepsTheExactDeterministicDelays) {
+  // jitter = 0 must not draw any RNG: the backoffs are exactly the
+  // capped-exponential ladder, bit-identical to a config that never
+  // mentions retry_jitter (the legacy runs stay pinned).
+  const auto run = [](bool mention_jitter) {
+    ClusterConfig config = fault_config(1);
+    config.max_retries = 2;
+    config.retry_backoff_base = 0.05;
+    if (mention_jitter) config.retry_jitter = 0.0;
+    config.faults.device_outage(0, 0.0, 100.0);
+    Cluster cluster(config);
+    cluster.engine().schedule_at(0.0, [&] {
+      cluster.submit_request(1, 1000, 0);
+    });
+    cluster.engine().run_all();
+    return cluster.metrics().requests().front().response_latency;
+  };
+  const double latency = run(true);
+  EXPECT_EQ(latency, run(false));  // bitwise
+  EXPECT_NEAR(latency, 0.003 + 0.05 + 0.1, 0.002);
+}
+
 TEST(Retries, BackoffIsCappedExponential) {
   ClusterConfig config = fault_config(1);
   config.max_retries = 4;
