@@ -1,0 +1,431 @@
+// Extension experiment: how much SSD buys p99 <= d?
+//
+// The tiering extension adds an SSD cache tier between the page cache
+// and the capacity disk (sim/tier.hpp) and mirrors it in the model as a
+// TieredService mixture whose hit ratio is PREDICTED from the Zipf
+// catalog with Che's approximation (calibration/lru_prediction.hpp) —
+// the whole point is sizing a tier that does not exist yet, so no knob
+// of the tiered runs feeds the model.
+//
+// The harness sweeps SSD tier size x offered load with an LRU page
+// cache in front, then gates:
+//  * agreement — the model's SLA attainment (Che-predicted hit ratio,
+//    TieredService composition) tracks the tiered simulation within the
+//    paper's Table I band on every cell;
+//  * hit-ratio prediction — Che's two-level prediction lands within a
+//    coarse band of the simulator's measured tier hit ratio;
+//  * monotonicity — the model's attainment never degrades as the tier
+//    grows (the capacity-planning curve is well-ordered);
+//  * usefulness — at the highest load the largest tier improves the
+//    simulated p99 over the untiered baseline;
+//  * determinism — a repeated same-seed tiered run is bit-identical.
+//
+// Emits BENCH_tiering.json (including the min-SSD-for-SLA planning
+// answer per load) and exits non-zero on any gate failure.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "calibration/lru_prediction.hpp"
+#include "common/table.hpp"
+#include "core/whatif.hpp"
+#include "sim/cluster.hpp"
+#include "sim/source.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+constexpr double kSlas[3] = {0.050, 0.150, 0.300};
+// One device, one backend process: Che's approximation applies to the
+// device's stream directly (no placement thinning to fold in).
+constexpr double kLoads[3] = {15.0, 30.0, 40.0};
+// Tier residency must CONVERGE inside the warmup (several full churn
+// cycles at ~50 installs/s), which bounds the largest tier worth
+// sweeping against the 10000-chunk catalog below.
+constexpr std::size_t kTierSizes[4] = {0, 500, 1500, 4000};
+constexpr std::size_t kMemChunks = 400;
+constexpr std::uint64_t kChunkBytes = 65536;
+constexpr double kPaperBand = 0.17;     // Table I worst case, rounded up
+constexpr double kHitRatioBand = 0.15;  // Che vs measured tier hit ratio
+constexpr std::uint64_t kSeed = 20260811;
+
+// Planning target for the min-SSD question.
+constexpr double kTargetSla = 0.150;
+constexpr double kTargetPercentile = 0.95;
+
+cosm::workload::CatalogConfig catalog_config() {
+  cosm::workload::CatalogConfig config;
+  config.object_count = 5000;
+  config.zipf_skew = 0.9;
+  // Fixed 128 KB objects: 2 chunks each, 10000-chunk footprint, so the
+  // page cache covers 4% and the tier sweep spans 5%-40%.
+  config.size_distribution =
+      std::make_shared<cosm::numerics::Degenerate>(131072.0);
+  config.seed = kSeed + 1;
+  return config;
+}
+
+struct RunResult {
+  double observed[3] = {0.0, 0.0, 0.0};  // fraction meeting each SLA
+  double p99 = 0.0;
+  double measured_tier_hit = 0.0;  // sim.tier counters (0 when untiered)
+  double latency_sum = 0.0;        // bitwise determinism probe
+  std::uint64_t completed = 0;
+  cosm::core::SystemParams params;  // online-observed (untiered runs only)
+};
+
+RunResult run(double rate, std::size_t tier_chunks, double measure_seconds) {
+  cosm::sim::ClusterConfig config;
+  config.frontend_processes = 2;
+  config.device_count = 1;
+  config.processes_per_device = 1;
+  config.chunk_bytes = kChunkBytes;
+  config.cache.mode = cosm::sim::CacheBankConfig::Mode::kLru;
+  // Index/meta caches big enough to converge to ~0 misses: the bench
+  // isolates the data path, where the tier lives.
+  config.cache.index_entries = 20000;
+  config.cache.meta_entries = 20000;
+  config.cache.data_chunks = kMemChunks;
+  config.tier.enabled = tier_chunks > 0;
+  config.tier.capacity_chunks = std::max<std::size_t>(tier_chunks, 1);
+  config.tier.read_service = cosm::sim::default_ssd_profile().data_service;
+  config.tier.write_service = cosm::sim::default_ssd_profile().write_service;
+  config.seed = kSeed;
+  cosm::sim::Cluster cluster(config);
+
+  const cosm::workload::ObjectCatalog catalog(catalog_config());
+  const cosm::workload::Placement placement({.partition_count = 256,
+                                             .replica_count = 1,
+                                             .device_count = 1,
+                                             .seed = kSeed + 2});
+  cosm::workload::PhasePlan plan;
+  // Long warmup at the offered rate (NOT scaled down for smoke runs):
+  // the LRU page cache and the tier residency — up to 4000 chunks at
+  // ~30 installs/s, several churn cycles — must reach steady state
+  // before sampling.
+  plan.warmup_rate = rate;
+  plan.warmup_duration = 400.0;
+  plan.transition_duration = 0.0;
+  plan.benchmark_start_rate = rate;
+  plan.benchmark_end_rate = rate;
+  plan.benchmark_step_duration = measure_seconds;
+
+  cosm::sim::OpenLoopSource source(cluster, catalog, placement, plan,
+                                   cosm::Rng(kSeed + 3));
+  cluster.metrics().sample_start_time = source.benchmark_start_time();
+  // Counter snapshot at the start of the measurement window: every rate,
+  // miss ratio, and tier hit ratio below is computed over the benchmark
+  // phase only, not polluted by the cold LRU fill during warmup.
+  cosm::sim::DeviceCounters warm;
+  cluster.engine().schedule_at(source.benchmark_start_time(),
+                               [&] { warm = cluster.metrics().device(0); });
+  source.start();
+  cluster.engine().run_until(source.horizon());
+  cluster.engine().run_all();
+
+  RunResult result;
+  cosm::stats::SampleSet latencies;
+  for (const auto& sample : cluster.metrics().requests()) {
+    latencies.add(sample.response_latency);
+    result.latency_sum += sample.response_latency;
+  }
+  result.completed = cluster.metrics().completed_requests();
+  for (int i = 0; i < 3; ++i) {
+    result.observed[i] = latencies.fraction_below(kSlas[i]);
+  }
+  result.p99 = latencies.quantile(0.99);
+
+  const cosm::sim::DeviceCounters& end = cluster.metrics().device(0);
+  const double window = source.horizon() - source.benchmark_start_time();
+  const auto ratio = [](std::uint64_t num, std::uint64_t den) {
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
+  };
+  result.measured_tier_hit =
+      ratio(end.tier_hits - warm.tier_hits, end.tier_reads - warm.tier_reads);
+
+  // Online-observed model inputs over the measurement window, as an
+  // operator would assemble them.  Only the untiered baseline feeds the
+  // model: tier hit ratios come from Che's approximation, not from
+  // measurement.
+  const auto miss = [&](cosm::sim::AccessKind kind) {
+    const int k = static_cast<int>(kind);
+    return ratio(end.misses[k] - warm.misses[k],
+                 end.accesses[k] - warm.accesses[k]);
+  };
+  result.params.frontend.processes = config.frontend_processes;
+  result.params.frontend.frontend_parse = cluster.config().frontend_parse;
+  cosm::core::DeviceParams device;
+  device.arrival_rate =
+      static_cast<double>(end.requests - warm.requests) / window;
+  device.data_read_rate =
+      static_cast<double>(end.data_reads - warm.data_reads) / window;
+  device.index_miss_ratio = miss(cosm::sim::AccessKind::kIndex);
+  device.meta_miss_ratio = miss(cosm::sim::AccessKind::kMeta);
+  device.data_miss_ratio = miss(cosm::sim::AccessKind::kData);
+  device.index_disk = cluster.config().disk.index_service;
+  device.meta_disk = cluster.config().disk.meta_service;
+  device.data_disk = cluster.config().disk.data_service;
+  device.backend_parse = cluster.config().backend_parse;
+  device.processes = 1;
+  result.params.frontend.arrival_rate = device.arrival_rate;
+  result.params.devices.push_back(std::move(device));
+  return result;
+}
+
+// The model's parameter set for a tier size: the untiered observation
+// plus TierOptions carrying the Che-predicted hit ratio.
+cosm::core::SystemParams tiered_params(const cosm::core::SystemParams& base,
+                                       double hit_ratio) {
+  cosm::core::SystemParams params = base;
+  if (hit_ratio > 0.0) {
+    cosm::core::TierOptions& tier = params.devices[0].tier;
+    tier.enabled = true;
+    tier.hit_ratio = hit_ratio;
+    tier.read_service = cosm::sim::default_ssd_profile().data_service;
+    tier.write_service = cosm::sim::default_ssd_profile().write_service;
+  }
+  return params;
+}
+
+double parse_scale(int argc, char** argv) {
+  double scale = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      scale = std::atof(arg.c_str() + 8);
+    }
+  }
+  if (const char* env = std::getenv("COSM_BENCH_SCALE")) {
+    scale = std::atof(env);
+  }
+  if (!(scale > 0.0)) {
+    std::cerr << "--scale must be positive\n";
+    std::exit(2);
+  }
+  return scale;
+}
+
+std::string parse_out(int argc, char** argv) {
+  std::string out = "BENCH_tiering.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out = arg.substr(6);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = parse_scale(argc, argv);
+  const std::string out_path = parse_out(argc, argv);
+  const double measure = 240.0 * scale;
+
+  // Che-predicted hit ratio per tier size (load-independent: the
+  // prediction depends only on the catalog and the two capacities).
+  const cosm::workload::ObjectCatalog catalog(catalog_config());
+  const cosm::calibration::ChunkPopulation pop =
+      cosm::calibration::chunk_population(catalog, kChunkBytes);
+  double predicted_hit[4] = {0.0, 0.0, 0.0, 0.0};
+  for (int t = 1; t < 4; ++t) {
+    predicted_hit[t] = cosm::calibration::predict_tier_hit_ratio(
+        pop, kMemChunks, kTierSizes[t]);
+  }
+
+  // The sweep: loads x tier sizes (tier size 0 = untiered baseline).
+  std::vector<std::vector<RunResult>> cell(3);
+  for (int l = 0; l < 3; ++l) {
+    for (int t = 0; t < 4; ++t) {
+      cell[l].push_back(run(kLoads[l], kTierSizes[t], measure));
+    }
+  }
+
+  bool ok = true;
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"extension_tiering\",\n  \"scale\": " << scale
+       << ",\n  \"mem_chunks\": " << kMemChunks
+       << ",\n  \"target\": {\"sla\": " << kTargetSla
+       << ", \"percentile\": " << kTargetPercentile << "},\n  \"cells\": [\n";
+
+  double healthy_band = 0.0;  // untiered model-vs-sim error (the floor)
+  double worst_tiered_err = 0.0;
+  double worst_hit_err = 0.0;
+  bool monotone = true;
+  bool first_cell = true;
+  std::vector<std::string> plan_lines;
+  for (int l = 0; l < 3; ++l) {
+    const RunResult& base = cell[l][0];
+    cosm::Table table({"tier (chunks)", "Che hit", "sim hit", "sim p99 (ms)",
+                       "SLA 50ms sim", "model", "SLA 150ms sim", "model",
+                       "SLA 300ms sim", "model"});
+    double prev_model_tail = 0.0;
+    for (int t = 0; t < 4; ++t) {
+      const RunResult& sim = cell[l][t];
+      const cosm::core::SystemModel model(
+          tiered_params(base.params, predicted_hit[t]));
+      double predicted[3];
+      for (int i = 0; i < 3; ++i) {
+        predicted[i] = model.predict_sla_percentile(kSlas[i]);
+        const double err = std::abs(predicted[i] - sim.observed[i]);
+        if (t == 0) {
+          healthy_band = std::max(healthy_band, err);
+        } else {
+          worst_tiered_err = std::max(worst_tiered_err, err);
+        }
+      }
+      if (t > 0) {
+        worst_hit_err = std::max(
+            worst_hit_err, std::abs(predicted_hit[t] - sim.measured_tier_hit));
+        if (predicted[2] < prev_model_tail - 1e-12) monotone = false;
+      }
+      prev_model_tail = predicted[2];
+      table.add_row({std::to_string(kTierSizes[t]),
+                     cosm::Table::percent(predicted_hit[t]),
+                     cosm::Table::percent(sim.measured_tier_hit),
+                     cosm::Table::num(sim.p99 * 1000.0, 1),
+                     cosm::Table::percent(sim.observed[0]),
+                     cosm::Table::percent(predicted[0]),
+                     cosm::Table::percent(sim.observed[1]),
+                     cosm::Table::percent(predicted[1]),
+                     cosm::Table::percent(sim.observed[2]),
+                     cosm::Table::percent(predicted[2])});
+      if (!first_cell) json << ",\n";
+      first_cell = false;
+      json << "    {\"load_rps\": " << kLoads[l] << ", \"tier_chunks\": "
+           << kTierSizes[t] << ", \"che_hit\": " << predicted_hit[t]
+           << ", \"sim_hit\": " << sim.measured_tier_hit
+           << ", \"sim_p99_s\": " << sim.p99 << ", \"completed\": "
+           << sim.completed << ", \"sla\": [" << kSlas[0] << ", " << kSlas[1]
+           << ", " << kSlas[2] << "], \"sim\": [" << sim.observed[0] << ", "
+           << sim.observed[1] << ", " << sim.observed[2] << "], \"model\": ["
+           << predicted[0] << ", " << predicted[1] << ", " << predicted[2]
+           << "]}";
+    }
+    std::ostringstream title;
+    title << "Extension — SSD tier size sweep at " << kLoads[l]
+          << " req/s (Zipf 0.9, LRU page cache " << kMemChunks
+          << " chunks, 10000-chunk catalog)";
+    table.print(std::cout, title.str());
+
+    // Capacity planning: smallest candidate tier meeting the target at
+    // this load, using ONLY the model (the operator's question).
+    std::vector<cosm::core::TierCandidate> candidates;
+    for (int t = 0; t < 4; ++t) {
+      candidates.push_back({kTierSizes[t], predicted_hit[t]});
+    }
+    const cosm::core::TierFactory factory =
+        [&base](const cosm::core::TierCandidate& candidate) {
+          return tiered_params(base.params, candidate.hit_ratio);
+        };
+    const auto best = cosm::core::min_tier_capacity_for(
+        factory, candidates, {kTargetSla, kTargetPercentile});
+    std::ostringstream plan;
+    plan << "{\"load_rps\": " << kLoads[l] << ", \"min_tier_chunks\": ";
+    if (best) {
+      std::cout << "plan: smallest tier meeting P[latency <= "
+                << kTargetSla * 1000.0 << " ms] >= " << kTargetPercentile
+                << " at " << kLoads[l] << " req/s: "
+                << best->candidate.capacity_chunks << " chunks (predicted "
+                << cosm::Table::percent(best->percentile) << ")\n\n";
+      plan << best->candidate.capacity_chunks
+           << ", \"predicted\": " << best->percentile << "}";
+    } else {
+      std::cout << "plan: no candidate tier meets P[latency <= "
+                << kTargetSla * 1000.0 << " ms] >= " << kTargetPercentile
+                << " at " << kLoads[l] << " req/s\n\n";
+      plan << "null, \"predicted\": null}";
+    }
+    plan_lines.push_back(plan.str());
+  }
+
+  // Gate 1: model-vs-sim agreement on every tiered cell, held to the
+  // same band the other extensions honour (short smoke runs are noisier,
+  // so the measured untiered band is the floor).
+  const double allowed = std::max(kPaperBand, healthy_band + 0.03);
+  std::cout << "healthy-model error band: "
+            << cosm::Table::percent(healthy_band)
+            << "; worst tiered-cell error: "
+            << cosm::Table::percent(worst_tiered_err) << " (allowed "
+            << cosm::Table::percent(allowed) << ")\n";
+  if (worst_tiered_err > allowed) {
+    std::cout << "FAIL: tiered prediction left the band ("
+              << cosm::Table::percent(worst_tiered_err) << " > "
+              << cosm::Table::percent(allowed) << ")\n";
+    ok = false;
+  }
+
+  // Gate 2: Che's two-level hit-ratio prediction is usably close to the
+  // simulator's measured tier hit ratio.
+  std::cout << "worst Che-vs-sim tier hit-ratio error: "
+            << cosm::Table::percent(worst_hit_err) << " (allowed "
+            << cosm::Table::percent(kHitRatioBand) << ")\n";
+  if (worst_hit_err > kHitRatioBand) {
+    std::cout << "FAIL: Che hit-ratio prediction left the band\n";
+    ok = false;
+  }
+
+  // Gate 3: the model's planning curve is monotone in tier size.
+  if (!monotone) {
+    std::cout << "FAIL: model SLA attainment degraded as the tier grew\n";
+    ok = false;
+  }
+
+  // Gate 4: the tier is worth modeling — at the highest load the largest
+  // tier beats the untiered simulated p99.
+  const double base_p99 = cell[2][0].p99;
+  const double tiered_p99 = cell[2][3].p99;
+  std::cout << "usefulness: at " << kLoads[2] << " req/s the "
+            << kTierSizes[3] << "-chunk tier moves sim p99 from "
+            << base_p99 * 1000.0 << " ms to " << tiered_p99 * 1000.0
+            << " ms\n";
+  if (tiered_p99 >= base_p99) {
+    std::cout << "FAIL: the largest tier did not improve p99 at the "
+                 "highest load\n";
+    ok = false;
+  }
+
+  // Gate 5: tiered runs are seed-reproducible — repeat the mid-load,
+  // largest-tier run and compare latency sums bitwise.
+  const RunResult repeat = run(kLoads[1], kTierSizes[3], measure);
+  const RunResult& reference = cell[1][3];
+  if (repeat.latency_sum != reference.latency_sum ||
+      repeat.completed != reference.completed) {
+    std::cout << "FAIL: same-seed tiered run not bit-identical ("
+              << reference.latency_sum << " vs " << repeat.latency_sum << ", "
+              << reference.completed << " vs " << repeat.completed
+              << " requests)\n";
+    ok = false;
+  } else {
+    std::cout << "determinism: two same-seed tiered runs bit-identical ("
+              << reference.completed << " requests, latency sum "
+              << reference.latency_sum << " s)\n";
+  }
+
+  json << "\n  ],\n  \"plan\": [";
+  for (std::size_t i = 0; i < plan_lines.size(); ++i) {
+    json << (i ? ", " : "") << plan_lines[i];
+  }
+  json << "],\n  \"healthy_band\": " << healthy_band
+       << ",\n  \"worst_tiered_err\": " << worst_tiered_err
+       << ",\n  \"worst_hit_err\": " << worst_hit_err
+       << ",\n  \"monotone\": " << (monotone ? "true" : "false")
+       << ",\n  \"deterministic\": "
+       << (repeat.latency_sum == reference.latency_sum ? "true" : "false")
+       << ",\n  \"pass\": " << (ok ? "true" : "false") << "\n}\n";
+  std::ofstream out(out_path);
+  out << json.str();
+  if (!out) {
+    std::cerr << "FAIL: cannot write " << out_path << "\n";
+    ok = false;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return ok ? 0 : 1;
+}

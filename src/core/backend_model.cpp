@@ -15,6 +15,16 @@ using numerics::CompoundPoissonConvolution;
 using numerics::Convolution;
 using numerics::DistPtr;
 
+void TierOptions::validate() const {
+  if (!enabled) return;
+  COSM_REQUIRE(hit_ratio >= 0 && hit_ratio <= 1,
+               "tier hit ratio must be in [0, 1]");
+  COSM_REQUIRE(read_service != nullptr,
+               "tier read service distribution is required");
+  COSM_REQUIRE(!promote_on_read || write_service != nullptr,
+               "tier write service is required with promote_on_read");
+}
+
 void DeviceParams::validate() const {
   COSM_REQUIRE(arrival_rate > 0, "device arrival rate must be positive");
   COSM_REQUIRE(data_read_rate >= arrival_rate,
@@ -30,6 +40,7 @@ void DeviceParams::validate() const {
   COSM_REQUIRE(backend_parse != nullptr,
                "backend parse distribution is required");
   COSM_REQUIRE(processes >= 1, "device needs at least one process");
+  tier.validate();
 }
 
 void FrontendParams::validate() const {
@@ -93,6 +104,15 @@ void BackendModel::build() {
   DistPtr meta_disk = params_.meta_disk;
   DistPtr data_disk = params_.data_disk;
 
+  // Two-tier storage: a fraction `tier_h` of page-cache data misses is
+  // absorbed by the SSD tier and never reaches the capacity disk — the
+  // disk's arrival stream and the mixed service both shrink accordingly,
+  // and the data branch becomes a TieredService mixture below.
+  const bool tiered = params_.tier.enabled;
+  const double tier_h = tiered ? params_.tier.hit_ratio : 0.0;
+  const double data_to_disk = 1.0 - tier_h;
+  DistPtr ssd_service = tiered ? params_.tier.read_service : nullptr;
+
   if (params_.processes > 1) {
     // Sec. III-B, N_be > 1: the shared disk queue is M/G/1/K (K = N_be),
     // approximated by M/M/1/K.  Operations of all kinds mix in the disk
@@ -101,12 +121,13 @@ void BackendModel::build() {
     // operation kind.
     disk_rate_ = params_.index_miss_ratio * r +
                  params_.meta_miss_ratio * r +
-                 params_.data_miss_ratio * r_data;
+                 data_to_disk * params_.data_miss_ratio * r_data;
     if (disk_rate_ > 0) {
       disk_mean_service_ =
           (params_.index_miss_ratio * r * index_disk->mean() +
            params_.meta_miss_ratio * r * meta_disk->mean() +
-           params_.data_miss_ratio * r_data * data_disk->mean()) /
+           data_to_disk * params_.data_miss_ratio * r_data *
+               data_disk->mean()) /
           disk_rate_;
       DistPtr sojourn;
       if (options_.disk_queue == ModelOptions::DiskQueue::kMM1K) {
@@ -124,7 +145,8 @@ void BackendModel::build() {
             std::vector<numerics::Mixture::Component>{
                 {params_.index_miss_ratio * r / disk_rate_, index_disk},
                 {params_.meta_miss_ratio * r / disk_rate_, meta_disk},
-                {params_.data_miss_ratio * r_data / disk_rate_,
+                {data_to_disk * params_.data_miss_ratio * r_data /
+                     disk_rate_,
                  data_disk}});
         const queueing::MG1K disk_queue(
             disk_rate_, mixed_service,
@@ -135,12 +157,51 @@ void BackendModel::build() {
       meta_disk = sojourn;
       data_disk = sojourn;
     }
+    if (tiered) {
+      // The SSD queue gets the same substitution: blocking hit reads
+      // plus (with promote_on_read) the asynchronous install writes the
+      // simulator pays after every tier miss.
+      const double ssd_read_rate =
+          tier_h * params_.data_miss_ratio * r_data;
+      const double ssd_write_rate =
+          params_.tier.promote_on_read
+              ? data_to_disk * params_.data_miss_ratio * r_data
+              : 0.0;
+      const double ssd_rate = ssd_read_rate + ssd_write_rate;
+      if (ssd_rate > 0) {
+        DistPtr ssd_mixed = params_.tier.read_service;
+        if (ssd_write_rate > 0) {
+          ssd_mixed = std::make_shared<numerics::Mixture>(
+              std::vector<numerics::Mixture::Component>{
+                  {ssd_read_rate / ssd_rate, params_.tier.read_service},
+                  {ssd_write_rate / ssd_rate, params_.tier.write_service}});
+        }
+        if (options_.disk_queue == ModelOptions::DiskQueue::kMM1K) {
+          const queueing::MM1K ssd_queue(
+              ssd_rate, 1.0 / ssd_mixed->mean(),
+              static_cast<int>(params_.processes));
+          ssd_service = ssd_queue.sojourn_time();
+        } else {
+          const queueing::MG1K ssd_queue(
+              ssd_rate, ssd_mixed, static_cast<int>(params_.processes));
+          ssd_service = ssd_queue.sojourn_time();
+        }
+      }
+    }
+  }
+
+  // Two-tier mixture: a page-cache data miss is served by the SSD w.p.
+  // tier_h and by the capacity disk behind it otherwise.
+  DistPtr data_device = data_disk;
+  if (tiered) {
+    data_device = std::make_shared<numerics::TieredService>(
+        tier_h, ssd_service, data_disk);
   }
 
   // Cache mixtures: op(t) = m * op_d(t) + (1 - m) * delta(t).
   index_ = atom_at_zero_mixture(params_.index_miss_ratio, index_disk);
   meta_ = atom_at_zero_mixture(params_.meta_miss_ratio, meta_disk);
-  data_ = atom_at_zero_mixture(params_.data_miss_ratio, data_disk);
+  data_ = atom_at_zero_mixture(params_.data_miss_ratio, data_device);
 
   // Union operation: parse * index * meta * data^(j+1), j ~ Poisson(p).
   const DistPtr base = std::make_shared<Convolution>(std::vector<DistPtr>{

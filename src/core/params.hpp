@@ -19,6 +19,29 @@ namespace cosm::core {
 
 class BackendModel;
 
+// Two-tier storage (tiering extension): the model-side mirror of the
+// simulator's SSD cache tier (sim::TierConfig).  A data read that missed
+// the page cache is served by the SSD with probability `hit_ratio` and
+// by the capacity disk otherwise; the backend model composes the two as
+// a numerics::TieredService mixture feeding the existing M/G/1/K device
+// model.  Hit ratios are predicted from the Zipf catalog
+// (calibration::predict_tier_hit_ratio) rather than measured.
+// Derivation and validity limits: docs/TIERING.md.
+struct TierOptions {
+  bool enabled = false;
+  // P(SSD serves a data read that missed the page cache), in [0, 1].
+  double hit_ratio = 0.0;
+  // SSD read service — the hit branch of the mixture.
+  numerics::DistPtr read_service;
+  // SSD install write service: with promote_on_read, every tier miss
+  // pays an asynchronous SSD write that shares the SSD queue with the
+  // blocking reads (it matters only in the N_be > 1 queue substitution).
+  numerics::DistPtr write_service;
+  bool promote_on_read = true;
+
+  void validate() const;
+};
+
 // Everything the backend model needs for ONE storage device.
 struct DeviceParams {
   // Request arrival rate r at this device (req/s).
@@ -42,6 +65,10 @@ struct DeviceParams {
 
   // N_be: number of processes dedicated to this device.
   std::uint32_t processes = 1;
+
+  // SSD cache tier in front of the disk (disabled reproduces the paper's
+  // single-tier model exactly).
+  TierOptions tier;
 
   void validate() const;
 };

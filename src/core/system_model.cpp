@@ -37,6 +37,15 @@ std::uint64_t backend_fingerprint(const DeviceParams& params,
   h = hash_mix(h, numerics::fingerprint(*params.backend_parse));
   h = hash_mix(h, static_cast<std::uint64_t>(options.odopr));
   h = hash_mix(h, static_cast<std::uint64_t>(options.disk_queue));
+  if (params.tier.enabled) {
+    h = hash_mix(h, std::uint64_t{0x7469657257000001ULL});  // tier marker
+    h = hash_mix(h, params.tier.hit_ratio);
+    h = hash_mix(h, numerics::fingerprint(*params.tier.read_service));
+    if (params.tier.write_service) {
+      h = hash_mix(h, numerics::fingerprint(*params.tier.write_service));
+    }
+    h = hash_mix(h, static_cast<std::uint64_t>(params.tier.promote_on_read));
+  }
   return h;
 }
 

@@ -436,4 +436,47 @@ std::vector<std::pair<std::size_t, double>> sla_miss_contributions(
   return contributions;
 }
 
+std::vector<TierPlanPoint> tier_capacity_sweep(
+    const TierFactory& factory, const std::vector<TierCandidate>& candidates,
+    const SlaTarget& target, ModelOptions options,
+    const PredictOptions& predict) {
+  COSM_REQUIRE(factory != nullptr, "tier factory required");
+  target.validate();
+  for (const TierCandidate& candidate : candidates) {
+    COSM_REQUIRE(candidate.hit_ratio >= 0 && candidate.hit_ratio <= 1,
+                 "tier candidate hit ratio must be in [0, 1]");
+  }
+  obs::Span span("whatif.tier_sweep");
+  const PredictOptions inner = inner_options(predict);
+  std::vector<TierPlanPoint> points(candidates.size());
+  parallel_for(candidates.size(), predict.num_threads, [&](std::size_t i) {
+    points[i].candidate = candidates[i];
+    try {
+      const SystemModel model(factory(candidates[i]), options, inner);
+      points[i].percentile = model.predict_sla_percentile(target.sla);
+    } catch (const OverloadError&) {
+      points[i].percentile = 0.0;  // this tier size leaves the disk saturated
+    }
+    points[i].meets_target = points[i].percentile >= target.percentile;
+  });
+  return points;
+}
+
+std::optional<TierPlanPoint> min_tier_capacity_for(
+    const TierFactory& factory, const std::vector<TierCandidate>& candidates,
+    const SlaTarget& target, ModelOptions options,
+    const PredictOptions& predict) {
+  const std::vector<TierPlanPoint> points =
+      tier_capacity_sweep(factory, candidates, target, options, predict);
+  std::optional<TierPlanPoint> best;
+  for (const TierPlanPoint& point : points) {
+    if (!point.meets_target) continue;
+    if (!best || point.candidate.capacity_chunks <
+                     best->candidate.capacity_chunks) {
+      best = point;
+    }
+  }
+  return best;
+}
+
 }  // namespace cosm::core

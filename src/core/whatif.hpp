@@ -236,4 +236,42 @@ std::optional<RedundancyChoice> best_redundancy_policy(
     const std::vector<RedundancyOptions>& candidates, double sla,
     ModelOptions options = {}, const PredictOptions& predict = {});
 
+// ----- Tiering what-if (two-tier storage extension) -----
+//
+// Capacity planning over SSD tier sizes: each candidate pairs a tier
+// capacity with the hit ratio predicted for it — typically
+// calibration::predict_tier_hit_ratio over the Zipf catalog, kept out of
+// this layer so core stays independent of calibration.  The factory
+// builds SystemParams with core::TierOptions filled from the candidate
+// (capacity 0 conventionally means "no tier").  Derivation and validity
+// limits: docs/TIERING.md.
+
+struct TierCandidate {
+  std::size_t capacity_chunks = 0;  // SSD size, in data chunks
+  double hit_ratio = 0.0;           // predicted tier hit ratio in [0, 1]
+};
+
+using TierFactory = std::function<SystemParams(const TierCandidate&)>;
+
+struct TierPlanPoint {
+  TierCandidate candidate;
+  double percentile = 0.0;  // P[latency <= sla]; 0 when overloaded
+  bool meets_target = false;
+};
+
+// Evaluates every candidate (fanned across PredictOptions::num_threads),
+// returned in input order.  Must be thread-safe factory, as elsewhere.
+std::vector<TierPlanPoint> tier_capacity_sweep(
+    const TierFactory& factory, const std::vector<TierCandidate>& candidates,
+    const SlaTarget& target, ModelOptions options = {},
+    const PredictOptions& predict = {});
+
+// "How much SSD buys p99 <= d?": the smallest-capacity candidate meeting
+// the target, or nullopt when none does.  Ties on capacity resolve to
+// the earliest candidate.
+std::optional<TierPlanPoint> min_tier_capacity_for(
+    const TierFactory& factory, const std::vector<TierCandidate>& candidates,
+    const SlaTarget& target, ModelOptions options = {},
+    const PredictOptions& predict = {});
+
 }  // namespace cosm::core

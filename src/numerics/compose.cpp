@@ -229,6 +229,47 @@ double Scaled::sample(Rng& rng) const {
   return factor_ * inner_->sample(rng);
 }
 
+// ----------------------------- TieredService -----------------------------
+
+TieredService::TieredService(double hit_ratio, DistPtr hit, DistPtr miss)
+    : hit_ratio_(hit_ratio),
+      miss_ratio_(1.0 - hit_ratio),
+      hit_(std::move(hit)),
+      miss_(std::move(miss)) {
+  COSM_REQUIRE(hit_ratio >= 0 && hit_ratio <= 1,
+               "tier hit ratio must be in [0, 1]");
+  COSM_REQUIRE(hit_ != nullptr && miss_ != nullptr,
+               "tier components must be non-null");
+}
+
+std::string TieredService::name() const { return "tiered_service"; }
+
+std::complex<double> TieredService::laplace(std::complex<double> s) const {
+  return hit_ratio_ * hit_->laplace(s) + miss_ratio_ * miss_->laplace(s);
+}
+
+double TieredService::mean() const {
+  return hit_ratio_ * hit_->mean() + miss_ratio_ * miss_->mean();
+}
+
+double TieredService::second_moment() const {
+  return hit_ratio_ * hit_->second_moment() +
+         miss_ratio_ * miss_->second_moment();
+}
+
+double TieredService::third_moment() const {
+  return hit_ratio_ * hit_->third_moment() +
+         miss_ratio_ * miss_->third_moment();
+}
+
+double TieredService::cdf(double t) const {
+  return hit_ratio_ * hit_->cdf(t) + miss_ratio_ * miss_->cdf(t);
+}
+
+double TieredService::sample(Rng& rng) const {
+  return rng.uniform() < hit_ratio_ ? hit_->sample(rng) : miss_->sample(rng);
+}
+
 DistPtr scale_dist(DistPtr inner, double factor) {
   if (factor == 1.0) return inner;
   return std::make_shared<Scaled>(std::move(inner), factor);

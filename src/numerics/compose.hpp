@@ -136,6 +136,46 @@ class Scaled final : public Distribution {
   double factor_;
 };
 
+// TieredService — the two-tier storage mixture (tiering extension): a
+// data access is served by the SSD cache tier with probability
+// `hit_ratio` and falls through to the capacity tier behind it
+// otherwise:
+//
+//   L[T](s) = h · L[hit](s) + (1 − h) · L[miss](s).
+//
+// Numerically this is a two-component Mixture, but it is kept as its own
+// node so the TransformTape compiles it to a dedicated op (TIER-MIX) and
+// tiered / untiered response trees stay structurally distinct for regime
+// fingerprints — the same reason MIN-OF-K and KTH-OF-N are separate
+// opcodes.  The miss weight (1 − h) is computed once here and reused
+// verbatim by the tape op, keeping tape evaluation bit-identical to this
+// tree walk.  Derivation and validity limits: docs/TIERING.md.
+class TieredService final : public Distribution {
+ public:
+  // hit_ratio in [0, 1]; `hit` and `miss` are the per-tier response-time
+  // distributions (service or sojourn, as the caller composes them).
+  TieredService(double hit_ratio, DistPtr hit, DistPtr miss);
+
+  std::string name() const override;
+  std::complex<double> laplace(std::complex<double> s) const override;
+  double mean() const override;
+  double second_moment() const override;
+  double third_moment() const override;
+  double cdf(double t) const override;
+  double sample(Rng& rng) const override;
+
+  double hit_ratio() const { return hit_ratio_; }
+  double miss_ratio() const { return miss_ratio_; }
+  const DistPtr& hit() const { return hit_; }
+  const DistPtr& miss() const { return miss_; }
+
+ private:
+  double hit_ratio_;
+  double miss_ratio_;  // 1 − hit_ratio, stored once (see header doc)
+  DistPtr hit_;
+  DistPtr miss_;
+};
+
 // Convenience: c == 1 returns `inner` unchanged (no wrapper cost).
 DistPtr scale_dist(DistPtr inner, double factor);
 

@@ -105,6 +105,9 @@ class TapeCompiler {
                    dynamic_cast<const CompoundPoissonConvolution*>(d)) {
       count_node(cp->base().get(), ctx);
       count_node(cp->extra().get(), ctx);
+    } else if (const auto* ts = dynamic_cast<const TieredService*>(d)) {
+      count_node(ts->hit().get(), ctx);
+      count_node(ts->miss().get(), ctx);
     } else if (const auto* sc = dynamic_cast<const Scaled*>(d)) {
       count_node(sc->inner().get(),
                  child_ctx(ctx, sc->factor(), /*create=*/true));
@@ -192,6 +195,14 @@ class TapeCompiler {
       emit_node(cp->base(), ctx);
       emit_node(cp->extra(), ctx);
       push_op(OpCode::kCPoisson, 0, push_params({cp->rate()}));
+    } else if (const auto* ts = dynamic_cast<const TieredService*>(d)) {
+      // The miss weight is the node's stored 1 − h, not recomputed here,
+      // so the tape's fused multiply-add chain matches the tree walk's
+      // exactly (bit-identity contract).
+      emit_node(ts->hit(), ctx);
+      emit_node(ts->miss(), ctx);
+      push_op(OpCode::kTierMix, 0,
+              push_params({ts->hit_ratio(), ts->miss_ratio()}));
     } else if (const auto* sc = dynamic_cast<const Scaled*>(d)) {
       push_op(OpCode::kScaleArg, 0, push_params({sc->factor()}));
       emit_node(sc->inner(), child_ctx(ctx, sc->factor(), /*create=*/false));
@@ -279,6 +290,7 @@ class TapeCompiler {
           value_height -= op.a - 1;
           break;
         case OpCode::kCPoisson:
+        case OpCode::kTierMix:
           --value_height;
           break;
         case OpCode::kShift:
@@ -495,6 +507,15 @@ void TransformTape::evaluate(std::span<const std::complex<double>> s,
         const double rate = p[0];
         for (std::size_t i = 0; i < batch; ++i) {
           base[i] = base[i] * std::exp(rate * (extra[i] - 1.0));
+        }
+        --top;
+        break;
+      }
+      case OpCode::kTierMix: {
+        std::complex<double>* hit = values + (top - 2) * batch;
+        const std::complex<double>* miss = values + (top - 1) * batch;
+        for (std::size_t i = 0; i < batch; ++i) {
+          hit[i] = p[0] * hit[i] + p[1] * miss[i];
         }
         --top;
         break;

@@ -146,6 +146,9 @@ class TransformTape {
     kLeafGeneric,      // a = index into leaves_; calls laplace_many
     kMul,              // a = child count (Convolution)
     kMix,              // a = child count, params [w0, ..., w_{a-1}]
+    kTierMix,          // params [hit_ratio, miss_ratio]; children hit,
+                       // miss (TieredService — distinct from kMix so
+                       // tiered trees stay structurally distinct)
     kCPoisson,         // params [rate]; children base, extra
     kShift,            // params [offset]
     kScaleArg,         // params [factor]: push arg batch factor * current

@@ -50,6 +50,11 @@ constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "sim.cancel.attempts",
     "sim.cancel.skipped_work",
     "sim.cancel.late_responses",
+    "sim.tier.reads",
+    "sim.tier.hits",
+    "sim.tier.promotions",
+    "sim.tier.writebacks",
+    "sim.tier.drain_writebacks",
     "pool.submits",
     "pool.max_queue_depth",
 };

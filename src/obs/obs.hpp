@@ -108,6 +108,13 @@ enum class Counter : std::uint32_t {
   kSimCancelSkippedWork,    // queued/in-flight work dropped as cancelled
   kSimCancelLateResponses,  // responses that arrived after their group won
 
+  // SSD cache tier (tiering extension; see sim/tier.hpp).
+  kSimTierReads,            // data reads offered to the tier
+  kSimTierHits,             // served from the SSD
+  kSimTierPromotions,       // clean installs after a tier-miss read
+  kSimTierWritebacks,       // dirty demotion writes at eviction
+  kSimTierDrainWritebacks,  // dirty flushes at outage recovery
+
   // ThreadPool.
   kPoolSubmits,
   kPoolMaxQueueDepth,  // gauge: high-water mark, via record_max

@@ -229,12 +229,16 @@ void BackendProcess::schedule_chunk_arrival(RequestPtr req) {
 }
 
 void BackendProcess::run_write_chunk(RequestPtr req) {
-  // Blocking disk write of the received chunk.
+  // Blocking write of the received chunk — against the SSD tier under
+  // write-back (the capacity copy happens at demotion), against the
+  // capacity disk otherwise (write-through installs a clean SSD copy
+  // asynchronously via wrote_chunk).
   const std::uint32_t chunk = req->chunks_done;
   const double start = engine_.now();
-  device_.disk().submit(
-      AccessKind::kWrite,
-      [this, req, chunk, start,
+  const bool tier_write =
+      device_.tier() != nullptr && device_.tier()->write_back();
+  auto completion =
+      [this, req, chunk, start, tier_write,
        epoch = epoch_](double service, bool ok) mutable {
         if (epoch != epoch_) {
           device_.notify_request_failed(req);
@@ -245,10 +249,17 @@ void BackendProcess::run_write_chunk(RequestPtr req) {
           start_next();
           return;
         }
-        metrics_.on_disk_op(device_.id(), AccessKind::kWrite, service);
+        if (tier_write) {
+          metrics_.on_tier_op(device_.id(), service);
+        } else {
+          metrics_.on_disk_op(device_.id(), AccessKind::kWrite, service);
+        }
         metrics_.on_operation_latency(device_.id(), AccessKind::kWrite,
                                       engine_.now() - start);
         device_.cache().fill(AccessKind::kData, req->object_id, chunk);
+        if (TierDevice* const tier = device_.tier()) {
+          tier->wrote_chunk(req->object_id, chunk);
+        }
         ++req->chunks_done;
         if (req->chunks_done < req->chunks_total) {
           schedule_chunk_arrival(std::move(req));
@@ -286,7 +297,12 @@ void BackendProcess::run_write_chunk(RequestPtr req) {
                   });
               start_next();
             });
-      });
+      };
+  if (tier_write) {
+    device_.tier()->submit_write(std::move(completion));
+  } else {
+    device_.disk().submit(AccessKind::kWrite, std::move(completion));
+  }
 }
 
 void BackendProcess::run_next_chunk(RequestPtr req) {
@@ -361,6 +377,13 @@ BackendDevice::BackendDevice(Engine& engine, const ClusterConfig& config,
       cache_(config.cache) {
   COSM_REQUIRE(config.processes_per_device >= 1,
                "device needs at least one process");
+  if (config.tier.enabled) {
+    // Forked between disk_ and the processes; when the tier is disabled
+    // no fork happens here and the legacy RNG sequence is preserved.
+    tier_ = std::make_unique<TierDevice>(engine, config.tier, disk_,
+                                         metrics, device_id,
+                                         seed_source.fork());
+  }
   processes_.reserve(config.processes_per_device);
   for (std::uint32_t i = 0; i < config.processes_per_device; ++i) {
     processes_.push_back(std::make_unique<BackendProcess>(
@@ -429,13 +452,17 @@ void BackendDevice::set_online(bool online) {
   if (online == online_) return;
   online_ = online;
   if (online) {
+    // Capacity disk first so the tier's recovery drain (dirty blocks
+    // written back, oldest first) lands on a live queue.
     disk_.set_online(true);
+    if (tier_) tier_->set_online(true);
     for (auto& process : processes_) process->restart();
     return;
   }
   // Crash the processes first so the disk's synchronous failure callbacks
   // see stale epochs (the blocked process is already gone).
   for (auto& process : processes_) process->crash();
+  if (tier_) tier_->set_online(false);
   disk_.set_online(false);
   const std::vector<RequestPtr> orphaned = pool_.take_all();
   for (const RequestPtr& req : orphaned) notify_request_failed(req);

@@ -38,6 +38,7 @@
 #include "sim/fifo_ring.hpp"
 #include "sim/metrics.hpp"
 #include "sim/request.hpp"
+#include "sim/tier.hpp"
 
 namespace cosm::sim {
 
@@ -175,6 +176,8 @@ class BackendDevice {
   std::uint32_t id() const { return id_; }
   Disk& disk() { return disk_; }
   CacheBank& cache() { return cache_; }
+  // The SSD cache tier; nullptr when ClusterConfig::tier is disabled.
+  TierDevice* tier() { return tier_.get(); }
   std::size_t pool_depth() const { return pool_.size(); }
   const std::vector<std::unique_ptr<BackendProcess>>& processes() const {
     return processes_;
@@ -186,6 +189,10 @@ class BackendDevice {
   std::uint32_t id_;
   Disk disk_;
   CacheBank cache_;
+  // Constructed only when the tier is enabled, AFTER disk_ forks its RNG
+  // and before the processes fork theirs — disabled runs draw the exact
+  // legacy fork sequence and stay bit-identical.
+  std::unique_ptr<TierDevice> tier_;
   FifoRing<RequestPtr> pool_;
   std::vector<std::unique_ptr<BackendProcess>> processes_;
   std::size_t next_wake_offset_ = 0;
@@ -208,6 +215,47 @@ void BackendProcess::access(AccessKind kind, const RequestPtr& req,
     return;
   }
   const double start = engine_.now();
+  if (kind == AccessKind::kData && device_.tier() != nullptr) {
+    // Two-tier data path: serve the page-cache miss from the SSD when
+    // the chunk is resident, fall through to the capacity disk (and
+    // promote afterwards) otherwise.  Index/meta always go to the
+    // capacity disk.  The hit/miss decision happens now; the completion
+    // only carries the verdict, keeping it inside inline storage.
+    const bool tier_hit =
+        device_.tier()->lookup_for_read(req->object_id, chunk_index);
+    auto completion =
+        [this, req = req, chunk_index, cont = std::move(cont), start,
+         tier_hit, epoch = epoch_](double service, bool ok) mutable {
+          if (epoch != epoch_) {
+            device_.notify_request_failed(req);
+            return;
+          }
+          if (!ok) {
+            device_.notify_request_failed(req);
+            start_next();
+            return;
+          }
+          if (tier_hit) {
+            metrics_.on_tier_op(device_.id(), service);
+          } else {
+            metrics_.on_disk_op(device_.id(), AccessKind::kData, service);
+          }
+          metrics_.on_operation_latency(device_.id(), AccessKind::kData,
+                                        engine_.now() - start);
+          device_.cache().fill(AccessKind::kData, req->object_id,
+                               chunk_index);
+          if (!tier_hit) {
+            device_.tier()->promoted_after_read(req->object_id,
+                                                chunk_index);
+          }
+          cont();
+        };
+    static_assert(Disk::CompletionFn::fits_inline_v<decltype(completion)>,
+                  "the tiered data-read completion must stay inside "
+                  "CompletionFn's inline storage");
+    device_.tier()->submit_read(tier_hit, std::move(completion));
+    return;
+  }
   // `req = req`: a plain [req] capture from this const reference would make
   // a *const* member, which the closure's move constructor can only COPY —
   // RequestPtr refcount churn on every SmallFn relocation, and (worse) a

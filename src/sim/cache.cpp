@@ -47,9 +47,7 @@ CacheBank::CacheBank(const CacheBankConfig& config)
 
 std::uint64_t CacheBank::chunk_key(std::uint64_t object_id,
                                    std::uint32_t chunk_index) {
-  // Objects are dense ranks well below 2^40; fold the chunk in the top
-  // bits so keys never collide across objects.
-  return (object_id << 24) ^ chunk_index;
+  return data_chunk_key(object_id, chunk_index);
 }
 
 bool CacheBank::lookup(AccessKind kind, std::uint64_t object_id,

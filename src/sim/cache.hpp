@@ -46,6 +46,15 @@ class LruCache {
 enum class AccessKind { kIndex, kMeta, kData, kWrite, kCommit };
 inline constexpr std::size_t kAccessKindCount = 5;
 
+// Cache key of one data chunk, shared by the page cache (CacheBank) and
+// the SSD tier residency (TierResidency) so both layers track the same
+// unit.  Objects are dense ranks well below 2^40; folding the chunk into
+// the top bits keeps keys collision-free across objects.
+inline std::uint64_t data_chunk_key(std::uint64_t object_id,
+                                    std::uint32_t chunk_index) {
+  return (object_id << 24) ^ chunk_index;
+}
+
 struct CacheBankConfig {
   enum class Mode { kProbabilistic, kLru };
   Mode mode = Mode::kProbabilistic;

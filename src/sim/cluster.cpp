@@ -49,6 +49,10 @@ void ClusterConfig::validate() const {
                "cache.meta_miss_ratio must be in [0, 1]");
   COSM_REQUIRE(ratio_ok(cache.data_miss_ratio),
                "cache.data_miss_ratio must be in [0, 1]");
+  if (tier.enabled) {
+    COSM_REQUIRE(tier.capacity_chunks >= 1,
+                 "tier.capacity_chunks must be >= 1 when the tier is on");
+  }
   faults.validate(device_count, processes_per_device);
 }
 
@@ -61,6 +65,11 @@ void ClusterConfig::finalize() {
   }
   if (!disk.index_service || !disk.meta_service || !disk.data_service) {
     disk = default_hdd_profile();
+  }
+  if (tier.enabled && (!tier.read_service || !tier.write_service)) {
+    const DiskProfile ssd = default_ssd_profile();
+    if (!tier.read_service) tier.read_service = ssd.data_service;
+    if (!tier.write_service) tier.write_service = ssd.write_service;
   }
   validate();
 }

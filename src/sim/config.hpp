@@ -9,6 +9,7 @@
 #include "sim/cache.hpp"
 #include "sim/disk.hpp"
 #include "sim/faults.hpp"
+#include "sim/tier.hpp"
 
 namespace cosm::sim {
 
@@ -138,6 +139,13 @@ struct ClusterConfig {
 
   DiskProfile disk;               // default_hdd_profile() if unset
   CacheBankConfig cache;
+
+  // ----- Two-tier storage (tiering extension) -----
+  // SSD cache tier in front of each device's capacity disk; disabled by
+  // default (legacy runs stay bit-identical).  Sizing, write policy, and
+  // SSD service distributions: sim/tier.hpp; model mirror:
+  // core::TierOptions; semantics and limits: docs/TIERING.md.
+  TierConfig tier;
 
   std::uint64_t seed = 42;
 

@@ -17,6 +17,18 @@ DiskProfile default_hdd_profile() {
   };
 }
 
+DiskProfile default_ssd_profile() {
+  // Low-dispersion flash-scale services: sub-millisecond reads, writes a
+  // bit slower (program/erase cost), commit the slowest.
+  return DiskProfile{
+      std::make_shared<numerics::Gamma>(4.0, 5000.0),  // index: 0.8 ms
+      std::make_shared<numerics::Gamma>(4.0, 5000.0),  // meta:  0.8 ms
+      std::make_shared<numerics::Gamma>(4.0, 4000.0),  // data:  1.0 ms
+      std::make_shared<numerics::Gamma>(3.0, 2000.0),  // write: 1.5 ms
+      std::make_shared<numerics::Gamma>(2.0, 1000.0),  // commit: 2 ms
+  };
+}
+
 Disk::Disk(Engine& engine, DiskProfile profile, cosm::Rng rng)
     : engine_(engine), profile_(std::move(profile)), rng_(rng) {
   COSM_REQUIRE(profile_.index_service && profile_.meta_service &&

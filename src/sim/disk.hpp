@@ -33,6 +33,13 @@ struct DiskProfile {
 // (Fig. 5 service times in the 5–80 ms range).
 DiskProfile default_hdd_profile();
 
+// A Gamma-distributed SSD-like profile (tiering extension): roughly an
+// order of magnitude faster than default_hdd_profile, with writes slower
+// than reads as flash translation layers behave.  The SSD cache tier's
+// default read/write services come from its data/write slots
+// (ClusterConfig::finalize()).
+DiskProfile default_ssd_profile();
+
 class Disk {
  public:
   // `ok` is false when the operation was killed by an outage rather than

@@ -157,6 +157,39 @@ void SimMetrics::on_cache_access(std::uint32_t device, AccessKind kind,
   if (!hit) ++devices_[device].misses[kind_index(kind)];
 }
 
+void SimMetrics::on_tier_read(std::uint32_t device, bool hit) {
+  COSM_REQUIRE(device < devices_.size(), "device id out of range");
+  ++devices_[device].tier_reads;
+  if (hit) ++devices_[device].tier_hits;
+  if (obs::enabled()) {
+    obs::add(obs::Counter::kSimTierReads);
+    if (hit) obs::add(obs::Counter::kSimTierHits);
+  }
+}
+
+void SimMetrics::on_tier_op(std::uint32_t device, double service_time) {
+  COSM_REQUIRE(device < devices_.size(), "device id out of range");
+  ++devices_[device].tier_ops;
+  devices_[device].tier_service_sum += service_time;
+}
+
+void SimMetrics::on_tier_promotion(std::uint32_t device) {
+  COSM_REQUIRE(device < devices_.size(), "device id out of range");
+  ++devices_[device].tier_promotions;
+  obs::add(obs::Counter::kSimTierPromotions);
+}
+
+void SimMetrics::on_tier_writeback(std::uint32_t device, bool drain) {
+  COSM_REQUIRE(device < devices_.size(), "device id out of range");
+  if (drain) {
+    ++devices_[device].tier_drain_writebacks;
+    obs::add(obs::Counter::kSimTierDrainWritebacks);
+  } else {
+    ++devices_[device].tier_writebacks;
+    obs::add(obs::Counter::kSimTierWritebacks);
+  }
+}
+
 void SimMetrics::on_disk_op(std::uint32_t device, AccessKind kind,
                             double service_time) {
   COSM_REQUIRE(device < devices_.size(), "device id out of range");

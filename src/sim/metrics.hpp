@@ -54,6 +54,23 @@ struct DeviceCounters {
   std::array<std::uint64_t, kAccessKindCount> misses{};
   std::array<double, kAccessKindCount> disk_service_sum{};
   std::array<std::uint64_t, kAccessKindCount> disk_ops{};
+  // SSD cache tier (tiering extension; all zero when the tier is off).
+  // O(1) counters, so streaming mode keeps them for arbitrarily long runs.
+  std::uint64_t tier_reads = 0;       // data reads offered to the tier
+  std::uint64_t tier_hits = 0;        // served from the SSD
+  std::uint64_t tier_promotions = 0;  // clean installs after a miss
+  std::uint64_t tier_writebacks = 0;  // dirty demotion writes (evictions)
+  std::uint64_t tier_drain_writebacks = 0;  // outage-recovery flushes
+  std::uint64_t tier_ops = 0;         // SSD operations (reads + writes)
+  double tier_service_sum = 0.0;      // raw SSD service seconds
+
+  // Measured tier hit ratio (NaN-free: 0 when the tier saw no reads).
+  double tier_hit_ratio() const {
+    return tier_reads == 0
+               ? 0.0
+               : static_cast<double>(tier_hits) /
+                     static_cast<double>(tier_reads);
+  }
 };
 
 // Request outcomes per class (robustness extension): how the client
@@ -132,6 +149,12 @@ class SimMetrics {
   void on_fanout_group();
   void on_attempt_cancelled();
   void on_cache_access(std::uint32_t device, AccessKind kind, bool hit);
+  // SSD cache tier taps (tiering extension; each also files its
+  // sim.tier.* obs counter).
+  void on_tier_read(std::uint32_t device, bool hit);
+  void on_tier_op(std::uint32_t device, double service_time);
+  void on_tier_promotion(std::uint32_t device);
+  void on_tier_writeback(std::uint32_t device, bool drain);
   void on_disk_op(std::uint32_t device, AccessKind kind,
                   double service_time);
   void on_data_read(std::uint32_t device);

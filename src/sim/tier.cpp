@@ -1,0 +1,159 @@
+#include "sim/tier.hpp"
+
+#include "common/require.hpp"
+#include "sim/metrics.hpp"
+
+namespace cosm::sim {
+
+// ------------------------------ TierResidency ----------------------------
+
+TierResidency::TierResidency(std::size_t capacity) : capacity_(capacity) {}
+
+bool TierResidency::access(std::uint64_t key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  order_.splice(order_.begin(), order_, it->second);
+  return true;
+}
+
+std::optional<TierResidency::Evicted> TierResidency::insert(std::uint64_t key,
+                                                            bool dirty) {
+  if (capacity_ == 0) return std::nullopt;
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    if (dirty && !it->second->dirty) {
+      it->second->dirty = true;
+      ++dirty_count_;
+    }
+    return std::nullopt;
+  }
+  std::optional<Evicted> evicted;
+  if (map_.size() >= capacity_) {
+    const Entry& victim = order_.back();
+    evicted = Evicted{victim.key, victim.dirty};
+    if (victim.dirty) --dirty_count_;
+    map_.erase(victim.key);
+    order_.pop_back();
+  }
+  order_.push_front(Entry{key, dirty});
+  map_[key] = order_.begin();
+  if (dirty) ++dirty_count_;
+  return evicted;
+}
+
+bool TierResidency::contains(std::uint64_t key) const {
+  return map_.find(key) != map_.end();
+}
+
+bool TierResidency::dirty(std::uint64_t key) const {
+  const auto it = map_.find(key);
+  return it != map_.end() && it->second->dirty;
+}
+
+std::vector<std::uint64_t> TierResidency::take_dirty() {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(dirty_count_);
+  // Oldest first: reverse iteration walks LRU -> MRU.
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    if (it->dirty) {
+      it->dirty = false;
+      keys.push_back(it->key);
+    }
+  }
+  dirty_count_ = 0;
+  return keys;
+}
+
+// -------------------------------- TierDevice -----------------------------
+
+namespace {
+
+DiskProfile ssd_disk_profile(const TierConfig& config) {
+  // The SSD serves only data reads and install/write-back writes; the
+  // index/meta/commit slots are filled to satisfy Disk's invariant but
+  // never drawn from.
+  return DiskProfile{config.read_service, config.read_service,
+                     config.read_service, config.write_service,
+                     config.write_service};
+}
+
+}  // namespace
+
+TierDevice::TierDevice(Engine& engine, const TierConfig& config,
+                       Disk& capacity_disk, SimMetrics& metrics,
+                       std::uint32_t device_id, cosm::Rng rng)
+    : config_(config),
+      capacity_disk_(capacity_disk),
+      metrics_(metrics),
+      device_id_(device_id),
+      ssd_(engine, ssd_disk_profile(config), rng),
+      residency_(config.capacity_chunks) {
+  COSM_REQUIRE(config.enabled, "TierDevice requires an enabled TierConfig");
+  COSM_REQUIRE(config.capacity_chunks >= 1,
+               "tier capacity must be >= 1 chunk");
+  COSM_REQUIRE(config.read_service != nullptr &&
+                   config.write_service != nullptr,
+               "tier service distributions must be set (finalize())");
+}
+
+bool TierDevice::lookup_for_read(std::uint64_t object_id,
+                                 std::uint32_t chunk_index) {
+  const bool hit = residency_.access(data_chunk_key(object_id, chunk_index));
+  metrics_.on_tier_read(device_id_, hit);
+  return hit;
+}
+
+void TierDevice::promoted_after_read(std::uint64_t object_id,
+                                     std::uint32_t chunk_index) {
+  if (!config_.promote_on_read) return;
+  install(data_chunk_key(object_id, chunk_index), /*dirty=*/false);
+  metrics_.on_tier_promotion(device_id_);
+  // The install write occupies the SSD queue but nothing waits on it.
+  ssd_.submit(AccessKind::kWrite, [this](double service, bool ok) {
+    if (ok) metrics_.on_tier_op(device_id_, service);
+  });
+}
+
+void TierDevice::wrote_chunk(std::uint64_t object_id,
+                             std::uint32_t chunk_index) {
+  const std::uint64_t key = data_chunk_key(object_id, chunk_index);
+  if (write_back()) {
+    // The blocking SSD write already completed; remember the block is
+    // ahead of the capacity disk until demotion flushes it.
+    install(key, /*dirty=*/true);
+    return;
+  }
+  // Write-through: the capacity disk holds the chunk; install a clean
+  // SSD copy asynchronously so subsequent reads hit the tier.
+  install(key, /*dirty=*/false);
+  ssd_.submit(AccessKind::kWrite, [this](double service, bool ok) {
+    if (ok) metrics_.on_tier_op(device_id_, service);
+  });
+}
+
+void TierDevice::set_online(bool online) {
+  ssd_.set_online(online);
+  if (!online) return;
+  // Recovery drain: every dirty block goes back to the (already online)
+  // capacity disk, oldest first.  Blocks stay resident and clean.
+  for (const std::uint64_t key : residency_.take_dirty()) {
+    (void)key;
+    demote(/*drain=*/true);
+  }
+}
+
+void TierDevice::install(std::uint64_t key, bool dirty) {
+  if (const auto evicted = residency_.insert(key, dirty)) {
+    if (evicted->dirty) demote(/*drain=*/false);
+  }
+}
+
+void TierDevice::demote(bool drain) {
+  metrics_.on_tier_writeback(device_id_, drain);
+  capacity_disk_.submit(AccessKind::kWrite, [this](double service, bool ok) {
+    if (ok) metrics_.on_disk_op(device_id_, AccessKind::kWrite, service);
+  });
+}
+
+}  // namespace cosm::sim

@@ -1,0 +1,179 @@
+// Two-tier storage (tiering extension): an SSD-like cache tier in front
+// of each device's capacity disk.
+//
+// The tier covers the DATA path only — after a page-cache miss, a chunk
+// read is served by the SSD when the chunk is resident and by the
+// capacity disk otherwise (with an optional clean promotion afterwards);
+// index and metadata operations always go to the capacity disk.  PUT
+// chunk writes follow the configured write policy: write-through blocks
+// on the capacity disk and installs a clean SSD copy asynchronously;
+// write-back blocks only on the SSD write and flushes the dirty block to
+// the capacity disk when it is evicted (demotion) or when an outage
+// recovery drains the tier.  The SSD is a second sim::Disk — its own
+// FCFS queue, its own seeded service draws — so SSD queueing contention
+// emerges the same way capacity-disk contention does.
+//
+// Model-side mirror: numerics::TieredService + core::TierOptions, with
+// hit ratios predicted from the Zipf catalog (calibration/lru_prediction).
+// Derivation, semantics, and validity limits: docs/TIERING.md.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "numerics/distribution.hpp"
+#include "sim/cache.hpp"
+#include "sim/disk.hpp"
+#include "sim/engine.hpp"
+
+namespace cosm::sim {
+
+class SimMetrics;
+
+// Sizing and policy knobs for the SSD cache tier of one device
+// (ClusterConfig::tier; disabled by default, which keeps every legacy
+// run bit-identical — no tier RNG stream is even forked).
+struct TierConfig {
+  bool enabled = false;
+
+  // SSD residency, in data chunks (must be >= 1 when enabled).
+  std::size_t capacity_chunks = 4096;
+
+  // What a PUT chunk write does:
+  //  * kWriteThrough — the request blocks on the capacity-disk write
+  //    (durability unchanged) and a clean copy is installed on the SSD
+  //    asynchronously.
+  //  * kWriteBack — the request blocks only on the SSD write; the block
+  //    is marked dirty and written to the capacity disk when evicted
+  //    (demotion) or when an outage recovery drains the tier.
+  enum class WritePolicy { kWriteThrough, kWriteBack };
+  WritePolicy write_policy = WritePolicy::kWriteThrough;
+
+  // Install a clean copy of the chunk on the SSD after a tier-miss read
+  // (the install write occupies the SSD queue but nothing waits on it).
+  bool promote_on_read = true;
+
+  // SSD service-time distributions; ClusterConfig::finalize() fills
+  // unset slots from default_ssd_profile().
+  numerics::DistPtr read_service;
+  numerics::DistPtr write_service;
+};
+
+// Dirty-bit LRU residency over chunk keys.  Like LruCache, but an insert
+// reports the evicted victim (key + dirty bit) so the tier can schedule
+// the demotion write, and dirty keys are enumerable for outage drains.
+class TierResidency {
+ public:
+  struct Evicted {
+    std::uint64_t key;
+    bool dirty;
+  };
+
+  explicit TierResidency(std::size_t capacity);
+
+  // Lookup with recency promotion.  Returns true when resident.
+  bool access(std::uint64_t key);
+  // Inserts (promoting and OR-ing the dirty bit if already present);
+  // returns the evicted victim when the insert pushed one out.  A
+  // zero-capacity residency ignores inserts.
+  std::optional<Evicted> insert(std::uint64_t key, bool dirty);
+  bool contains(std::uint64_t key) const;
+  bool dirty(std::uint64_t key) const;
+
+  // Outage-recovery drain: marks every dirty block clean (they stay
+  // resident) and returns their keys in LRU order, oldest first — the
+  // order the flusher writes them back.
+  std::vector<std::uint64_t> take_dirty();
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t dirty_count() const { return dirty_count_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    bool dirty;
+  };
+
+  std::size_t capacity_;
+  std::size_t dirty_count_ = 0;
+  std::list<Entry> order_;  // most recent at front
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map_;
+};
+
+// The SSD cache tier of one BackendDevice: dirty-bit LRU residency plus
+// its own FCFS service queue (a Disk with SSD-scale service times).
+//
+// The read path is split in phases so BackendProcess::access keeps its
+// disk completion inside CompletionFn's inline storage:
+//   1. lookup_for_read  — hit/miss decision (promotes recency, files the
+//      sim.tier.* counters);
+//   2. submit_read      — the blocking read against the SSD (hit) or the
+//      capacity disk (miss), with the caller's completion untouched;
+//   3. promoted_after_read — on a miss, install the block clean, pay the
+//      asynchronous SSD install write, demote a dirty victim if evicted.
+class TierDevice {
+ public:
+  TierDevice(Engine& engine, const TierConfig& config, Disk& capacity_disk,
+             SimMetrics& metrics, std::uint32_t device_id, cosm::Rng rng);
+
+  bool lookup_for_read(std::uint64_t object_id, std::uint32_t chunk_index);
+
+  template <typename F>
+  void submit_read(bool tier_hit, F&& done) {
+    if (tier_hit) {
+      ssd_.submit(AccessKind::kData, std::forward<F>(done));
+    } else {
+      capacity_disk_.submit(AccessKind::kData, std::forward<F>(done));
+    }
+  }
+
+  void promoted_after_read(std::uint64_t object_id,
+                           std::uint32_t chunk_index);
+
+  // Write path.  Under write-back the caller blocks on the SSD write
+  // (submit_write); under write-through it blocks on the capacity disk
+  // as before.  Either way wrote_chunk() is called once the blocking
+  // write completed, to install the block with the policy's dirty bit.
+  bool write_back() const {
+    return config_.write_policy == TierConfig::WritePolicy::kWriteBack;
+  }
+
+  template <typename F>
+  void submit_write(F&& done) {
+    ssd_.submit(AccessKind::kWrite, std::forward<F>(done));
+  }
+
+  void wrote_chunk(std::uint64_t object_id, std::uint32_t chunk_index);
+
+  // Outage plumbing, driven by BackendDevice::set_online.  Going offline
+  // fails the SSD's queued/in-flight operations; residency survives
+  // (flash is persistent).  Coming back online drains every dirty block
+  // to the capacity disk — the write-back durability recovery the fault
+  // tests assert on.
+  void set_online(bool online);
+
+  Disk& ssd() { return ssd_; }
+  const TierResidency& residency() const { return residency_; }
+
+ private:
+  // Installs `key`, demoting the evicted victim's dirty block (if any)
+  // to the capacity disk.
+  void install(std::uint64_t key, bool dirty);
+  // One asynchronous dirty write-back toward the capacity disk.
+  void demote(bool drain);
+
+  const TierConfig& config_;
+  Disk& capacity_disk_;
+  SimMetrics& metrics_;
+  std::uint32_t device_id_;
+  Disk ssd_;
+  TierResidency residency_;
+};
+
+}  // namespace cosm::sim

@@ -35,6 +35,45 @@ TEST(Mixture, CdfIsWeightedCdf) {
   EXPECT_EQ(mix.cdf(3.0), 1.0);
 }
 
+TEST(TieredService, MixesHitAndMissBranches) {
+  // Tiering extension: L(s) = h * L_ssd(s) + (1 - h) * L_disk(s), and the
+  // moments/CDF mix the same way.
+  const double h = 0.6;
+  const auto ssd = std::make_shared<Degenerate>(0.004);
+  const auto disk = std::make_shared<Degenerate>(0.012);
+  const TieredService tiered(h, ssd, disk);
+  EXPECT_NEAR(tiered.mean(), h * 0.004 + (1 - h) * 0.012, 1e-15);
+  EXPECT_NEAR(tiered.second_moment(),
+              h * 0.004 * 0.004 + (1 - h) * 0.012 * 0.012, 1e-15);
+  EXPECT_EQ(tiered.cdf(0.002), 0.0);
+  EXPECT_DOUBLE_EQ(tiered.cdf(0.005), h);
+  EXPECT_EQ(tiered.cdf(0.013), 1.0);
+  const auto s = std::complex<double>(5.0, 2.0);
+  const auto expected = h * ssd->laplace(s) + (1 - h) * disk->laplace(s);
+  EXPECT_EQ(tiered.laplace(s), expected);  // exact: same arithmetic order
+}
+
+TEST(TieredService, SamplesFromBothBranches) {
+  const auto ssd = std::make_shared<Degenerate>(1.0);
+  const auto disk = std::make_shared<Degenerate>(2.0);
+  const TieredService tiered(0.7, ssd, disk);
+  cosm::Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += tiered.sample(rng) == 1.0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.7, 0.02);
+}
+
+TEST(TieredService, RejectsBadArguments) {
+  const auto d = std::make_shared<Exponential>(1.0);
+  EXPECT_THROW(TieredService(-0.1, d, d), std::invalid_argument);
+  EXPECT_THROW(TieredService(1.1, d, d), std::invalid_argument);
+  EXPECT_THROW(TieredService(0.5, nullptr, d), std::invalid_argument);
+  EXPECT_THROW(TieredService(0.5, d, nullptr), std::invalid_argument);
+}
+
 TEST(AtomAtZeroMixture, ModelsTheCacheEquation) {
   // Paper Sec. III-B: index(t) = m * index_d(t) + (1 - m) * delta(t).
   const double miss = 0.2;

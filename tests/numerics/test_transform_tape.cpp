@@ -109,6 +109,40 @@ TEST(TransformTape, CombinatorsBitIdentical) {
   expect_tape_bit_identical(shifted);
 }
 
+TEST(TransformTape, TieredServiceBitIdentical) {
+  // The tier mixture (tiering extension) compiles to its own kTierMix op
+  // whose weights are the node's stored pair, so the tape reproduces the
+  // tree walk's hit_ratio * hit + miss_ratio * miss exactly.
+  const auto ssd = std::make_shared<Gamma>(4.0, 4000.0);
+  const auto disk = std::make_shared<Gamma>(2.1, 55.0);
+  const auto tiered = std::make_shared<TieredService>(0.73, ssd, disk);
+  expect_tape_bit_identical(tiered);
+  // Nested under the cache mixture and convolution, as BackendModel
+  // composes it.
+  const auto data = atom_at_zero_mixture(0.4, tiered);
+  const auto conv = std::make_shared<Convolution>(
+      std::vector<DistPtr>{data, std::make_shared<Exponential>(900.0)});
+  expect_tape_bit_identical(conv);
+}
+
+TEST(TransformTape, TieredServiceFingerprintDistinctFromMixture) {
+  // A tiered tree must not collide with the equivalent two-component
+  // Mixture: regime fingerprints key the prediction cache by structure.
+  const auto ssd = std::make_shared<Gamma>(4.0, 4000.0);
+  const auto disk = std::make_shared<Gamma>(2.1, 55.0);
+  const auto tiered =
+      TransformTape::compile(std::make_shared<TieredService>(0.73, ssd, disk));
+  const auto mixture = TransformTape::compile(std::make_shared<Mixture>(
+      std::vector<Mixture::Component>{{0.73, ssd}, {0.27, disk}}));
+  EXPECT_NE(tiered.fingerprint(), mixture.fingerprint());
+  const auto twin =
+      TransformTape::compile(std::make_shared<TieredService>(0.73, ssd, disk));
+  EXPECT_EQ(tiered.fingerprint(), twin.fingerprint());
+  const auto other =
+      TransformTape::compile(std::make_shared<TieredService>(0.74, ssd, disk));
+  EXPECT_NE(tiered.fingerprint(), other.fingerprint());
+}
+
 TEST(TransformTape, NestedScalingEvaluatesInnerAtProductArgument) {
   // Scaled(Scaled(X, a), b) must evaluate X at a * (b * s), exactly as
   // the nested scalar walk does.

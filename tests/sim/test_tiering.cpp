@@ -1,0 +1,277 @@
+// Two-tier storage (tiering extension): promotion-on-read residency,
+// write-through vs write-back demotion ordering, outage drains of dirty
+// blocks, and seed-reproducibility of tiered runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "sim/cluster.hpp"
+#include "sim/source.hpp"
+
+namespace cosm::sim {
+namespace {
+
+// Degenerate services everywhere so timelines are exact: capacity-disk
+// data reads 12 ms / writes 14 ms, SSD reads 4 ms / writes 6 ms.
+ClusterConfig tier_config() {
+  ClusterConfig config;
+  config.frontend_processes = 1;
+  config.device_count = 1;
+  config.processes_per_device = 1;
+  config.frontend_parse = std::make_shared<numerics::Degenerate>(0.001);
+  config.backend_parse = std::make_shared<numerics::Degenerate>(0.0005);
+  config.accept_cost = 0.0;
+  config.network_latency = 0.0001;
+  config.network_bandwidth_bytes_per_sec = 1e8;
+  config.chunk_bytes = 65536;
+  config.disk = {std::make_shared<numerics::Degenerate>(0.010),
+                 std::make_shared<numerics::Degenerate>(0.008),
+                 std::make_shared<numerics::Degenerate>(0.012),
+                 std::make_shared<numerics::Degenerate>(0.014),
+                 std::make_shared<numerics::Degenerate>(0.018)};
+  config.cache.index_miss_ratio = 1.0;
+  config.cache.meta_miss_ratio = 1.0;
+  config.cache.data_miss_ratio = 1.0;
+  config.tier.enabled = true;
+  config.tier.capacity_chunks = 16;
+  config.tier.read_service = std::make_shared<numerics::Degenerate>(0.004);
+  config.tier.write_service = std::make_shared<numerics::Degenerate>(0.006);
+  return config;
+}
+
+TEST(Tiering, PromotionOnReadMakesSecondReadAnSsdHit) {
+  Cluster cluster(tier_config());
+  cluster.engine().schedule_at(0.0, [&] { cluster.submit_request(1, 1000, 0); });
+  cluster.engine().schedule_at(1.0, [&] { cluster.submit_request(1, 1000, 0); });
+  cluster.engine().run_all();
+
+  ASSERT_EQ(cluster.metrics().completed_requests(), 2u);
+  const double first = cluster.metrics().requests()[0].response_latency;
+  const double second = cluster.metrics().requests()[1].response_latency;
+  // Identical timelines except the data read: capacity disk (12 ms) on
+  // the cold read, SSD (4 ms) after the promotion.
+  EXPECT_NEAR(second, first - (0.012 - 0.004), 1e-9);
+
+  const auto& counters = cluster.metrics().device(0);
+  EXPECT_EQ(counters.tier_reads, 2u);
+  EXPECT_EQ(counters.tier_hits, 1u);
+  EXPECT_EQ(counters.tier_promotions, 1u);
+  EXPECT_DOUBLE_EQ(counters.tier_hit_ratio(), 0.5);
+  // Disk saw only the cold data read; the SSD paid the hit read plus the
+  // asynchronous promotion install.
+  EXPECT_EQ(counters.disk_ops[static_cast<int>(AccessKind::kData)], 1u);
+  EXPECT_EQ(counters.tier_ops, 2u);
+
+  const TierResidency& residency = cluster.device(0).tier()->residency();
+  EXPECT_TRUE(residency.contains(data_chunk_key(1, 0)));
+  EXPECT_FALSE(residency.dirty(data_chunk_key(1, 0)));  // promoted clean
+}
+
+TEST(Tiering, PromoteOnReadDisabledKeepsMissingToDisk) {
+  ClusterConfig config = tier_config();
+  config.tier.promote_on_read = false;
+  Cluster cluster(config);
+  cluster.engine().schedule_at(0.0, [&] { cluster.submit_request(1, 1000, 0); });
+  cluster.engine().schedule_at(1.0, [&] { cluster.submit_request(1, 1000, 0); });
+  cluster.engine().run_all();
+
+  const auto& counters = cluster.metrics().device(0);
+  EXPECT_EQ(counters.tier_reads, 2u);
+  EXPECT_EQ(counters.tier_hits, 0u);
+  EXPECT_EQ(counters.tier_promotions, 0u);
+  EXPECT_EQ(counters.disk_ops[static_cast<int>(AccessKind::kData)], 2u);
+  EXPECT_FALSE(
+      cluster.device(0).tier()->residency().contains(data_chunk_key(1, 0)));
+}
+
+TEST(Tiering, WriteThroughBlocksOnDiskAndInstallsClean) {
+  ClusterConfig config = tier_config();
+  config.tier.write_policy = TierConfig::WritePolicy::kWriteThrough;
+  Cluster cluster(config);
+  cluster.engine().schedule_at(0.0, [&] {
+    cluster.submit_request(1, 1000, 0, /*is_write=*/true);
+  });
+  cluster.engine().run_all();
+
+  const auto& counters = cluster.metrics().device(0);
+  // The chunk write and the commit both hit the capacity disk; the SSD
+  // copy is asynchronous and clean.
+  EXPECT_EQ(counters.disk_ops[static_cast<int>(AccessKind::kWrite)], 1u);
+  EXPECT_EQ(counters.disk_ops[static_cast<int>(AccessKind::kCommit)], 1u);
+  EXPECT_EQ(counters.tier_writebacks, 0u);
+  const TierResidency& residency = cluster.device(0).tier()->residency();
+  EXPECT_TRUE(residency.contains(data_chunk_key(1, 0)));
+  EXPECT_FALSE(residency.dirty(data_chunk_key(1, 0)));
+  EXPECT_EQ(residency.dirty_count(), 0u);
+}
+
+TEST(Tiering, WriteBackIsFasterAndLeavesDirtyBlock) {
+  auto run = [](TierConfig::WritePolicy policy) {
+    ClusterConfig config = tier_config();
+    config.tier.write_policy = policy;
+    Cluster cluster(config);
+    cluster.engine().schedule_at(0.0, [&] {
+      cluster.submit_request(1, 1000, 0, /*is_write=*/true);
+    });
+    cluster.engine().run_all();
+    return cluster.metrics().requests().front().response_latency;
+  };
+  const double through = run(TierConfig::WritePolicy::kWriteThrough);
+  const double back = run(TierConfig::WritePolicy::kWriteBack);
+  // Same timeline except the blocking chunk write: SSD 6 ms vs disk 14 ms.
+  EXPECT_NEAR(back, through - (0.014 - 0.006), 1e-9);
+
+  ClusterConfig config = tier_config();
+  config.tier.write_policy = TierConfig::WritePolicy::kWriteBack;
+  Cluster cluster(config);
+  cluster.engine().schedule_at(0.0, [&] {
+    cluster.submit_request(1, 1000, 0, /*is_write=*/true);
+  });
+  cluster.engine().run_all();
+  const auto& counters = cluster.metrics().device(0);
+  EXPECT_EQ(counters.disk_ops[static_cast<int>(AccessKind::kWrite)], 0u);
+  EXPECT_EQ(counters.disk_ops[static_cast<int>(AccessKind::kCommit)], 1u);
+  const TierResidency& residency = cluster.device(0).tier()->residency();
+  EXPECT_TRUE(residency.dirty(data_chunk_key(1, 0)));
+  EXPECT_EQ(residency.dirty_count(), 1u);
+}
+
+TEST(Tiering, WriteBackEvictionDemotesOldestDirtyFirst) {
+  ClusterConfig config = tier_config();
+  config.tier.write_policy = TierConfig::WritePolicy::kWriteBack;
+  config.tier.capacity_chunks = 2;
+  Cluster cluster(config);
+  // Two dirty blocks fill the tier (object 1 oldest), then a read of
+  // object 3 promotes a third block and must evict object 1's.
+  cluster.engine().schedule_at(0.0, [&] {
+    cluster.submit_request(1, 1000, 0, /*is_write=*/true);
+  });
+  cluster.engine().schedule_at(0.5, [&] {
+    cluster.submit_request(2, 1000, 0, /*is_write=*/true);
+  });
+  cluster.engine().schedule_at(1.0, [&] { cluster.submit_request(3, 1000, 0); });
+  cluster.engine().run_all();
+
+  const TierResidency& residency = cluster.device(0).tier()->residency();
+  EXPECT_FALSE(residency.contains(data_chunk_key(1, 0)));  // LRU victim
+  EXPECT_TRUE(residency.contains(data_chunk_key(2, 0)));
+  EXPECT_TRUE(residency.contains(data_chunk_key(3, 0)));
+  EXPECT_TRUE(residency.dirty(data_chunk_key(2, 0)));
+  EXPECT_FALSE(residency.dirty(data_chunk_key(3, 0)));
+
+  const auto& counters = cluster.metrics().device(0);
+  // Exactly one demotion: the evicted dirty block was written back to
+  // the capacity disk (write-back's deferred durability write).
+  EXPECT_EQ(counters.tier_writebacks, 1u);
+  EXPECT_EQ(counters.tier_drain_writebacks, 0u);
+  EXPECT_EQ(counters.disk_ops[static_cast<int>(AccessKind::kWrite)], 1u);
+}
+
+TEST(Tiering, WriteThroughEvictionNeedsNoDemotion) {
+  ClusterConfig config = tier_config();
+  config.tier.write_policy = TierConfig::WritePolicy::kWriteThrough;
+  config.tier.capacity_chunks = 2;
+  Cluster cluster(config);
+  cluster.engine().schedule_at(0.0, [&] {
+    cluster.submit_request(1, 1000, 0, /*is_write=*/true);
+  });
+  cluster.engine().schedule_at(0.5, [&] {
+    cluster.submit_request(2, 1000, 0, /*is_write=*/true);
+  });
+  cluster.engine().schedule_at(1.0, [&] { cluster.submit_request(3, 1000, 0); });
+  cluster.engine().run_all();
+
+  const auto& counters = cluster.metrics().device(0);
+  // Clean blocks evict silently: the only capacity-disk writes are the
+  // two write-through chunk writes themselves.
+  EXPECT_EQ(counters.tier_writebacks, 0u);
+  EXPECT_EQ(counters.disk_ops[static_cast<int>(AccessKind::kWrite)], 2u);
+  EXPECT_FALSE(
+      cluster.device(0).tier()->residency().contains(data_chunk_key(1, 0)));
+}
+
+TEST(Tiering, OutageRecoveryDrainsDirtyBlocksToDisk) {
+  ClusterConfig config = tier_config();
+  config.tier.write_policy = TierConfig::WritePolicy::kWriteBack;
+  config.faults.device_outage(0, 5.0, 6.0);
+  Cluster cluster(config);
+  cluster.engine().schedule_at(0.0, [&] {
+    cluster.submit_request(1, 1000, 0, /*is_write=*/true);
+  });
+  cluster.engine().schedule_at(0.5, [&] {
+    cluster.submit_request(2, 1000, 0, /*is_write=*/true);
+  });
+  cluster.engine().run_all();
+
+  const TierResidency& residency = cluster.device(0).tier()->residency();
+  // Residency survives the outage (flash is persistent) but every dirty
+  // block was flushed to the capacity disk at recovery.
+  EXPECT_TRUE(residency.contains(data_chunk_key(1, 0)));
+  EXPECT_TRUE(residency.contains(data_chunk_key(2, 0)));
+  EXPECT_EQ(residency.dirty_count(), 0u);
+
+  const auto& counters = cluster.metrics().device(0);
+  EXPECT_EQ(counters.tier_drain_writebacks, 2u);
+  EXPECT_EQ(counters.tier_writebacks, 0u);  // no capacity eviction happened
+  EXPECT_EQ(counters.disk_ops[static_cast<int>(AccessKind::kWrite)], 2u);
+}
+
+TEST(Tiering, RejectsZeroCapacityWhenEnabled) {
+  ClusterConfig config = tier_config();
+  config.tier.capacity_chunks = 0;
+  EXPECT_THROW(Cluster{config}, std::invalid_argument);
+}
+
+TEST(Tiering, TieredRunsAreSeedReproducible) {
+  auto run = [] {
+    ClusterConfig config = tier_config();
+    config.tier.write_policy = TierConfig::WritePolicy::kWriteBack;
+    // Much bigger than the page cache: chunks evicted from memory must
+    // still be tier-resident, else every tier read would miss.
+    config.tier.capacity_chunks = 2000;
+    config.cache.mode = CacheBankConfig::Mode::kLru;
+    config.cache.index_entries = 200;
+    config.cache.meta_entries = 200;
+    config.cache.data_chunks = 100;
+    config.disk = default_hdd_profile();
+    config.tier.read_service = nullptr;   // finalize() fills the SSD profile
+    config.tier.write_service = nullptr;
+    config.seed = 23;
+    Cluster cluster(config);
+    workload::CatalogConfig cat_config;
+    cat_config.object_count = 1000;
+    cat_config.size_distribution = workload::default_size_distribution();
+    cat_config.seed = 7;
+    const workload::ObjectCatalog catalog(cat_config);
+    const workload::Placement placement({.partition_count = 32,
+                                         .replica_count = 1,
+                                         .device_count = 1,
+                                         .seed = 11});
+    workload::PhasePlan plan;
+    plan.warmup_duration = 0.0;
+    plan.transition_duration = 0.0;
+    plan.benchmark_start_rate = 40.0;
+    plan.benchmark_end_rate = 40.0;
+    plan.benchmark_step_duration = 100.0;
+    OpenLoopSource source(cluster, catalog, placement, plan, cosm::Rng(5),
+                          /*write_fraction=*/0.1);
+    source.start();
+    cluster.engine().run_until(source.horizon());
+    cluster.engine().run_all();
+    double latency_sum = 0.0;
+    for (const auto& sample : cluster.metrics().requests()) {
+      latency_sum += sample.response_latency;
+    }
+    return std::pair<double, std::uint64_t>(
+        latency_sum, cluster.metrics().device(0).tier_hits);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_DOUBLE_EQ(a.first, b.first);  // bit-identical, not just close
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_GT(a.second, 0u);  // the tier actually absorbed reads
+}
+
+}  // namespace
+}  // namespace cosm::sim
