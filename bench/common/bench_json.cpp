@@ -1,0 +1,62 @@
+#include "bench_json.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/json.hpp"
+
+namespace cosm_bench {
+
+bool verify_bench_json(const std::string& path, int expected_version,
+                       const std::vector<std::string_view>& allowed_keys) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "readback of " << path << ": cannot open\n";
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const cosm::common::JsonParseResult parsed =
+      cosm::common::json_parse(buffer.str());
+  if (!parsed.ok) {
+    std::cerr << "readback of " << path << ": invalid JSON: " << parsed.error
+              << "\n";
+    return false;
+  }
+  if (!parsed.value.is_object()) {
+    std::cerr << "readback of " << path << ": top level is not an object\n";
+    return false;
+  }
+  const cosm::common::JsonValue* version = parsed.value.find("schema_version");
+  if (version == nullptr || !version->is_number()) {
+    std::cerr << "readback of " << path << ": missing schema_version\n";
+    return false;
+  }
+  if (version->as_number() != static_cast<double>(expected_version)) {
+    std::cerr << "readback of " << path << ": schema_version "
+              << version->as_number() << ", expected " << expected_version
+              << "\n";
+    return false;
+  }
+  bool ok = true;
+  for (const auto& [key, value] : parsed.value.members()) {
+    if (std::find(allowed_keys.begin(), allowed_keys.end(), key) ==
+        allowed_keys.end()) {
+      std::cerr << "readback of " << path << ": unknown top-level field \""
+                << key << "\"\n";
+      ok = false;
+    }
+  }
+  for (const std::string_view key : allowed_keys) {
+    if (parsed.value.find(key) == nullptr) {
+      std::cerr << "readback of " << path << ": missing top-level field \""
+                << key << "\"\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace cosm_bench

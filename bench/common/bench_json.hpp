@@ -1,0 +1,30 @@
+// Shared readback gate for the perf_* BENCH_*.json artifacts.
+//
+// Every perf harness writes a machine-readable JSON file that CI (and the
+// docs' field glossaries) key on.  The harnesses used to "verify" the
+// write with substring probes, which pass on truncated or mis-quoted
+// output and say nothing about fields nobody expected.  This helper
+// actually parses the artifact and enforces the schema contract:
+//
+//  * the file is valid JSON and a top-level object;
+//  * "schema_version" is present and equals the version the harness
+//    emits — a bumped writer with an un-bumped consumer fails here, not
+//    in some downstream tool;
+//  * every top-level key is on the harness's whitelist — an unknown
+//    field fails LOUDLY, because a stray or renamed field is a consumer
+//    break, not noise.
+//
+// Returns false (with the reason on stderr) on any violation; harnesses
+// exit 3, the same status as a failed write.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cosm_bench {
+
+bool verify_bench_json(const std::string& path, int expected_version,
+                       const std::vector<std::string_view>& allowed_keys);
+
+}  // namespace cosm_bench

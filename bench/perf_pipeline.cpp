@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/system_model.hpp"
 #include "numerics/distribution.hpp"
 #include "obs/obs.hpp"
@@ -306,21 +307,12 @@ int main(int argc, char** argv) {
     }
     out << json.str();
   }
-  // Readback sanity: the file CI (and tooling) will parse must exist and
-  // contain the fields consumers key on.
-  {
-    std::ifstream in(config.out);
-    std::stringstream readback;
-    readback << in.rdbuf();
-    const std::string text = readback.str();
-    for (const char* field : {"\"benchmark\"", "\"modes\"", "\"wall_ms\"",
-                              "\"hits\"", "\"misses\"", "\"best_speedup\""}) {
-      if (text.find(field) == std::string::npos) {
-        std::cerr << "readback of " << config.out << " missing " << field
-                  << "\n";
-        return 3;
-      }
-    }
+  // Readback gate: parse the artifact and enforce its schema contract
+  // (schema_version match, no unknown top-level fields).
+  if (!cosm_bench::verify_bench_json(config.out, 1,
+                                     {"benchmark", "schema_version", "config",
+                                      "modes", "best_speedup", "checks"})) {
+    return 3;
   }
   std::cout << "  wrote " << config.out << "\n";
 

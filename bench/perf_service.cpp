@@ -1,0 +1,293 @@
+// Perf-regression harness for the what-if prediction service.
+//
+// Drives an in-process service::WhatIfService the way a deployment
+// would: T named tenant clusters (distinct parameter sets) registered up
+// front, then a mixed query stream — SLA percentiles, percentile
+// ladders, quantiles — issued round-robin across tenants for `repeat`
+// full passes over one hardware thread.  All tenants share the service's
+// one lock-striped PredictionCache, so later passes measure the
+// cache-resident steady state the service is designed around.
+//
+// Modes:
+//   cold    pass 1, empty cache (models built, caches populated)
+//   warm    best of the remaining passes (cache-resident steady state)
+//
+// Gates (exit 1 on violation):
+//   * determinism — every pass must produce a byte-identical response
+//     transcript (cached or not, warm or cold);
+//   * exactness — the whole transcript under the service's default kSimd
+//     mode must equal the kExact transcript byte-for-byte (the
+//     bit-identity contract of numerics/tape_mode.hpp, end to end);
+//   * every response has "ok": true.
+//
+// Emits BENCH_service.json with predictions/sec for both modes.  Exit
+// status: 0 ok, 1 gate violation, 2 --min-predictions-per-sec unmet,
+// 3 JSON write/readback failure.
+//
+// Flags: --tenants=T   (named clusters; default 6)
+//        --repeat=R    (full passes; default 4; first is "cold")
+//        --min-predictions-per-sec=X  (warm-mode gate; 0 = off)
+//        --out=PATH    (default BENCH_service.json)
+//        --trace-json=FILE  (enable observability; export at exit)
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "obs/obs.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+struct Config {
+  int tenants = 6;
+  int repeat = 4;
+  double min_predictions_per_sec = 0.0;
+  std::string out = "BENCH_service.json";
+  std::string trace_json;
+};
+
+Config parse_args(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--tenants=", 0) == 0) {
+      config.tenants = std::stoi(value_of("--tenants="));
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      config.repeat = std::stoi(value_of("--repeat="));
+    } else if (arg.rfind("--min-predictions-per-sec=", 0) == 0) {
+      config.min_predictions_per_sec =
+          std::stod(value_of("--min-predictions-per-sec="));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      config.out = value_of("--out=");
+    } else if (arg.rfind("--trace-json=", 0) == 0) {
+      config.trace_json = value_of("--trace-json=");
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      std::exit(3);
+    }
+  }
+  config.tenants = std::max(config.tenants, 1);
+  config.repeat = std::max(config.repeat, 2);  // need a cold AND a warm pass
+  return config;
+}
+
+std::string tenant_name(int t) { return "tenant-" + std::to_string(t); }
+
+// Distinct per-tenant parameters, so the cache genuinely multiplexes
+// different models rather than one model under several names.
+std::string register_line(int t) {
+  std::ostringstream line;
+  line << "{\"op\":\"register\",\"cluster\":\"" << tenant_name(t)
+       << "\",\"rate\":" << 320.0 + 40.0 * t
+       << ",\"devices\":" << 6 + (t % 4)
+       << ",\"data_miss\":" << 0.6 + 0.05 * (t % 3) << "}";
+  return line.str();
+}
+
+// The per-tenant query mix: one percentile ladder, one single-SLA probe,
+// one quantile — 6 predictions per tenant per pass.
+std::vector<std::string> query_lines(int t) {
+  const std::string name = tenant_name(t);
+  return {
+      "{\"op\":\"sla\",\"cluster\":\"" + name +
+          "\",\"slas\":[0.05,0.1,0.15,0.25]}",
+      "{\"op\":\"sla\",\"cluster\":\"" + name + "\",\"sla\":0.1}",
+      "{\"op\":\"quantile\",\"cluster\":\"" + name + "\",\"p\":0.95}",
+  };
+}
+
+struct PassResult {
+  double wall_ms = 0.0;
+  std::string transcript;
+};
+
+PassResult run_pass(cosm::service::WhatIfService& service,
+                    const std::vector<std::string>& queries) {
+  PassResult result;
+  std::string transcript;
+  const auto start = std::chrono::steady_clock::now();
+  for (const std::string& query : queries) {
+    transcript += service.handle_line(query);
+    transcript += '\n';
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  result.transcript = std::move(transcript);
+  return result;
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+// Runs register + `repeat` query passes against a fresh service in
+// `mode`; returns one PassResult per pass.
+std::vector<PassResult> run_service(cosm::numerics::TapeEvalMode mode,
+                                    const Config& config,
+                                    const std::vector<std::string>& queries) {
+  cosm::service::ServiceConfig service_config;
+  service_config.tape_mode = mode;
+  cosm::service::WhatIfService service(service_config);
+  for (int t = 0; t < config.tenants; ++t) {
+    const std::string response = service.handle_line(register_line(t));
+    if (response.find("\"ok\":true") == std::string::npos) {
+      std::cerr << "FAIL: tenant registration rejected: " << response << "\n";
+      std::exit(1);
+    }
+  }
+  std::vector<PassResult> passes;
+  passes.reserve(static_cast<std::size_t>(config.repeat));
+  for (int rep = 0; rep < config.repeat; ++rep) {
+    passes.push_back(run_pass(service, queries));
+  }
+  return passes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config config = parse_args(argc, argv);
+  if (!config.trace_json.empty()) cosm::obs::set_enabled(true);
+
+  std::vector<std::string> queries;
+  for (int t = 0; t < config.tenants; ++t) {
+    for (std::string& line : query_lines(t)) queries.push_back(std::move(line));
+  }
+  // 4 ladder points + 1 SLA + 1 quantile per tenant per pass.
+  const double predictions_per_pass = 6.0 * config.tenants;
+
+  const std::vector<PassResult> simd_passes =
+      run_service(cosm::numerics::TapeEvalMode::kSimd, config, queries);
+  const std::vector<PassResult> exact_passes =
+      run_service(cosm::numerics::TapeEvalMode::kExact, config, queries);
+
+  // Gate 1: determinism — identical queries, identical bytes, every pass.
+  bool deterministic = true;
+  for (const auto* passes : {&simd_passes, &exact_passes}) {
+    for (const PassResult& pass : *passes) {
+      deterministic =
+          deterministic && pass.transcript == passes->front().transcript;
+    }
+  }
+  // Gate 2: the kSimd service is byte-identical to the kExact service.
+  const bool simd_exact_identical =
+      simd_passes.front().transcript == exact_passes.front().transcript;
+  // Gate 3: nothing errored.
+  const bool all_ok =
+      simd_passes.front().transcript.find("\"ok\":false") == std::string::npos;
+
+  const double cold_ms = simd_passes.front().wall_ms;
+  double warm_ms = simd_passes[1].wall_ms;
+  for (std::size_t i = 2; i < simd_passes.size(); ++i) {
+    warm_ms = std::min(warm_ms, simd_passes[i].wall_ms);
+  }
+  const double cold_pps = predictions_per_pass / (cold_ms * 1e-3);
+  const double warm_pps = predictions_per_pass / (warm_ms * 1e-3);
+  const double exact_warm_ms =
+      std::min_element(exact_passes.begin() + 1, exact_passes.end(),
+                       [](const PassResult& a, const PassResult& b) {
+                         return a.wall_ms < b.wall_ms;
+                       })
+          ->wall_ms;
+
+  std::cout << "perf_service: " << config.tenants << " tenants, "
+            << queries.size() << " queries/pass ("
+            << predictions_per_pass << " predictions), repeat="
+            << config.repeat << "\n"
+            << "  cold  " << fmt(cold_ms, 3) << " ms   "
+            << fmt(cold_pps, 1) << " predictions/s\n"
+            << "  warm  " << fmt(warm_ms, 3) << " ms   "
+            << fmt(warm_pps, 1) << " predictions/s\n"
+            << "  exact-mode warm " << fmt(exact_warm_ms, 3) << " ms\n"
+            << "  deterministic: " << (deterministic ? "yes" : "NO")
+            << ", simd == exact: " << (simd_exact_identical ? "yes" : "NO")
+            << ", all ok: " << (all_ok ? "yes" : "NO") << "\n";
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"benchmark\": \"perf_service\",\n"
+       << "  \"schema_version\": 1,\n"
+       << "  \"config\": {\n"
+       << "    \"tenants\": " << config.tenants << ",\n"
+       << "    \"repeat\": " << config.repeat << ",\n"
+       << "    \"queries_per_pass\": " << queries.size() << ",\n"
+       << "    \"predictions_per_pass\": " << predictions_per_pass << ",\n"
+       << "    \"min_predictions_per_sec\": "
+       << fmt(config.min_predictions_per_sec, 1) << "\n"
+       << "  },\n"
+       << "  \"modes\": [\n"
+       << "    {\n"
+       << "      \"name\": \"cold\",\n"
+       << "      \"wall_ms\": " << fmt(cold_ms, 3) << ",\n"
+       << "      \"predictions_per_sec\": " << fmt(cold_pps, 1) << "\n"
+       << "    },\n"
+       << "    {\n"
+       << "      \"name\": \"warm\",\n"
+       << "      \"wall_ms\": " << fmt(warm_ms, 3) << ",\n"
+       << "      \"predictions_per_sec\": " << fmt(warm_pps, 1) << "\n"
+       << "    }\n"
+       << "  ],\n"
+       << "  \"exact_mode_warm_ms\": " << fmt(exact_warm_ms, 3) << ",\n"
+       << "  \"checks\": {\n"
+       << "    \"deterministic\": " << (deterministic ? "true" : "false")
+       << ",\n"
+       << "    \"simd_identical_to_exact\": "
+       << (simd_exact_identical ? "true" : "false") << ",\n"
+       << "    \"all_responses_ok\": " << (all_ok ? "true" : "false") << "\n"
+       << "  }\n"
+       << "}\n";
+
+  {
+    std::ofstream out(config.out);
+    if (!out) {
+      std::cerr << "cannot open " << config.out << " for writing\n";
+      return 3;
+    }
+    out << json.str();
+  }
+  // Readback gate: parse the artifact and enforce its schema contract.
+  if (!cosm_bench::verify_bench_json(config.out, 1,
+                                     {"benchmark", "schema_version", "config",
+                                      "modes", "exact_mode_warm_ms",
+                                      "checks"})) {
+    return 3;
+  }
+  std::cout << "  wrote " << config.out << "\n";
+
+  if (!config.trace_json.empty()) {
+    std::ofstream trace(config.trace_json);
+    if (!trace) {
+      std::cerr << "cannot open " << config.trace_json << " for writing\n";
+      return 3;
+    }
+    cosm::obs::export_json(trace);
+    std::cout << "  wrote " << config.trace_json << "\n";
+  }
+
+  if (!deterministic || !simd_exact_identical || !all_ok) {
+    std::cerr << "FAIL: service determinism/exactness gate violated\n";
+    return 1;
+  }
+  if (config.min_predictions_per_sec > 0.0 &&
+      warm_pps < config.min_predictions_per_sec) {
+    std::cerr << "FAIL: warm predictions/sec " << fmt(warm_pps, 1)
+              << " below gate " << fmt(config.min_predictions_per_sec, 1)
+              << "\n";
+    return 2;
+  }
+  return 0;
+}

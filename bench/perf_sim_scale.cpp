@@ -45,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "obs/obs.hpp"
 #include "sim/replication.hpp"
 #include "workload/catalog.hpp"
@@ -359,22 +360,14 @@ int main(int argc, char** argv) {
     }
     out << json.str();
   }
-  // Readback sanity: CI parses these fields from the artifact.
-  {
-    std::ifstream in(config.out);
-    std::stringstream readback;
-    readback << in.rdbuf();
-    const std::string text = readback.str();
-    for (const char* field :
-         {"\"benchmark\"", "\"modes\"", "\"requests_per_sec\"",
-          "\"speedup_vs_baseline\"", "\"deterministic\"",
-          "\"replications_bit_identical\"", "\"peak_rss_mb\""}) {
-      if (text.find(field) == std::string::npos) {
-        std::cerr << "readback of " << config.out << " missing " << field
-                  << "\n";
-        return 3;
-      }
-    }
+  // Readback gate: parse the artifact and enforce its schema contract
+  // (schema_version match, no unknown top-level fields).
+  if (!cosm_bench::verify_bench_json(
+          config.out, 1,
+          {"benchmark", "schema_version", "config", "modes", "baseline",
+           "speedup_vs_baseline", "parallel_speedup_vs_serial", "peak_rss_mb",
+           "checks"})) {
+    return 3;
   }
   std::cout << "  wrote " << config.out << "\n";
 

@@ -1,0 +1,99 @@
+#pragma once
+
+// Minimal JSON value / parser / serializer.  Deliberately small: the what-if
+// service speaks line-delimited JSON and the bench readback gates need to
+// *parse* their emitted files instead of substring-matching them.  Objects
+// preserve insertion order so serialization is deterministic.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cosm::common {
+
+class JsonValue;
+using JsonMember = std::pair<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(std::nullptr_t) : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  JsonValue(double n) : type_(Type::kNumber), number_(n) {}
+  JsonValue(int n) : type_(Type::kNumber), number_(n) {}
+  JsonValue(long n) : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  JsonValue(unsigned long n) : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {}
+  JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+  static JsonValue array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<JsonMember>& members() const { return members_; }
+
+  // Array append.
+  void push_back(JsonValue v) {
+    type_ = Type::kArray;
+    items_.push_back(std::move(v));
+  }
+
+  // Object field set (replaces an existing key in place, else appends).
+  void set(std::string_view key, JsonValue v);
+
+  // Object field lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  // Typed accessors with defaults, for tolerant request parsing.
+  double number_or(std::string_view key, double fallback) const;
+  bool bool_or(std::string_view key, bool fallback) const;
+  std::string string_or(std::string_view key, std::string fallback) const;
+
+  // Compact single-line serialization (doubles via shortest round-trip).
+  std::string dump() const;
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<JsonMember> members_;
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  std::string error;  // empty on success
+  JsonValue value;
+};
+
+// Parses a complete JSON document; trailing non-whitespace is an error.
+JsonParseResult json_parse(std::string_view text);
+
+}  // namespace cosm::common

@@ -14,6 +14,7 @@
 
 #include "numerics/distribution.hpp"
 #include "numerics/memo_cache.hpp"
+#include "numerics/tape_mode.hpp"
 
 namespace cosm::core {
 
@@ -175,9 +176,12 @@ struct ModelOptions {
 // models, and keep it alive for as long as any SystemModel holds a
 // pointer to it (PredictOptions::cache).
 struct PredictionCache {
+  // 16 lock stripes: the what-if service shares one instance across every
+  // tenant thread, and fingerprint keys stripe evenly (see the sharding
+  // note in numerics/memo_cache.hpp).
   numerics::MemoCache<std::uint64_t, std::shared_ptr<const BackendModel>>
-      backends{1 << 10};
-  numerics::MemoCache<std::uint64_t, double> cdf{1 << 16};
+      backends{1 << 10, 16};
+  numerics::MemoCache<std::uint64_t, double> cdf{1 << 16, 16};
 
   // Combined counters over both caches (for logs and BENCH_pipeline.json).
   numerics::CacheStats combined_stats() const {
@@ -202,6 +206,11 @@ struct PredictOptions {
   // Optional shared memoization; nullptr disables caching.  The cache
   // must outlive every model constructed with it.
   PredictionCache* cache = nullptr;
+  // How compiled transform tapes are evaluated (see numerics/tape_mode.hpp).
+  // kExact and kSimd are bit-identical (kSimd vectorizes); kSimdFast is
+  // ULP-bounded.  The mode is mixed into CDF cache keys, so models with
+  // different modes can safely share one PredictionCache.
+  numerics::TapeEvalMode tape_mode = numerics::TapeEvalMode::kExact;
 };
 
 }  // namespace cosm::core

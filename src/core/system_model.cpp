@@ -138,16 +138,23 @@ SystemModel::SystemModel(SystemParams params, ModelOptions options,
 double SystemModel::device_cdf(std::size_t device, double sla) const {
   // The tape CDF is bit-identical to response_time()->cdf(sla) (the
   // scalar tree walk) — the tape's hard contract — so cache hits, cold
-  // evaluations, and every thread count return the same doubles.
+  // evaluations, and every thread count return the same doubles.  kExact
+  // and kSimd produce the same bits and share cache entries; kSimdFast is
+  // only ULP-bounded, so its entries are keyed apart — a cache shared
+  // across tenants with different modes never crosses the two streams.
   const DeviceModel& model = devices_[device];
-  if (predict_.cache == nullptr) return model.response_tape().cdf(sla);
-  const std::uint64_t key = hash_mix(model.fingerprint(), sla);
+  const numerics::TapeEvalMode mode = predict_.tape_mode;
+  if (predict_.cache == nullptr) return model.response_tape().cdf(sla, 20, mode);
+  std::uint64_t key = hash_mix(model.fingerprint(), sla);
+  if (mode == numerics::TapeEvalMode::kSimdFast) {
+    key = hash_mix(key, std::uint64_t{0x73696d6466617374ULL});  // "simdfast"
+  }
   if (auto cached = predict_.cache->cdf.lookup(key)) {
     obs::add(obs::Counter::kCdfCacheHit);
     return *cached;
   }
   obs::add(obs::Counter::kCdfCacheMiss);
-  const double value = model.response_tape().cdf(sla);
+  const double value = model.response_tape().cdf(sla, 20, mode);
   predict_.cache->cdf.insert(key, value);
   return value;
 }
@@ -180,7 +187,7 @@ std::vector<double> SystemModel::predict_sla_percentiles(
     // to the per-cell path below.
     parallel_for(count, predict_.num_threads, [&](std::size_t d) {
       const std::vector<double> device_cdfs =
-          devices_[d].response_tape().cdf_many(slas);
+          devices_[d].response_tape().cdf_many(slas, 20, predict_.tape_mode);
       std::copy(device_cdfs.begin(), device_cdfs.end(),
                 cdfs.begin() + static_cast<std::ptrdiff_t>(d * n_slas));
     });

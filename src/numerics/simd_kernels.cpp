@@ -1,0 +1,74 @@
+#include "numerics/simd_kernels.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+// COSM_HAVE_AVX2 / COSM_HAVE_AVX512 come from CMake: defined only when the
+// variant TU is part of the build (x86 compiler accepting the flags and
+// COSM_NO_SIMD unset).  Runtime support is probed separately below, so a
+// binary built with the vector variants still runs on older CPUs.
+
+namespace cosm::numerics::simd {
+
+namespace scalar_variant {
+extern const TapeKernels kKernels;
+}
+#ifdef COSM_HAVE_AVX2
+namespace avx2_variant {
+extern const TapeKernels kKernels;
+}
+#endif
+#ifdef COSM_HAVE_AVX512
+namespace avx512_variant {
+extern const TapeKernels kKernels;
+}
+#endif
+
+const TapeKernels& scalar_kernels() { return scalar_variant::kKernels; }
+
+const TapeKernels* avx2_kernels() {
+#ifdef COSM_HAVE_AVX2
+  if (__builtin_cpu_supports("avx2")) {
+    return &avx2_variant::kKernels;
+  }
+#endif
+  return nullptr;
+}
+
+const TapeKernels* avx512_kernels() {
+#ifdef COSM_HAVE_AVX512
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq")) {
+    return &avx512_variant::kKernels;
+  }
+#endif
+  return nullptr;
+}
+
+const TapeKernels& active_kernels() {
+  static const TapeKernels* const chosen = [] {
+    if (const char* env = std::getenv("COSM_SIMD")) {
+      if (std::strcmp(env, "scalar") == 0) {
+        return &scalar_kernels();
+      }
+      if (std::strcmp(env, "avx2") == 0 && avx2_kernels() != nullptr) {
+        return avx2_kernels();
+      }
+      if (std::strcmp(env, "avx512") == 0 && avx512_kernels() != nullptr) {
+        return avx512_kernels();
+      }
+      // Unknown or unavailable override: fall through to auto-detect.
+    }
+    if (const TapeKernels* k = avx512_kernels()) {
+      return k;
+    }
+    if (const TapeKernels* k = avx2_kernels()) {
+      return k;
+    }
+    return &scalar_kernels();
+  }();
+  return *chosen;
+}
+
+const char* dispatch_name() { return active_kernels().name; }
+
+}  // namespace cosm::numerics::simd

@@ -1,0 +1,117 @@
+#pragma once
+
+// SoA tape kernels: the vectorized op bodies behind TapeEvalMode::kSimd.
+//
+// Each kernel operates on separate re/im planes (structure-of-arrays) so
+// the compiler can keep full vector lanes of doubles instead of shuffling
+// interleaved std::complex pairs.  The same kernel source
+// (simd_kernels_impl.hpp) is compiled into up to three translation units
+// with different target flags:
+//
+//   simd_kernels_scalar.cpp   — baseline flags (always built; the
+//                               COSM_NO_SIMD=ON build ships only this)
+//   simd_kernels_avx2.cpp     — -mavx2
+//   simd_kernels_avx512.cpp   — -mavx512f -mavx512dq
+//
+// All three compile with -ffp-contract=off and contain no std::fma, so
+// every variant executes the same IEEE operations per element and their
+// results are BIT-IDENTICAL — the variant choice affects speed only.
+// active_kernels() picks the widest variant the CPU supports at runtime
+// (overridable via the COSM_SIMD environment variable: "scalar", "avx2",
+// or "avx512"); the scalar variant is the compile-time fallback on
+// non-x86 targets or under COSM_NO_SIMD.
+//
+// Exactness classes (enforced by tests/numerics/test_simd_kernels.cpp):
+//   bit-exact (TapeEvalMode::kSimd — every kernel in the default table):
+//     * exponential, hyperexp, mm1k, mul, mix, tier_mix, scale_arg,
+//       pk_wait, mg1k — vectorized rational/integer-power arithmetic
+//       replicating the scalar walk's operation order and guard
+//       predicates exactly.
+//     * degenerate, gamma, uniform, erlang, order_stat, cpoisson, shift —
+//       per-lane through the exact evaluator's own libm expressions.
+//       These CANNOT be vectorized under a flat ULP bound: pow's
+//       conditioning amplifies log/atan2 error by |shape·log z|, and the
+//       exp-difference/combinator paths cancel, so bit-identity is the
+//       only honest contract for the default mode.
+//   ULP-bounded (TapeEvalMode::kSimdFast — the *_fast alternates):
+//     degenerate, gamma, uniform, erlang, order_stat, cpoisson, shift via
+//     the branchless vector transcendentals of numerics/simd_math.hpp;
+//     within the documented per-op bound of the scalar walk
+//     (docs/PERFORMANCE.md §7; pow-family bounds carry a conditioning
+//     term, and guard predicates use squared magnitudes instead of
+//     hypot).  Deviations compound through downstream combinators.
+
+#include <cstddef>
+
+namespace cosm::numerics::simd {
+
+struct TapeKernels {
+  const char* name;
+
+  // Closed-form leaves: dst[i] = L(s[i]) from the op params.
+  void (*leaf_degenerate)(const double* sr, const double* si, double value, double* dr, double* di, std::size_t n);
+  void (*leaf_exponential)(const double* sr, const double* si, double rate, double* dr, double* di, std::size_t n);
+  void (*leaf_gamma)(const double* sr, const double* si, double shape, double rate, double* dr, double* di,
+                     std::size_t n);
+  void (*leaf_uniform)(const double* sr, const double* si, double lo, double hi, double* dr, double* di,
+                       std::size_t n);
+  void (*leaf_erlang)(const double* sr, const double* si, double stages, double rate, double* dr, double* di,
+                      std::size_t n);
+  // params layout as on the tape: [p0, r0, p1, r1, ...].
+  void (*leaf_hyperexp)(const double* sr, const double* si, const double* params, std::size_t branches, double* dr,
+                        double* di, std::size_t n);
+  // params layout: [arrival, service, capacity, p0, blocking].
+  void (*leaf_mm1k)(const double* sr, const double* si, const double* params, double* dr, double* di, std::size_t n);
+  // Order-statistic leaf: piecewise-linear CDF grid + tail atom
+  // (numerics::detail::piecewise_cdf_laplace in SoA form).
+  void (*order_stat)(const double* sr, const double* si, double dt, const double* cdf, std::size_t count, double* dr,
+                     double* di, std::size_t n);
+
+  // Stack combinators.  base planes hold `children` consecutive batches of
+  // `batch` elements; the result lands in child 0's batch.
+  void (*mul)(double* base_r, double* base_i, std::size_t children, std::size_t batch);
+  void (*mix)(double* base_r, double* base_i, const double* weights, std::size_t children, std::size_t batch);
+  void (*tier_mix)(double* hit_r, double* hit_i, const double* miss_r, const double* miss_i, double hit_w,
+                   double miss_w, std::size_t n);
+  void (*cpoisson)(double* base_r, double* base_i, const double* extra_r, const double* extra_i, double rate,
+                   std::size_t n);
+  void (*shift)(const double* sr, const double* si, double offset, double* vr, double* vi, std::size_t n);
+  void (*scale_arg)(const double* sr, const double* si, double factor, double* dr, double* di, std::size_t n);
+  void (*pk_wait)(const double* sr, const double* si, double arrival, double rho, double* vr, double* vi,
+                  std::size_t n);
+  // params layout as on the tape: [mean_service, w0, ..., w_{nw-1}].
+  void (*mg1k)(const double* sr, const double* si, const double* params, std::size_t nw, double* vr, double* vi,
+               std::size_t n);
+
+  // kSimdFast alternates for the exp/pow-family ops (same signatures as
+  // their bit-exact counterparts above; see the ULP-bounded class note).
+  void (*leaf_degenerate_fast)(const double* sr, const double* si, double value, double* dr, double* di,
+                               std::size_t n);
+  void (*leaf_gamma_fast)(const double* sr, const double* si, double shape, double rate, double* dr, double* di,
+                          std::size_t n);
+  void (*leaf_uniform_fast)(const double* sr, const double* si, double lo, double hi, double* dr, double* di,
+                            std::size_t n);
+  void (*leaf_erlang_fast)(const double* sr, const double* si, double stages, double rate, double* dr, double* di,
+                           std::size_t n);
+  void (*order_stat_fast)(const double* sr, const double* si, double dt, const double* cdf, std::size_t count,
+                          double* dr, double* di, std::size_t n);
+  void (*cpoisson_fast)(double* base_r, double* base_i, const double* extra_r, const double* extra_i, double rate,
+                        std::size_t n);
+  void (*shift_fast)(const double* sr, const double* si, double offset, double* vr, double* vi, std::size_t n);
+};
+
+// The variant active_kernels() selected (its TapeKernels::name).
+const char* dispatch_name();
+
+// Widest variant supported by this build AND this CPU, honoring the
+// COSM_SIMD env override ("scalar" | "avx2" | "avx512"); decided once.
+const TapeKernels& active_kernels();
+
+// Individual variants, for parity tests and benches.  scalar_kernels() is
+// always available; the others return nullptr when the build lacks the
+// variant or the CPU lacks the instructions.
+const TapeKernels& scalar_kernels();
+const TapeKernels* avx2_kernels();
+const TapeKernels* avx512_kernels();
+
+}  // namespace cosm::numerics::simd

@@ -1,0 +1,6 @@
+// AVX2 variant of the SoA tape kernels (-mavx2, 4 doubles per lane).
+// Identical source to the scalar variant; -ffp-contract=off and the
+// absence of std::fma keep the results bit-identical to it.
+#define COSM_SIMD_NS avx2_variant
+#define COSM_SIMD_NAME "avx2"
+#include "numerics/simd_kernels_impl.hpp"

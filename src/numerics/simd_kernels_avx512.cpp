@@ -1,0 +1,7 @@
+// AVX-512 variant of the SoA tape kernels (-mavx512f -mavx512dq
+// -mprefer-vector-width=512, 8 doubles per lane — one full tile).
+// Identical source to the scalar variant; -ffp-contract=off and the
+// absence of std::fma keep the results bit-identical to it.
+#define COSM_SIMD_NS avx512_variant
+#define COSM_SIMD_NAME "avx512"
+#include "numerics/simd_kernels_impl.hpp"

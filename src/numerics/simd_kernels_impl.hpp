@@ -1,0 +1,499 @@
+// Kernel bodies for one SIMD variant.  Included (not compiled standalone)
+// by simd_kernels_{scalar,avx2,avx512}.cpp with:
+//
+//   #define COSM_SIMD_NS   <variant namespace>
+//   #define COSM_SIMD_NAME "<variant name>"
+//
+// The includer's CMake rule sets the target flags (-mavx2 / -mavx512f ...)
+// and ALWAYS -ffp-contract=off.  The bodies are written as branchless
+// elementwise loops — or W-lane tiles where an op has a sequential inner
+// loop (repeated squaring, segment walks, child folds) — so the
+// auto-vectorizer can turn each lane loop into vector code at whatever
+// width the variant allows.  No intrinsics: every variant runs the same
+// IEEE operation sequence per element, which is what makes the variants
+// bit-identical to each other (and the rational kernels bit-identical to
+// the scalar tree walk; see simd_kernels.hpp for the exactness classes).
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstddef>
+
+#include "numerics/order_statistics.hpp"
+#include "numerics/simd_kernels.hpp"
+#include "numerics/simd_math.hpp"
+
+#ifndef COSM_SIMD_NS
+#error "simd_kernels_impl.hpp requires COSM_SIMD_NS"
+#endif
+
+namespace cosm::numerics::simd {
+namespace COSM_SIMD_NS {
+
+namespace {
+
+// Tile width for ops with sequential inner loops: 8 doubles is one
+// AVX-512 register or two AVX2 registers per plane.
+constexpr std::size_t kW = 8;
+
+void leaf_degenerate(const double* sr, const double* si, double value, double* dr, double* di, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::complex<double> sv(sr[i], si[i]);
+    const std::complex<double> v = std::exp(-sv * value);
+    dr[i] = v.real();
+    di[i] = v.imag();
+  }
+}
+
+void leaf_degenerate_fast(const double* sr, const double* si, double value, double* dr, double* di, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    cexp_fast(-sr[i] * value, -si[i] * value, dr[i], di[i]);
+  }
+}
+
+void leaf_exponential(const double* sr, const double* si, double rate, double* dr, double* di, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    cdiv_real(rate, rate + sr[i], si[i], dr[i], di[i]);
+  }
+}
+
+// Gamma, Uniform, and Erlang run per-lane through libm, replicating the
+// exact evaluator's expressions verbatim (bit-identical class).  These
+// leaves CANNOT meet a flat ULP bound with vectorized fast math: pow's
+// conditioning amplifies any log/atan2 deviation by |shape·log z|, and
+// Uniform's exp-difference cancels catastrophically just above its series
+// guard — both blow past any fixed bound for legitimate parameters.
+// Bit-identity costs leaf-local vector speed but keeps the gates honest;
+// the surrounding ops (divisions, folds, queueing loops) still vectorize.
+void leaf_gamma(const double* sr, const double* si, double shape, double rate, double* dr, double* di,
+                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::complex<double> sv(sr[i], si[i]);
+    const std::complex<double> z = sv / rate;
+    std::complex<double> v;
+    if (std::abs(z) < 1e-6) {
+      v = std::exp(-shape * (z - 0.5 * z * z));
+    } else {
+      v = std::pow(rate / (rate + sv), shape);
+    }
+    dr[i] = v.real();
+    di[i] = v.imag();
+  }
+}
+
+void leaf_uniform(const double* sr, const double* si, double lo, double hi, double* dr, double* di, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::complex<double> sc(sr[i], si[i]);
+    std::complex<double> v;
+    if (std::abs(sc) < 1e-8) {
+      v = 1.0 - sc * (0.5 * (lo + hi)) +
+          sc * sc * ((lo * lo + lo * hi + hi * hi) / 6.0);
+    } else {
+      v = (std::exp(-sc * lo) - std::exp(-sc * hi)) / (sc * (hi - lo));
+    }
+    dr[i] = v.real();
+    di[i] = v.imag();
+  }
+}
+
+void leaf_erlang(const double* sr, const double* si, double stages, double rate, double* dr, double* di,
+                 std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::complex<double> sv(sr[i], si[i]);
+    const std::complex<double> v = std::pow(rate / (rate + sv), stages);
+    dr[i] = v.real();
+    di[i] = v.imag();
+  }
+}
+
+// kSimdFast alternates: vector transcendentals, guards via squared
+// magnitudes.  Per-op ULP-bounded against the exact walk (pow-family
+// bounds carry the |shape·log z| conditioning term; see
+// docs/PERFORMANCE.md §7).
+void leaf_gamma_fast(const double* sr, const double* si, double shape, double rate, double* dr, double* di,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double zr = sr[i] / rate;
+    const double zi = si[i] / rate;
+    // Small-|z| series exp(-shape*(z - z^2/2)) — the scalar walk's guard
+    // against pow() noise near s = 0.
+    double z2r, z2i;
+    cmul(zr, zi, zr, zi, z2r, z2i);
+    double smr, smi;
+    cexp_fast(-shape * (zr - 0.5 * z2r), -shape * (zi - 0.5 * z2i), smr, smi);
+    // Main branch pow(rate/(rate+s), shape).
+    double qr, qi;
+    cdiv_real(rate, rate + sr[i], si[i], qr, qi);
+    double bgr, bgi;
+    cpow_fast(qr, qi, shape, bgr, bgi);
+    const bool small = (zr * zr + zi * zi) < 1e-12;
+    dr[i] = small ? smr : bgr;
+    di[i] = small ? smi : bgi;
+  }
+}
+
+void leaf_uniform_fast(const double* sr, const double* si, double lo, double hi, double* dr, double* di,
+                       std::size_t n) {
+  const double mid = 0.5 * (lo + hi);
+  const double quad = (lo * lo + lo * hi + hi * hi) / 6.0;
+  const double width = hi - lo;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double scr = sr[i];
+    const double sci = si[i];
+    // Series branch: 1 - s*mid + s^2*quad.
+    double s2r, s2i;
+    cmul(scr, sci, scr, sci, s2r, s2i);
+    const double smr = 1.0 - scr * mid + s2r * quad;
+    const double smi = -sci * mid + s2i * quad;
+    // Main branch: (exp(-s*lo) - exp(-s*hi)) / (s*(hi-lo)).
+    double e1r, e1i, e2r, e2i;
+    cexp_fast(-scr * lo, -sci * lo, e1r, e1i);
+    cexp_fast(-scr * hi, -sci * hi, e2r, e2i);
+    double bgr, bgi;
+    cdiv(e1r - e2r, e1i - e2i, scr * width, sci * width, bgr, bgi);
+    const bool small = (scr * scr + sci * sci) < 1e-16;
+    dr[i] = small ? smr : bgr;
+    di[i] = small ? smi : bgi;
+  }
+}
+
+void leaf_erlang_fast(const double* sr, const double* si, double stages, double rate, double* dr, double* di,
+                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    double qr, qi;
+    cdiv_real(rate, rate + sr[i], si[i], qr, qi);
+    cpow_fast(qr, qi, stages, dr[i], di[i]);
+  }
+}
+
+void leaf_hyperexp(const double* sr, const double* si, const double* params, std::size_t branches, double* dr,
+                   double* di, std::size_t n) {
+  for (std::size_t base = 0; base < n; base += kW) {
+    const std::size_t w = std::min(kW, n - base);
+    double xr[kW], xi[kW], tr[kW], ti[kW];
+    for (std::size_t l = 0; l < w; ++l) {
+      xr[l] = sr[base + l];
+      xi[l] = si[base + l];
+    }
+    for (std::size_t l = w; l < kW; ++l) {
+      xr[l] = xr[0];
+      xi[l] = xi[0];
+    }
+    for (std::size_t l = 0; l < kW; ++l) {
+      tr[l] = 0.0;
+      ti[l] = 0.0;
+    }
+    for (std::size_t k = 0; k < branches; ++k) {
+      const double num = params[2 * k] * params[2 * k + 1];
+      const double rate = params[2 * k + 1];
+      for (std::size_t l = 0; l < kW; ++l) {
+        double qr, qi;
+        cdiv_real(num, rate + xr[l], xi[l], qr, qi);
+        tr[l] += qr;
+        ti[l] += qi;
+      }
+    }
+    for (std::size_t l = 0; l < w; ++l) {
+      dr[base + l] = tr[l];
+      di[base + l] = ti[l];
+    }
+  }
+}
+
+void leaf_mm1k(const double* sr, const double* si, const double* params, double* dr, double* di, std::size_t n) {
+  const double arrival = params[0];
+  const double service = params[1];
+  const unsigned capacity = static_cast<unsigned>(static_cast<int>(params[2]));
+  const double p0 = params[3];
+  const double blocking = params[4];
+  const double coef = service * p0 / (1.0 - blocking);
+  const double drift = service - arrival;
+  for (std::size_t base = 0; base < n; base += kW) {
+    const std::size_t w = std::min(kW, n - base);
+    double xr[kW], xi[kW], rr[kW], ri[kW], pr[kW], pi[kW];
+    for (std::size_t l = 0; l < w; ++l) {
+      xr[l] = sr[base + l];
+      xi[l] = si[base + l];
+    }
+    for (std::size_t l = w; l < kW; ++l) {
+      xr[l] = xr[0];
+      xi[l] = xi[0];
+    }
+    // ratio = arrival / (service + s)
+    for (std::size_t l = 0; l < kW; ++l) {
+      cdiv_real(arrival, service + xr[l], xi[l], rr[l], ri[l]);
+    }
+    // ratio^capacity by repeated squaring in __cmath_power's order.
+    const bool odd = (capacity & 1u) != 0;
+    for (std::size_t l = 0; l < kW; ++l) {
+      pr[l] = odd ? rr[l] : 1.0;
+      pi[l] = odd ? ri[l] : 0.0;
+    }
+    unsigned m = capacity;
+    while (m >>= 1) {
+      for (std::size_t l = 0; l < kW; ++l) {
+        cmul(rr[l], ri[l], rr[l], ri[l], rr[l], ri[l]);
+      }
+      if ((m & 1u) != 0) {
+        for (std::size_t l = 0; l < kW; ++l) {
+          cmul(pr[l], pi[l], rr[l], ri[l], pr[l], pi[l]);
+        }
+      }
+    }
+    for (std::size_t l = 0; l < w; ++l) {
+      double vr, vi;
+      cdiv(coef * (1.0 - pr[l]), coef * -pi[l], drift + xr[l], xi[l], vr, vi);
+      // Guard predicate exactly as the scalar walk writes it (hypot).
+      const bool guard = std::abs(std::complex<double>(xr[l], xi[l])) < 1e-14;
+      dr[base + l] = guard ? 1.0 : vr;
+      di[base + l] = guard ? 0.0 : vi;
+    }
+  }
+}
+
+// Bit-exact order-statistic leaf: per-lane through the same helper the
+// scalar walk calls.  The vectorized segment walk lives in
+// order_stat_fast — its three exponentials put it in the ULP class.
+void order_stat(const double* sr, const double* si, double dt, const double* cdf, std::size_t count, double* dr,
+                double* di, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::complex<double> v = cosm::numerics::detail::piecewise_cdf_laplace(
+        std::complex<double>(sr[i], si[i]), dt, cdf, count);
+    dr[i] = v.real();
+    di[i] = v.imag();
+  }
+}
+
+void order_stat_fast(const double* sr, const double* si, double dt, const double* cdf, std::size_t count, double* dr,
+                     double* di, std::size_t n) {
+  const double t_end = dt * static_cast<double>(count - 1);
+  const double tail = 1.0 - cdf[count - 1];
+  for (std::size_t base = 0; base < n; base += kW) {
+    const std::size_t w = std::min(kW, n - base);
+    double xr[kW], xi[kW];
+    for (std::size_t l = 0; l < w; ++l) {
+      xr[l] = sr[base + l];
+      xi[l] = si[base + l];
+    }
+    for (std::size_t l = w; l < kW; ++l) {
+      xr[l] = xr[0];
+      xi[l] = xi[0];
+    }
+    double der[kW], dei[kW];  // decay = exp(-s*dt)
+    double gr[kW], gi[kW];    // segment factor (1 - e^{-s dt})/s
+    double er[kW], ei[kW];    // running e^{-s t_i}
+    double tr[kW], ti[kW];    // accumulated transform
+    for (std::size_t l = 0; l < kW; ++l) {
+      const double zr = xr[l] * dt;
+      const double zi = xi[l] * dt;
+      cexp_fast(-zr, -zi, der[l], dei[l]);
+      // Series for small |z| (the scalar guard at |z| < 1e-6):
+      // dt * (1 - z/2 + z^2/6 - z^3/24).
+      double z2r, z2i, z3r, z3i;
+      cmul(zr, zi, zr, zi, z2r, z2i);
+      cmul(z2r, z2i, zr, zi, z3r, z3i);
+      const double smr = dt * (1.0 - zr * 0.5 + z2r / 6.0 - z3r / 24.0);
+      const double smi = dt * (-zi * 0.5 + z2i / 6.0 - z3i / 24.0);
+      double bgr, bgi;
+      cdiv(1.0 - der[l], -dei[l], xr[l], xi[l], bgr, bgi);
+      const bool small = (zr * zr + zi * zi) < 1e-12;
+      gr[l] = small ? smr : bgr;
+      gi[l] = small ? smi : bgi;
+      er[l] = 1.0;
+      ei[l] = 0.0;
+      tr[l] = cdf[0];
+      ti[l] = 0.0;
+    }
+    for (std::size_t seg = 0; seg + 1 < count; ++seg) {
+      const double mass = (cdf[seg + 1] - cdf[seg]) / dt;
+      for (std::size_t l = 0; l < kW; ++l) {
+        double wr, wi;
+        cmul(mass * er[l], mass * ei[l], gr[l], gi[l], wr, wi);
+        tr[l] += wr;
+        ti[l] += wi;
+        cmul(er[l], ei[l], der[l], dei[l], er[l], ei[l]);
+      }
+    }
+    for (std::size_t l = 0; l < w; ++l) {
+      double hr, hi;
+      cexp_fast(-xr[l] * t_end, -xi[l] * t_end, hr, hi);
+      dr[base + l] = tr[l] + tail * hr;
+      di[base + l] = ti[l] + tail * hi;
+    }
+  }
+}
+
+void mul(double* base_r, double* base_i, std::size_t children, std::size_t batch) {
+  for (std::size_t off = 0; off < batch; off += kW) {
+    const std::size_t w = std::min(kW, batch - off);
+    double pr[kW], pi[kW];
+    for (std::size_t l = 0; l < kW; ++l) {
+      pr[l] = 1.0;
+      pi[l] = 0.0;
+    }
+    for (std::size_t c = 0; c < children; ++c) {
+      const double* cr = base_r + c * batch + off;
+      const double* ci = base_i + c * batch + off;
+      for (std::size_t l = 0; l < w; ++l) {
+        cmul(pr[l], pi[l], cr[l], ci[l], pr[l], pi[l]);
+      }
+    }
+    for (std::size_t l = 0; l < w; ++l) {
+      base_r[off + l] = pr[l];
+      base_i[off + l] = pi[l];
+    }
+  }
+}
+
+void mix(double* base_r, double* base_i, const double* weights, std::size_t children, std::size_t batch) {
+  for (std::size_t off = 0; off < batch; off += kW) {
+    const std::size_t w = std::min(kW, batch - off);
+    double ar[kW], ai[kW];
+    for (std::size_t l = 0; l < kW; ++l) {
+      ar[l] = 0.0;
+      ai[l] = 0.0;
+    }
+    for (std::size_t c = 0; c < children; ++c) {
+      const double wc = weights[c];
+      const double* cr = base_r + c * batch + off;
+      const double* ci = base_i + c * batch + off;
+      for (std::size_t l = 0; l < w; ++l) {
+        ar[l] += wc * cr[l];
+        ai[l] += wc * ci[l];
+      }
+    }
+    for (std::size_t l = 0; l < w; ++l) {
+      base_r[off + l] = ar[l];
+      base_i[off + l] = ai[l];
+    }
+  }
+}
+
+void tier_mix(double* hit_r, double* hit_i, const double* miss_r, const double* miss_i, double hit_w, double miss_w,
+              std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    hit_r[i] = hit_w * hit_r[i] + miss_w * miss_r[i];
+    hit_i[i] = hit_w * hit_i[i] + miss_w * miss_i[i];
+  }
+}
+
+void cpoisson(double* base_r, double* base_i, const double* extra_r, const double* extra_i, double rate,
+              std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::complex<double> base(base_r[i], base_i[i]);
+    const std::complex<double> extra(extra_r[i], extra_i[i]);
+    const std::complex<double> v = base * std::exp(rate * (extra - 1.0));
+    base_r[i] = v.real();
+    base_i[i] = v.imag();
+  }
+}
+
+void cpoisson_fast(double* base_r, double* base_i, const double* extra_r, const double* extra_i, double rate,
+                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    double wr, wi;
+    cexp_fast(rate * (extra_r[i] - 1.0), rate * extra_i[i], wr, wi);
+    cmul(base_r[i], base_i[i], wr, wi, base_r[i], base_i[i]);
+  }
+}
+
+void shift(const double* sr, const double* si, double offset, double* vr, double* vi, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::complex<double> sv(sr[i], si[i]);
+    const std::complex<double> inner(vr[i], vi[i]);
+    const std::complex<double> v = std::exp(-sv * offset) * inner;
+    vr[i] = v.real();
+    vi[i] = v.imag();
+  }
+}
+
+void shift_fast(const double* sr, const double* si, double offset, double* vr, double* vi, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    double wr, wi;
+    cexp_fast(-sr[i] * offset, -si[i] * offset, wr, wi);
+    cmul(wr, wi, vr[i], vi[i], vr[i], vi[i]);
+  }
+}
+
+void scale_arg(const double* sr, const double* si, double factor, double* dr, double* di, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dr[i] = factor * sr[i];
+    di[i] = factor * si[i];
+  }
+}
+
+void pk_wait(const double* sr, const double* si, double arrival, double rho, double* vr, double* vi, std::size_t n) {
+  const double numw = 1.0 - rho;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double scr = sr[i];
+    const double sci = si[i];
+    double qr, qi;
+    cdiv(numw * scr, numw * sci, arrival * vr[i] + scr - arrival, arrival * vi[i] + sci, qr, qi);
+    const bool guard = std::abs(std::complex<double>(scr, sci)) < 1e-14;
+    vr[i] = guard ? 1.0 : qr;
+    vi[i] = guard ? 0.0 : qi;
+  }
+}
+
+void mg1k(const double* sr, const double* si, const double* params, std::size_t nw, double* vr, double* vi,
+          std::size_t n) {
+  const double mean_service = params[0];
+  const double* weights = params + 1;
+  for (std::size_t base = 0; base < n; base += kW) {
+    const std::size_t w = std::min(kW, n - base);
+    double xr[kW], xi[kW], lr[kW], li[kW];
+    for (std::size_t l = 0; l < w; ++l) {
+      xr[l] = sr[base + l];
+      xi[l] = si[base + l];
+      lr[l] = vr[base + l];
+      li[l] = vi[base + l];
+    }
+    for (std::size_t l = w; l < kW; ++l) {
+      xr[l] = xr[0];
+      xi[l] = xi[0];
+      lr[l] = lr[0];
+      li[l] = li[0];
+    }
+    double rr[kW], ri[kW], tr[kW], ti[kW], pr[kW], pi[kW];
+    for (std::size_t l = 0; l < kW; ++l) {
+      // residual = (1 - lb) / (s * mean_service)
+      cdiv(1.0 - lr[l], -li[l], xr[l] * mean_service, xi[l] * mean_service, rr[l], ri[l]);
+      tr[l] = weights[0] * lr[l];
+      ti[l] = weights[0] * li[l];
+      pr[l] = 1.0;
+      pi[l] = 0.0;
+    }
+    for (std::size_t k = 1; k < nw; ++k) {
+      const double wk = weights[k];
+      for (std::size_t l = 0; l < kW; ++l) {
+        double ur, ui;
+        cmul(wk * rr[l], wk * ri[l], pr[l], pi[l], ur, ui);
+        cmul(ur, ui, lr[l], li[l], ur, ui);
+        tr[l] += ur;
+        ti[l] += ui;
+        cmul(pr[l], pi[l], lr[l], li[l], pr[l], pi[l]);
+      }
+    }
+    for (std::size_t l = 0; l < w; ++l) {
+      const bool guard =
+          std::abs(std::complex<double>(xr[l], xi[l])) * mean_service < 1e-8;
+      vr[base + l] = guard ? 1.0 : tr[l];
+      vi[base + l] = guard ? 0.0 : ti[l];
+    }
+  }
+}
+
+}  // namespace
+
+extern const TapeKernels kKernels;
+const TapeKernels kKernels = {
+    COSM_SIMD_NAME,  //
+    leaf_degenerate, leaf_exponential, leaf_gamma, leaf_uniform, leaf_erlang, leaf_hyperexp, leaf_mm1k, order_stat,
+    mul,             mix,              tier_mix,   cpoisson,     shift,       scale_arg,     pk_wait,   mg1k,
+    // kSimdFast alternates.
+    leaf_degenerate_fast, leaf_gamma_fast, leaf_uniform_fast, leaf_erlang_fast, order_stat_fast, cpoisson_fast,
+    shift_fast,
+};
+
+}  // namespace COSM_SIMD_NS
+}  // namespace cosm::numerics::simd

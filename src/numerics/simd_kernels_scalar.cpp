@@ -1,0 +1,8 @@
+// Scalar-fallback variant of the SoA tape kernels: same source as the
+// vector variants, compiled with baseline target flags.  Always built —
+// this is the only variant in a COSM_NO_SIMD=ON build and on non-x86
+// targets, and the parity reference the vector variants are tested
+// bit-identical against.
+#define COSM_SIMD_NS scalar_variant
+#define COSM_SIMD_NAME "scalar"
+#include "numerics/simd_kernels_impl.hpp"

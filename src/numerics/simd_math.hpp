@@ -1,0 +1,253 @@
+#pragma once
+
+// Branchless elementwise math for the SoA tape kernels (simd_kernels_*.cpp).
+//
+// Two families live here:
+//
+//  1. Exact complex arithmetic that replicates, operation for operation,
+//     what the scalar evaluator's std::complex<double> expressions compile
+//     to with GCC's non-finite-checking fast paths: naive multiply
+//     (ac - bd, ad + bc), Smith's-algorithm division (libgcc __divdc3's
+//     in-range path, made branchless), and pow(complex, int) by repeated
+//     squaring in libstdc++ __cmath_power's exact order.  Kernels built
+//     from only these helpers produce BIT-IDENTICAL results to the scalar
+//     tree walk (verified by tests/numerics/test_simd_kernels.cpp).
+//
+//  2. ULP-bounded transcendentals (fast_exp / fast_sincos / fast_log /
+//     fast_atan2) used by the exp/log-heavy leaves.  They are plain
+//     branchless double expressions (magic-number rounding, bit-twiddled
+//     exponent scaling, Taylor kernels after Cody-Waite reduction) so the
+//     compiler can auto-vectorize the surrounding batch loops.  The
+//     accuracy contract is documented in docs/PERFORMANCE.md §7 and
+//     enforced by tests/numerics/test_simd_kernels.cpp plus the
+//     perf_numerics_tape ULP gates: each elementary kernel stays within
+//     8 ULP of the libm result over the tape's operating ranges (sincos
+//     quadrant counts up to 2^26; positive normal inputs for log).
+//
+// Everything here must stay branch-free (ternary selects only) and must
+// avoid std::fma: the variant TUs compile with -ffp-contract=off so the
+// scalar-fallback build, the AVX2 build, and the AVX-512 build of the SAME
+// source produce bit-identical results on every lane.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace cosm::numerics::simd {
+
+// ------------------------- exact complex helpers -------------------------
+
+// (ar + i*ai) * (br + i*bi), naive formula — matches GCC's inlined complex
+// multiply (the non-NaN fast path of __muldc3, emitted inline at -O1+).
+inline void cmul(double ar, double ai, double br, double bi, double& cr, double& ci) {
+  cr = ar * br - ai * bi;
+  ci = ar * bi + ai * br;
+}
+
+// (a + i*b) / (c + i*d) by Smith's algorithm, branchless.  Replicates
+// libgcc __divdc3's in-range path exactly: the flipped and unflipped
+// branches compute the same products, and their additions commute, so one
+// fused form with selects is bit-identical to whichever branch the scalar
+// code takes.
+inline void cdiv(double a, double b, double c, double d, double& x, double& y) {
+  const bool flip = std::fabs(c) < std::fabs(d);
+  const double major = flip ? d : c;
+  const double minor = flip ? c : d;
+  const double ratio = minor / major;
+  const double denom = major + minor * ratio;
+  const double u = flip ? a : b;
+  const double v = flip ? b : a;
+  x = (u * ratio + v) / denom;
+  // y numerator is (b*ratio - a) when flipped, (b - a*ratio) otherwise.
+  // Select the OPERANDS, not a sign: negating the difference would flip
+  // the sign of an exactly-zero numerator and break bit-identity with
+  // __divdc3 (IEEE: -(p - q) != q - p when p == q).
+  const double br = b * ratio;
+  const double ar = a * ratio;
+  const double p = flip ? br : b;
+  const double q = flip ? a : ar;
+  y = (p - q) / denom;
+}
+
+// a / (c + i*d): the scalar walk's double-over-complex division routes
+// through the same __divdc3 with a zero imaginary numerator.
+inline void cdiv_real(double a, double c, double d, double& x, double& y) {
+  cdiv(a, 0.0, c, d, x, y);
+}
+
+// ---------------------- ULP-bounded transcendentals ----------------------
+
+namespace detail {
+
+inline constexpr double kTwo52 = 6755399441055744.0;  // 1.5 * 2^52
+
+// Round-to-nearest-even integer of x (|x| < 2^51), as a double and as the
+// exact int64, via the add-magic-number trick: avoids cvttpd2qq, which
+// AVX2 lacks, and keeps the whole reduction vectorizable.
+inline double round_magic(double x, std::int64_t& k) {
+  const double shifted = x + kTwo52;
+  k = std::bit_cast<std::int64_t>(shifted) - std::bit_cast<std::int64_t>(kTwo52);
+  return shifted - kTwo52;
+}
+
+}  // namespace detail
+
+// e^x for x in the finite range; inputs outside [-708, 708] are clamped
+// (the tape never produces them — transform magnitudes are <= 1).
+inline double fast_exp(double x) {
+  x = x < -708.0 ? -708.0 : (x > 708.0 ? 708.0 : x);
+  constexpr double kLog2E = 1.4426950408889634074;
+  constexpr double kLn2Hi = 6.93147180369123816490e-01;
+  constexpr double kLn2Lo = 1.90821492927058770002e-10;
+  std::int64_t ki;
+  const double kd = detail::round_magic(x * kLog2E, ki);
+  const double r = (x - kd * kLn2Hi) - kd * kLn2Lo;
+  // Taylor kernel on |r| <= ln2/2 + eps, through r^13/13!.
+  double p = 1.6059043836821613e-10;
+  p = p * r + 2.0876756987868099e-09;
+  p = p * r + 2.5052108385441719e-08;
+  p = p * r + 2.7557319223985890e-07;
+  p = p * r + 2.7557319223985893e-06;
+  p = p * r + 2.4801587301587302e-05;
+  p = p * r + 1.9841269841269841e-04;
+  p = p * r + 1.3888888888888889e-03;
+  p = p * r + 8.3333333333333332e-03;
+  p = p * r + 4.1666666666666664e-02;
+  p = p * r + 1.6666666666666666e-01;
+  p = p * r + 5.0000000000000000e-01;
+  p = p * r + 1.0;
+  p = p * r + 1.0;
+  return p * std::bit_cast<double>((ki + 1023) << 52);
+}
+
+// sin(x) and cos(x) together.  Cody-Waite pi/2 reduction with a 26-bit
+// leading split (exact products for quadrant counts up to 2^26) plus the
+// residual of fl(pi/2) itself; Taylor kernels on |r| <= pi/4.
+inline void fast_sincos(double x, double& sin_out, double& cos_out) {
+  constexpr double kTwoOverPi = 0.63661977236758134308;
+  constexpr double kFullPio2 = 1.57079632679489661923;
+  constexpr double kP1 = std::bit_cast<double>(std::bit_cast<std::uint64_t>(kFullPio2) & 0xFFFFFFFFF8000000ULL);
+  constexpr double kP2 = kFullPio2 - kP1;
+  constexpr double kP3 = 6.123233995736766036e-17;  // pi/2 - fl(pi/2)
+  std::int64_t ki;
+  const double kd = detail::round_magic(x * kTwoOverPi, ki);
+  const double r = ((x - kd * kP1) - kd * kP2) - kd * kP3;
+  const double z = r * r;
+  // sin r = r + r*z*P(z), coefficients (-1)^k/(2k+1)! through 1/15!.
+  double p = -7.6471637318198164e-13;
+  p = p * z + 1.6059043836821613e-10;
+  p = p * z - 2.5052108385441719e-08;
+  p = p * z + 2.7557319223985893e-06;
+  p = p * z - 1.9841269841269841e-04;
+  p = p * z + 8.3333333333333332e-03;
+  p = p * z - 1.6666666666666666e-01;
+  const double sr = r + r * (z * p);
+  // cos r = 1 - z/2 + z^2*Q(z), coefficients (-1)^k/(2k)! through 1/16!.
+  double q = 4.7794773323873853e-14;
+  q = q * z - 1.1470745597729725e-11;
+  q = q * z + 2.0876756987868099e-09;
+  q = q * z - 2.7557319223985890e-07;
+  q = q * z + 2.4801587301587302e-05;
+  q = q * z - 1.3888888888888889e-03;
+  q = q * z + 4.1666666666666664e-02;
+  const double cr = (1.0 - 0.5 * z) + (z * z) * q;
+  const std::int64_t quad = ki & 3;
+  const bool swap = (quad & 1) != 0;
+  const double ss = swap ? cr : sr;
+  const double cc = swap ? sr : cr;
+  sin_out = (quad & 2) != 0 ? -ss : ss;
+  cos_out = ((quad + 1) & 2) != 0 ? -cc : cc;
+}
+
+// ln(x) for positive normal x.
+inline double fast_log(double x) {
+  constexpr double kLn2Hi = 6.93147180369123816490e-01;
+  constexpr double kLn2Lo = 1.90821492927058770002e-10;
+  constexpr double kSqrt2 = 1.4142135623730951;
+  const std::uint64_t ux = std::bit_cast<std::uint64_t>(x);
+  std::int64_t e = static_cast<std::int64_t>((ux >> 52) & 0x7FF) - 1023;
+  double m = std::bit_cast<double>((ux & 0x000FFFFFFFFFFFFFULL) | 0x3FF0000000000000ULL);
+  // Shift the mantissa into [sqrt(1/2), sqrt(2)) so |t| stays small.
+  const bool big = m > kSqrt2;
+  m = big ? m * 0.5 : m;
+  e = big ? e + 1 : e;
+  const double ed = static_cast<double>(e);
+  const double t = (m - 1.0) / (m + 1.0);
+  const double z = t * t;
+  // atanh kernel: log m = 2t * (1 + z/3 + z^2/5 + ... + z^10/21).
+  double p = 4.7619047619047616e-02;
+  p = p * z + 5.2631578947368418e-02;
+  p = p * z + 5.8823529411764705e-02;
+  p = p * z + 6.6666666666666666e-02;
+  p = p * z + 7.6923076923076927e-02;
+  p = p * z + 9.0909090909090912e-02;
+  p = p * z + 1.1111111111111111e-01;
+  p = p * z + 1.4285714285714285e-01;
+  p = p * z + 2.0000000000000001e-01;
+  p = p * z + 3.3333333333333331e-01;
+  p = p * z + 1.0;
+  const double lm = 2.0 * t * p;
+  return ed * kLn2Hi + (lm + ed * kLn2Lo);
+}
+
+// atan(t) for t in [0, 1]: two half-angle reductions (no tabulated split
+// constants — correctness by construction), then a Taylor kernel on
+// |v| <= tan(pi/8)/ (1 + sec(pi/8)) ~= 0.199.
+inline double fast_atan_unit(double t) {
+  const double u = t / (1.0 + std::sqrt(1.0 + t * t));
+  const double v = u / (1.0 + std::sqrt(1.0 + u * u));
+  const double z = v * v;
+  // atan v = v * A(z), A(z) = 1 - z/3 + z^2/5 - ... - z^11/23.
+  double a = -4.3478260869565216e-02;
+  a = a * z + 4.7619047619047616e-02;
+  a = a * z - 5.2631578947368418e-02;
+  a = a * z + 5.8823529411764705e-02;
+  a = a * z - 6.6666666666666666e-02;
+  a = a * z + 7.6923076923076927e-02;
+  a = a * z - 9.0909090909090912e-02;
+  a = a * z + 1.1111111111111111e-01;
+  a = a * z - 1.4285714285714285e-01;
+  a = a * z + 2.0000000000000001e-01;
+  a = a * z - 3.3333333333333331e-01;
+  a = a * z + 1.0;
+  return 4.0 * (v * a);
+}
+
+inline double fast_atan2(double y, double x) {
+  const double ax = std::fabs(x);
+  const double ay = std::fabs(y);
+  const double mx = ax > ay ? ax : ay;
+  const double mn = ax > ay ? ay : ax;
+  const double a0 = fast_atan_unit(mx > 0.0 ? mn / mx : 0.0);
+  const double a1 = ay > ax ? 1.5707963267948966 - a0 : a0;
+  const double a2 = x < 0.0 ? 3.1415926535897931 - a1 : a1;
+  return std::copysign(a2, y);
+}
+
+// ----------------------- composite complex helpers -----------------------
+
+// exp(xr + i*xi) = e^xr * (cos xi, sin xi) — the same polar formula
+// libstdc++ uses, with the fast elementary kernels.
+inline void cexp_fast(double xr, double xi, double& wr, double& wi) {
+  const double e = fast_exp(xr);
+  double s, c;
+  fast_sincos(xi, s, c);
+  wr = e * c;
+  wi = e * s;
+}
+
+// pow(z, a) for real a via the polar path: exp(a*log|z|) cis(a*arg z).
+// log|z| is computed as 0.5*log(|z|^2); fine for the tape's magnitudes
+// (no overflow of |z|^2) and covered by the documented ULP bound.
+inline void cpow_fast(double zr, double zi, double a, double& wr, double& wi) {
+  const double n2 = zr * zr + zi * zi;
+  const double lr = 0.5 * fast_log(n2);
+  const double th = fast_atan2(zi, zr);
+  const double e = fast_exp(a * lr);
+  double s, c;
+  fast_sincos(a * th, s, c);
+  wr = e * c;
+  wi = e * s;
+}
+
+}  // namespace cosm::numerics::simd

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+namespace cosm::numerics {
+
+// How TransformTape::evaluate executes a compiled tape.
+//
+//  kExact — the original array-of-std::complex evaluator: BIT-IDENTICAL to
+//    the scalar Distribution::laplace tree walk (the tape's founding
+//    contract; see transform_tape.hpp).  Default everywhere.
+//
+//  kSimd — the structure-of-arrays evaluator over the runtime-dispatched
+//    vector kernels (numerics/simd_kernels.hpp), still BIT-IDENTICAL to
+//    kExact: rational and integer-power ops (divisions, folds, the
+//    queueing loops) are vectorized exact replicas of the scalar
+//    arithmetic, and the exp/pow-family leaves run per lane through the
+//    same libm expressions the exact evaluator uses.  Safe anywhere
+//    kExact is, including under caches keyed without the mode.
+//
+//  kSimdFast — kSimd plus branchless vector transcendentals
+//    (numerics/simd_math.hpp) in the exp/pow-family ops.  NOT
+//    bit-identical: per-op deviation from kExact is ULP-bounded
+//    (docs/PERFORMANCE.md §7 documents the bound, including the
+//    conditioning term for pow-family leaves), and deviations compound
+//    through downstream combinators.  Deterministic: the same inputs give
+//    the same outputs on every build variant and CPU, so cached values
+//    never depend on the machine — but kSimdFast results must be keyed
+//    separately from exact ones wherever both can land in one cache.
+enum class TapeEvalMode : std::uint8_t {
+  kExact = 0,
+  kSimd = 1,
+  kSimdFast = 2,
+};
+
+}  // namespace cosm::numerics

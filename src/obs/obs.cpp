@@ -34,6 +34,8 @@ constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "tape.ops",
     "tape.eval_batches",
     "tape.eval_points",
+    "tape.simd.batches",
+    "tape.simd.points",
     "hist.underflow_add",
     "hist.overflow_add",
     "hist.quantile_clamped",
@@ -57,6 +59,9 @@ constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "sim.tier.drain_writebacks",
     "pool.submits",
     "pool.max_queue_depth",
+    "service.requests",
+    "service.errors",
+    "service.predictions",
 };
 
 // Span ring.  Capacity is a power of two so the claim index maps to a

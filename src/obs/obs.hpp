@@ -83,6 +83,8 @@ enum class Counter : std::uint32_t {
   kTapeOps,          // ops emitted across all compiles
   kTapeEvalBatches,  // evaluate() calls
   kTapeEvalPoints,   // contour points pushed through evaluate()
+  kTapeSimdBatches,  // evaluate() calls routed to the SoA/SIMD evaluator
+  kTapeSimdPoints,   // contour points pushed through the SoA/SIMD evaluator
 
   // stats::LogHistogram clamp buckets (and through it the simulator's
   // streaming latency histogram).
@@ -118,6 +120,11 @@ enum class Counter : std::uint32_t {
   // ThreadPool.
   kPoolSubmits,
   kPoolMaxQueueDepth,  // gauge: high-water mark, via record_max
+
+  // service::WhatIfService (the long-lived what-if prediction service).
+  kServiceRequests,     // requests parsed off the wire
+  kServiceErrors,       // requests answered with an error object
+  kServicePredictions,  // individual percentile/capacity answers produced
 
   kCount,
 };

@@ -1,0 +1,486 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "calibration/lru_prediction.hpp"
+#include "core/errors.hpp"
+#include "core/system_model.hpp"
+#include "core/whatif.hpp"
+#include "numerics/distribution.hpp"
+#include "obs/obs.hpp"
+#include "workload/catalog.hpp"
+
+namespace cosm::service {
+namespace {
+
+using common::JsonValue;
+
+// Protocol-level failure: caught at the dispatch boundary and turned into
+// an {"ok": false, "error": ...} response.
+struct RequestError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+double require_number(const JsonValue& request, std::string_view key) {
+  const JsonValue* v = request.find(key);
+  if (v == nullptr || !v->is_number()) {
+    throw RequestError("missing numeric field '" + std::string(key) + "'");
+  }
+  return v->as_number();
+}
+
+std::string require_string(const JsonValue& request, std::string_view key) {
+  const JsonValue* v = request.find(key);
+  if (v == nullptr || !v->is_string()) {
+    throw RequestError("missing string field '" + std::string(key) + "'");
+  }
+  return v->as_string();
+}
+
+// Accepts either a scalar `single` or an array `plural` of numbers.
+std::vector<double> number_list(const JsonValue& request,
+                                std::string_view single,
+                                std::string_view plural) {
+  if (const JsonValue* arr = request.find(plural)) {
+    if (!arr->is_array() || arr->items().empty()) {
+      throw RequestError("field '" + std::string(plural) +
+                         "' must be a non-empty array");
+    }
+    std::vector<double> values;
+    values.reserve(arr->items().size());
+    for (const JsonValue& item : arr->items()) {
+      if (!item.is_number()) {
+        throw RequestError("field '" + std::string(plural) +
+                           "' must contain only numbers");
+      }
+      values.push_back(item.as_number());
+    }
+    return values;
+  }
+  return {require_number(request, single)};
+}
+
+// Response skeleton; the request's `id` (any JSON value) is echoed back.
+JsonValue make_response(const JsonValue& request, bool ok) {
+  JsonValue response = JsonValue::object();
+  response.set("ok", ok);
+  if (const JsonValue* id = request.find("id")) response.set("id", *id);
+  return response;
+}
+
+JsonValue error_response(const JsonValue& request, const std::string& what) {
+  obs::add(obs::Counter::kServiceErrors);
+  JsonValue response = make_response(request, false);
+  response.set("error", what);
+  return response;
+}
+
+// Span names must be string literals (the obs ring stores the pointer).
+const char* span_name(std::string_view op) {
+  if (op == "register") return "service.register";
+  if (op == "sla") return "service.sla";
+  if (op == "quantile") return "service.quantile";
+  if (op == "devices") return "service.devices";
+  if (op == "capacity") return "service.capacity";
+  if (op == "tier_size") return "service.tier_size";
+  if (op == "list") return "service.list";
+  if (op == "stats") return "service.stats";
+  return "service.unknown";
+}
+
+void spec_overrides(ClusterSpec& spec, const JsonValue& request) {
+  spec.rate = request.number_or("rate", spec.rate);
+  const double devices = request.number_or("devices", spec.devices);
+  if (!(spec.rate > 0.0)) throw RequestError("'rate' must be > 0");
+  if (!(devices >= 1.0)) throw RequestError("'devices' must be >= 1");
+  spec.devices = static_cast<unsigned>(devices);
+}
+
+}  // namespace
+
+core::SystemParams ClusterSpec::build(double total_rate,
+                                      unsigned device_count,
+                                      double tier_hit_ratio,
+                                      double ssd_read_ms,
+                                      double ssd_write_ms) const {
+  using numerics::Degenerate;
+  using numerics::Gamma;
+  core::SystemParams params;
+  params.frontend.arrival_rate = total_rate;
+  params.frontend.processes = frontend_processes;
+  params.frontend.frontend_parse =
+      std::make_shared<Degenerate>(frontend_parse_ms * 1e-3);
+
+  core::DeviceParams device;
+  device.arrival_rate = total_rate / static_cast<double>(device_count);
+  device.data_read_rate = device.arrival_rate * data_read_factor;
+  device.index_miss_ratio = index_miss;
+  device.meta_miss_ratio = meta_miss;
+  device.data_miss_ratio = data_miss;
+  device.index_disk = std::make_shared<Gamma>(index_disk_shape,
+                                              index_disk_rate);
+  device.meta_disk = std::make_shared<Gamma>(meta_disk_shape, meta_disk_rate);
+  device.data_disk = std::make_shared<Gamma>(data_disk_shape, data_disk_rate);
+  device.backend_parse = std::make_shared<Degenerate>(backend_parse_ms * 1e-3);
+  device.processes = processes;
+  if (tier_hit_ratio > 0.0) {
+    device.tier.enabled = true;
+    device.tier.hit_ratio = tier_hit_ratio;
+    device.tier.read_service = std::make_shared<Degenerate>(ssd_read_ms * 1e-3);
+    device.tier.write_service =
+        std::make_shared<Degenerate>(ssd_write_ms * 1e-3);
+  }
+  params.devices.assign(device_count, device);
+  return params;
+}
+
+WhatIfService::WhatIfService(ServiceConfig config) : config_(config) {}
+
+core::PredictOptions WhatIfService::predict_options() const {
+  core::PredictOptions predict;
+  predict.num_threads = config_.num_threads;
+  predict.cache = &cache_;
+  predict.tape_mode = config_.tape_mode;
+  return predict;
+}
+
+std::string WhatIfService::handle_line(std::string_view line) {
+  const common::JsonParseResult parsed = common::json_parse(line);
+  if (!parsed.ok) {
+    obs::add(obs::Counter::kServiceRequests);
+    return error_response(JsonValue::object(), "parse error: " + parsed.error)
+        .dump();
+  }
+  return handle(parsed.value).dump();
+}
+
+JsonValue WhatIfService::handle(const JsonValue& request) {
+  obs::add(obs::Counter::kServiceRequests);
+  if (!request.is_object()) {
+    return error_response(JsonValue::object(),
+                          "request must be a JSON object");
+  }
+  try {
+    return dispatch(request);
+  } catch (const RequestError& e) {
+    return error_response(request, e.what());
+  } catch (const std::exception& e) {
+    return error_response(request, std::string("internal error: ") + e.what());
+  }
+}
+
+JsonValue WhatIfService::dispatch(const JsonValue& request) {
+  const std::string op = require_string(request, "op");
+  obs::Span span(span_name(op));
+  if (op == "register") return op_register(request);
+  if (op == "sla") return op_sla(request);
+  if (op == "quantile") return op_quantile(request);
+  if (op == "devices") return op_devices(request);
+  if (op == "capacity") return op_capacity(request);
+  if (op == "tier_size") return op_tier_size(request);
+  if (op == "list") {
+    JsonValue response = make_response(request, true);
+    response.set("clusters", op_list());
+    return response;
+  }
+  if (op == "stats") {
+    JsonValue response = make_response(request, true);
+    response.set("stats", op_stats());
+    return response;
+  }
+  throw RequestError("unknown op '" + op + "'");
+}
+
+ClusterSpec WhatIfService::spec_for(const JsonValue& request) const {
+  const std::string name = require_string(request, "cluster");
+  std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  const auto it = clusters_.find(name);
+  if (it == clusters_.end()) {
+    throw RequestError("unknown cluster '" + name + "'");
+  }
+  return it->second;
+}
+
+JsonValue WhatIfService::op_register(const JsonValue& request) {
+  const std::string name = require_string(request, "cluster");
+  if (name.empty()) throw RequestError("'cluster' must be non-empty");
+  ClusterSpec spec;
+  spec_overrides(spec, request);
+  spec.processes = static_cast<unsigned>(
+      request.number_or("processes", spec.processes));
+  spec.frontend_processes = static_cast<unsigned>(
+      request.number_or("frontend_processes", spec.frontend_processes));
+  spec.frontend_parse_ms =
+      request.number_or("frontend_parse_ms", spec.frontend_parse_ms);
+  spec.backend_parse_ms =
+      request.number_or("backend_parse_ms", spec.backend_parse_ms);
+  spec.data_read_factor =
+      request.number_or("data_read_factor", spec.data_read_factor);
+  spec.index_miss = request.number_or("index_miss", spec.index_miss);
+  spec.meta_miss = request.number_or("meta_miss", spec.meta_miss);
+  spec.data_miss = request.number_or("data_miss", spec.data_miss);
+  spec.index_disk_shape =
+      request.number_or("index_disk_shape", spec.index_disk_shape);
+  spec.index_disk_rate =
+      request.number_or("index_disk_rate", spec.index_disk_rate);
+  spec.meta_disk_shape =
+      request.number_or("meta_disk_shape", spec.meta_disk_shape);
+  spec.meta_disk_rate =
+      request.number_or("meta_disk_rate", spec.meta_disk_rate);
+  spec.data_disk_shape =
+      request.number_or("data_disk_shape", spec.data_disk_shape);
+  spec.data_disk_rate =
+      request.number_or("data_disk_rate", spec.data_disk_rate);
+  // Validate the spec eagerly, so a bad registration fails at register
+  // time rather than poisoning every later query.
+  spec.build(spec.rate, spec.devices).validate();
+  {
+    std::unique_lock<std::shared_mutex> lock(registry_mutex_);
+    clusters_[name] = spec;
+  }
+  JsonValue response = make_response(request, true);
+  response.set("cluster", name);
+  return response;
+}
+
+JsonValue WhatIfService::op_sla(const JsonValue& request) const {
+  ClusterSpec spec = spec_for(request);
+  spec_overrides(spec, request);
+  const std::vector<double> slas = number_list(request, "sla", "slas");
+  for (const double sla : slas) {
+    if (!(sla > 0.0)) throw RequestError("SLA bounds must be > 0 (seconds)");
+  }
+  JsonValue response = make_response(request, true);
+  JsonValue percentiles = JsonValue::array();
+  try {
+    const core::SystemModel model(spec.build(spec.rate, spec.devices), {},
+                                  predict_options());
+    for (const double p : model.predict_sla_percentiles(slas)) {
+      percentiles.push_back(p);
+      obs::add(obs::Counter::kServicePredictions);
+    }
+    response.set("overloaded", false);
+  } catch (const core::OverloadError&) {
+    // Saturation is a result, not an error: the system certainly misses
+    // every SLA (the whatif convention, core/whatif.hpp).
+    for (std::size_t i = 0; i < slas.size(); ++i) {
+      percentiles.push_back(0.0);
+      obs::add(obs::Counter::kServicePredictions);
+    }
+    response.set("overloaded", true);
+  }
+  if (request.find("slas") != nullptr) {
+    response.set("percentiles", percentiles);
+  } else {
+    response.set("percentile", percentiles.items().front());
+  }
+  return response;
+}
+
+JsonValue WhatIfService::op_quantile(const JsonValue& request) const {
+  ClusterSpec spec = spec_for(request);
+  spec_overrides(spec, request);
+  const std::vector<double> ps = number_list(request, "p", "ps");
+  for (const double p : ps) {
+    if (!(p > 0.0 && p < 1.0)) {
+      throw RequestError("percentiles must lie in (0, 1)");
+    }
+  }
+  JsonValue response = make_response(request, true);
+  JsonValue latencies = JsonValue::array();
+  try {
+    const core::SystemModel model(spec.build(spec.rate, spec.devices), {},
+                                  predict_options());
+    for (const double latency : model.latency_quantiles(ps)) {
+      latencies.push_back(latency);
+      obs::add(obs::Counter::kServicePredictions);
+    }
+    response.set("overloaded", false);
+  } catch (const core::OverloadError&) {
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      latencies.push_back(JsonValue());  // no finite bound exists
+      obs::add(obs::Counter::kServicePredictions);
+    }
+    response.set("overloaded", true);
+  }
+  if (request.find("ps") != nullptr) {
+    response.set("latencies", latencies);
+  } else {
+    response.set("latency", latencies.items().front());
+  }
+  return response;
+}
+
+JsonValue WhatIfService::op_devices(const JsonValue& request) const {
+  ClusterSpec spec = spec_for(request);
+  spec_overrides(spec, request);
+  core::SlaTarget target;
+  target.sla = require_number(request, "sla");
+  target.percentile = require_number(request, "percentile");
+  target.validate();
+  const auto min_devices =
+      static_cast<unsigned>(request.number_or("min", 1.0));
+  const auto max_devices =
+      static_cast<unsigned>(request.number_or("max", 64.0));
+  if (min_devices < 1 || min_devices > max_devices) {
+    throw RequestError("need 1 <= min <= max");
+  }
+  const core::ClusterFactory factory =
+      [&spec](double total_rate, unsigned device_count) {
+        return spec.build(total_rate, device_count);
+      };
+  const auto devices =
+      core::min_devices_for(factory, spec.rate, target, min_devices,
+                            max_devices, {}, predict_options());
+  obs::add(obs::Counter::kServicePredictions);
+  JsonValue response = make_response(request, true);
+  response.set("found", devices.has_value());
+  if (devices.has_value()) {
+    response.set("devices", static_cast<double>(*devices));
+  }
+  return response;
+}
+
+JsonValue WhatIfService::op_capacity(const JsonValue& request) const {
+  ClusterSpec spec = spec_for(request);
+  spec_overrides(spec, request);
+  core::SlaTarget target;
+  target.sla = require_number(request, "sla");
+  target.percentile = require_number(request, "percentile");
+  target.validate();
+  const double rate_limit =
+      request.number_or("rate_limit", 4.0 * spec.rate);
+  const double tolerance = request.number_or("tolerance", 0.5);
+  if (!(rate_limit > 0.0) || !(tolerance > 0.0)) {
+    throw RequestError("need rate_limit > 0 and tolerance > 0");
+  }
+  const core::ClusterFactory factory =
+      [&spec](double total_rate, unsigned device_count) {
+        return spec.build(total_rate, device_count);
+      };
+  const double admitted =
+      core::max_admission_rate(factory, spec.devices, target, rate_limit,
+                               tolerance, {}, predict_options());
+  obs::add(obs::Counter::kServicePredictions);
+  JsonValue response = make_response(request, true);
+  response.set("max_rate", admitted);
+  return response;
+}
+
+JsonValue WhatIfService::op_tier_size(const JsonValue& request) const {
+  ClusterSpec spec = spec_for(request);
+  spec_overrides(spec, request);
+  core::SlaTarget target;
+  target.sla = require_number(request, "sla");
+  target.percentile = require_number(request, "percentile");
+  target.validate();
+  const std::vector<double> capacities =
+      number_list(request, "capacity", "capacities");
+  const double objects = request.number_or("objects", 100000.0);
+  const double zipf_skew = request.number_or("zipf_skew", 0.9);
+  const double chunk_kb = request.number_or("chunk_kb", 64.0);
+  const double mem_chunks = request.number_or("mem_chunks", 4096.0);
+  const double ssd_read_ms = request.number_or("ssd_read_ms", 0.4);
+  const double ssd_write_ms = request.number_or("ssd_write_ms", 0.6);
+  if (!(objects >= 1.0) || !(zipf_skew >= 0.0) || !(chunk_kb > 0.0) ||
+      !(mem_chunks >= 0.0)) {
+    throw RequestError("invalid catalog parameters");
+  }
+
+  // Hit ratios from Che's approximation over the Zipf catalog — the same
+  // prediction path bench/extension_tiering validates against simulation.
+  workload::CatalogConfig catalog_config;
+  catalog_config.object_count = static_cast<std::uint64_t>(objects);
+  catalog_config.zipf_skew = zipf_skew;
+  catalog_config.size_distribution = workload::default_size_distribution();
+  const workload::ObjectCatalog catalog(catalog_config);
+  const calibration::ChunkPopulation pop = calibration::chunk_population(
+      catalog, static_cast<std::uint64_t>(chunk_kb * 1024.0));
+
+  std::vector<core::TierCandidate> candidates;
+  candidates.reserve(capacities.size());
+  for (const double capacity : capacities) {
+    if (!(capacity >= 0.0)) throw RequestError("capacities must be >= 0");
+    core::TierCandidate candidate;
+    candidate.capacity_chunks = static_cast<std::size_t>(capacity);
+    candidate.hit_ratio =
+        candidate.capacity_chunks == 0
+            ? 0.0
+            : calibration::predict_tier_hit_ratio(
+                  pop, static_cast<std::size_t>(mem_chunks),
+                  candidate.capacity_chunks);
+    candidates.push_back(candidate);
+  }
+  const core::TierFactory factory =
+      [&spec, ssd_read_ms, ssd_write_ms](const core::TierCandidate& c) {
+        return spec.build(spec.rate, spec.devices, c.hit_ratio, ssd_read_ms,
+                          ssd_write_ms);
+      };
+  const auto chosen = core::min_tier_capacity_for(factory, candidates, target,
+                                                  {}, predict_options());
+  obs::add(obs::Counter::kServicePredictions);
+  JsonValue response = make_response(request, true);
+  response.set("found", chosen.has_value());
+  if (chosen.has_value()) {
+    response.set("capacity_chunks",
+                 static_cast<double>(chosen->candidate.capacity_chunks));
+    response.set("hit_ratio", chosen->candidate.hit_ratio);
+    response.set("percentile", chosen->percentile);
+  }
+  return response;
+}
+
+JsonValue WhatIfService::op_list() const {
+  std::vector<std::string> names;
+  {
+    std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+    names.reserve(clusters_.size());
+    for (const auto& [name, spec] : clusters_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());  // deterministic listing order
+  JsonValue list = JsonValue::array();
+  for (std::string& name : names) list.push_back(std::move(name));
+  return list;
+}
+
+JsonValue WhatIfService::op_stats() const {
+  const numerics::CacheStats backends = cache_.backends.stats();
+  const numerics::CacheStats cdf = cache_.cdf.stats();
+  JsonValue stats = JsonValue::object();
+  auto cache_object = [](const numerics::CacheStats& s,
+                         std::size_t shards) {
+    JsonValue obj = JsonValue::object();
+    obj.set("hits", static_cast<double>(s.hits));
+    obj.set("misses", static_cast<double>(s.misses));
+    obj.set("evictions", static_cast<double>(s.evictions));
+    obj.set("size", static_cast<double>(s.size));
+    obj.set("capacity", static_cast<double>(s.capacity));
+    obj.set("shards", static_cast<double>(shards));
+    return obj;
+  };
+  stats.set("backend_cache",
+            cache_object(backends, cache_.backends.shard_count()));
+  stats.set("cdf_cache", cache_object(cdf, cache_.cdf.shard_count()));
+  {
+    std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+    stats.set("clusters", static_cast<double>(clusters_.size()));
+  }
+  stats.set("requests",
+            static_cast<double>(
+                obs::counter_value(obs::Counter::kServiceRequests)));
+  stats.set("errors",
+            static_cast<double>(
+                obs::counter_value(obs::Counter::kServiceErrors)));
+  stats.set("predictions",
+            static_cast<double>(
+                obs::counter_value(obs::Counter::kServicePredictions)));
+  return stats;
+}
+
+}  // namespace cosm::service

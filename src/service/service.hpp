@@ -1,0 +1,146 @@
+// Long-lived what-if prediction service.
+//
+// The library answers one what-if per process invocation; an operator's
+// workflow is a *stream* of them — "would cluster A meet 100 ms p95 at
+// 1.3x load?", "how many devices does cluster B need tonight?", "how much
+// SSD buys cluster C p99 <= 50 ms?" — asked against many named clusters
+// at once.  WhatIfService keeps the models' expensive state (one shared
+// core::PredictionCache, lock-striped so tenants do not serialize on its
+// mutex) resident across requests and answers each from a line-delimited
+// JSON protocol:
+//
+//   request:  one JSON object per line, {"op": "...", ...}
+//   response: one JSON object per line, {"ok": true/false, ...}
+//
+// Ops (fields beyond `op`; every request may carry an `id` that is echoed
+// back verbatim for correlation):
+//   register  cluster, rate, devices [, processes, frontend_processes,
+//             frontend_parse_ms, backend_parse_ms, data_read_factor,
+//             index_miss, meta_miss, data_miss,
+//             {index,meta,data}_disk_{shape,rate}] — define or replace a
+//             named cluster family (the device profile defaults to the
+//             repo's benchmarked HDD profile).
+//   sla       cluster, sla | slas[] (seconds) [, rate, devices] —
+//             P[latency <= sla] for each bound.
+//   quantile  cluster, p | ps[] [, rate, devices] — latency bound
+//             (seconds) met by fraction p of requests.
+//   devices   cluster, sla, percentile [, rate, min, max] — smallest
+//             device count meeting the target (core::min_devices_for).
+//   capacity  cluster, sla, percentile [, devices, rate_limit,
+//             tolerance] — largest admitted rate meeting the target
+//             (core::max_admission_rate).
+//   tier_size cluster, sla, percentile, capacities[] (chunks) [, objects,
+//             zipf_skew, chunk_kb, mem_chunks, ssd_read_ms,
+//             ssd_write_ms] — smallest SSD tier meeting the target, hit
+//             ratios predicted by Che's approximation over the Zipf
+//             catalog (calibration::predict_tier_hit_ratio).
+//   list      — registered cluster names.
+//   stats     — shared-cache counters (hits/misses/evictions/shards) and
+//             request counters.
+//
+// Execution.  Requests are handled on the caller's thread; the service
+// object is safe to drive from many threads at once (the registry is
+// guarded by a shared_mutex, specs are copied out before model building,
+// and the PredictionCache is internally lock-striped).  ServiceConfig
+// picks the tape evaluation mode — kSimd by default, which is
+// bit-identical to kExact (numerics/tape_mode.hpp) — and the fan-out
+// width each request's model building may use.
+//
+// Determinism: identical requests against identical registry state
+// produce byte-identical response lines, cached or not, whatever the
+// thread count — the property bench/perf_service.cpp gates on.
+//
+// Observability: every request bumps obs::Counter::kServiceRequests,
+// error responses bump kServiceErrors, each produced number bumps
+// kServicePredictions, and each op runs under an obs::Span named
+// "service.<op>".
+#pragma once
+
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/json.hpp"
+#include "core/params.hpp"
+
+namespace cosm::service {
+
+struct ServiceConfig {
+  // PredictOptions::num_threads for each request's model building /
+  // sweeps (1 = serial; results are identical for every setting).
+  unsigned num_threads = 1;
+  // Tape evaluation mode for every prediction.  The default kSimd is
+  // bit-identical to kExact; kSimdFast trades ULP-bounded deviations for
+  // speed (see numerics/tape_mode.hpp and docs/PERFORMANCE.md §7).
+  numerics::TapeEvalMode tape_mode = numerics::TapeEvalMode::kSimd;
+};
+
+// A registered cluster family: everything needed to build SystemParams
+// for any (total rate, device count) the what-if ops probe.  Defaults
+// mirror the HDD profile benchmarked throughout the repo.
+struct ClusterSpec {
+  double rate = 400.0;          // total arrival rate, req/s
+  unsigned devices = 8;         // device count
+  unsigned processes = 1;       // backend processes per device
+  unsigned frontend_processes = 3;
+  double frontend_parse_ms = 0.8;
+  double backend_parse_ms = 0.5;
+  double data_read_factor = 1.2;  // data-read rate / arrival rate
+  double index_miss = 0.3;
+  double meta_miss = 0.3;
+  double data_miss = 0.7;
+  double index_disk_shape = 3.0, index_disk_rate = 300.0;
+  double meta_disk_shape = 2.5, meta_disk_rate = 312.5;
+  double data_disk_shape = 2.8, data_disk_rate = 233.33;
+
+  // SystemParams for this family at (total_rate, device_count), traffic
+  // split evenly; `tier` (capacity 0 = no tier) attaches an SSD tier with
+  // the given hit ratio and Degenerate read/write service times.
+  core::SystemParams build(double total_rate, unsigned device_count,
+                           double tier_hit_ratio = 0.0,
+                           double ssd_read_ms = 0.0,
+                           double ssd_write_ms = 0.0) const;
+};
+
+class WhatIfService {
+ public:
+  explicit WhatIfService(ServiceConfig config = {});
+
+  // One protocol round: parses `line`, dispatches, serializes.  Never
+  // throws — every failure becomes an {"ok": false, "error": ...} line.
+  std::string handle_line(std::string_view line);
+
+  // Structured form of the same round-trip (for tests and embedding).
+  common::JsonValue handle(const common::JsonValue& request);
+
+  // The shared cross-tenant cache (exposed for stats and benches).
+  core::PredictionCache& cache() { return cache_; }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  common::JsonValue dispatch(const common::JsonValue& request);
+  ClusterSpec spec_for(const common::JsonValue& request) const;
+  core::PredictOptions predict_options() const;
+
+  common::JsonValue op_register(const common::JsonValue& request);
+  common::JsonValue op_sla(const common::JsonValue& request) const;
+  common::JsonValue op_quantile(const common::JsonValue& request) const;
+  common::JsonValue op_devices(const common::JsonValue& request) const;
+  common::JsonValue op_capacity(const common::JsonValue& request) const;
+  common::JsonValue op_tier_size(const common::JsonValue& request) const;
+  common::JsonValue op_list() const;
+  common::JsonValue op_stats() const;
+
+  ServiceConfig config_;
+  // Shared across every tenant and every calling thread; lock-striped
+  // internally (core/params.hpp), so concurrent requests contend only on
+  // individual stripes, not one global mutex.  `mutable` because caching
+  // is invisible state: const query ops still warm it.
+  mutable core::PredictionCache cache_;
+  mutable std::shared_mutex registry_mutex_;
+  std::unordered_map<std::string, ClusterSpec> clusters_;
+};
+
+}  // namespace cosm::service

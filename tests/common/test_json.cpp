@@ -1,0 +1,107 @@
+// common/json.hpp: the minimal JSON value/parser/serializer behind the
+// what-if service protocol and the bench readback gates.  Round-trip
+// fidelity (parse(dump(x)) == x structurally, shortest-round-trip
+// doubles), deterministic member order, and loud rejection of malformed
+// documents are the contracts under test.
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using cosm::common::json_parse;
+using cosm::common::JsonParseResult;
+using cosm::common::JsonValue;
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(json_parse("null").value.is_null());
+  EXPECT_EQ(json_parse("true").value.as_bool(), true);
+  EXPECT_EQ(json_parse("false").value.as_bool(), false);
+  EXPECT_DOUBLE_EQ(json_parse("-12.5e2").value.as_number(), -1250.0);
+  EXPECT_EQ(json_parse("\"hi\\nthere\"").value.as_string(), "hi\nthere");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const JsonParseResult result = json_parse(
+      R"({"op":"sla","slas":[0.05,0.1],"nested":{"deep":[true,null]}})");
+  ASSERT_TRUE(result.ok) << result.error;
+  const JsonValue& root = result.value;
+  EXPECT_EQ(root.string_or("op", ""), "sla");
+  const JsonValue* slas = root.find("slas");
+  ASSERT_NE(slas, nullptr);
+  ASSERT_EQ(slas->items().size(), 2u);
+  EXPECT_DOUBLE_EQ(slas->items()[1].as_number(), 0.1);
+  const JsonValue* nested = root.find("nested");
+  ASSERT_NE(nested, nullptr);
+  const JsonValue* deep = nested->find("deep");
+  ASSERT_NE(deep, nullptr);
+  EXPECT_TRUE(deep->items()[0].as_bool());
+  EXPECT_TRUE(deep->items()[1].is_null());
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  JsonValue obj = JsonValue::object();
+  obj.set("zeta", 1);
+  obj.set("alpha", 2);
+  obj.set("mid", 3);
+  EXPECT_EQ(obj.dump(), R"({"zeta":1,"alpha":2,"mid":3})");
+  // set() on an existing key replaces in place, preserving position.
+  obj.set("alpha", 9);
+  EXPECT_EQ(obj.dump(), R"({"zeta":1,"alpha":9,"mid":3})");
+}
+
+TEST(Json, DumpRoundTripsDoublesExactly) {
+  // Shortest-round-trip serialization: parse(dump(x)) must restore the
+  // exact bit pattern — the property the service's determinism gate and
+  // the bench artifacts rely on.
+  for (const double x : {0.1, 1.0 / 3.0, 2.39e-11, 1e300, -0.0,
+                         0.5238218799529069}) {
+    JsonValue v(x);
+    const JsonParseResult back = json_parse(v.dump());
+    ASSERT_TRUE(back.ok) << v.dump() << ": " << back.error;
+    EXPECT_EQ(back.value.as_number(), x) << v.dump();
+  }
+}
+
+TEST(Json, StringsEscapeControlCharacters) {
+  JsonValue v(std::string("a\"b\\c\n\t\x01"));
+  const std::string dumped = v.dump();
+  const JsonParseResult back = json_parse(dumped);
+  ASSERT_TRUE(back.ok) << dumped << ": " << back.error;
+  EXPECT_EQ(back.value.as_string(), v.as_string());
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "nul", "1 2", "{\"a\" 1}",
+        "\"unterminated", "{\"dup\"::1}", "[1,]", "tru"}) {
+    EXPECT_FALSE(json_parse(bad).ok) << bad;
+  }
+}
+
+TEST(Json, RejectsTrailingGarbage) {
+  EXPECT_FALSE(json_parse("{} extra").ok);
+  EXPECT_TRUE(json_parse("  {}  ").ok);  // whitespace is fine
+}
+
+TEST(Json, TypedAccessorsFallBack) {
+  const JsonValue root =
+      json_parse(R"({"rate":400,"name":"a","flag":true})").value;
+  EXPECT_DOUBLE_EQ(root.number_or("rate", 1.0), 400.0);
+  EXPECT_DOUBLE_EQ(root.number_or("missing", 7.5), 7.5);
+  EXPECT_DOUBLE_EQ(root.number_or("name", 7.5), 7.5);  // wrong type
+  EXPECT_EQ(root.string_or("name", "x"), "a");
+  EXPECT_EQ(root.string_or("rate", "x"), "x");
+  EXPECT_TRUE(root.bool_or("flag", false));
+  EXPECT_FALSE(root.bool_or("missing", false));
+}
+
+TEST(Json, DepthLimitStopsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  EXPECT_FALSE(json_parse(deep).ok);
+}
+
+}  // namespace

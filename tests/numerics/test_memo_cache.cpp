@@ -135,6 +135,76 @@ TEST(MemoCache, ConcurrentGetOrComputeIsConsistent) {
   EXPECT_EQ(stats.hits + stats.misses, 8u);
 }
 
+// ------------------------------ sharding ---------------------------------
+
+TEST(MemoCacheSharded, ShardCountClampsToCapacityAndZero) {
+  EXPECT_EQ((MemoCache<int, int>(16, 4).shard_count()), 4u);
+  // shards = 0 falls back to one stripe; shards > capacity clamps so
+  // every stripe owns at least one entry.
+  EXPECT_EQ((MemoCache<int, int>(16, 0).shard_count()), 1u);
+  EXPECT_EQ((MemoCache<int, int>(3, 8).shard_count()), 3u);
+  EXPECT_EQ((MemoCache<int, int>(16).shard_count()), 1u);
+}
+
+TEST(MemoCacheSharded, StripeCapacitiesSumToRequestedCapacity) {
+  // 10 entries over 4 stripes: 3+3+2+2, never 4*2 or 4*3.
+  MemoCache<int, int> cache(10, 4);
+  EXPECT_EQ(cache.stats().capacity, 10u);
+  // Total residency can never exceed the requested capacity, whatever
+  // stripe the keys land in.
+  for (int k = 0; k < 100; ++k) cache.insert(k, k);
+  EXPECT_LE(cache.stats().size, 10u);
+}
+
+TEST(MemoCacheSharded, CountersAggregateExactlyAcrossShards) {
+  MemoCache<int, int> cache(64, 8);
+  for (int k = 0; k < 32; ++k) cache.insert(k, k * 2);
+  for (int k = 0; k < 32; ++k) EXPECT_TRUE(cache.lookup(k).has_value());
+  for (int k = 100; k < 110; ++k) EXPECT_FALSE(cache.lookup(k).has_value());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 32u);
+  EXPECT_EQ(stats.misses, 10u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.size, 32u);
+}
+
+TEST(MemoCacheSharded, ConcurrentHammeringStaysConsistent) {
+  MemoCache<int, int> cache(128, 8);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int key = (t * 31 + i) % 200;
+        const int value =
+            cache.get_or_compute(key, [key] { return key * key; });
+        if (value != key * key) ++wrong;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(wrong.load(), 0);
+  const CacheStats stats = cache.stats();
+  // Every operation is counted exactly once, on exactly one stripe.
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_LE(stats.size, 128u);
+}
+
+TEST(MemoCacheSharded, ClearResetsEveryShard) {
+  MemoCache<int, int> cache(32, 4);
+  for (int k = 0; k < 20; ++k) cache.insert(k, k);
+  (void)cache.lookup(0);
+  cache.clear();
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.size, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.capacity, 32u);
+}
+
 TEST(HashMix, DistinguishesValuesAndOrder) {
   using cosm::numerics::hash_mix;
   EXPECT_NE(hash_mix(0, 1.0), hash_mix(0, 2.0));

@@ -1,0 +1,383 @@
+// The SoA/SIMD tape evaluator's exactness contracts
+// (numerics/tape_mode.hpp):
+//
+//   * TapeEvalMode::kSimd is BIT-IDENTICAL to kExact — every leaf,
+//     combinator, queueing op, and fuzzed tree, on every dispatch
+//     variant this machine can run;
+//   * the scalar / AVX2 / AVX-512 builds of the SAME kernel source are
+//     bit-identical to each other (variant choice affects speed only);
+//   * TapeEvalMode::kSimdFast's elementary kernels stay within the
+//     documented 8-ULP bound of libm, and whole-inversion CDF values
+//     stay within an absolute bound of the exact walk.
+
+#include "numerics/simd_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/ulp.hpp"
+#include "numerics/compose.hpp"
+#include "numerics/distribution.hpp"
+#include "numerics/phase_type.hpp"
+#include "numerics/simd_math.hpp"
+#include "numerics/transform_nodes.hpp"
+#include "numerics/transform_tape.hpp"
+#include "queueing/mg1.hpp"
+#include "queueing/mg1k.hpp"
+#include "queueing/mm1k.hpp"
+
+namespace cosm::numerics {
+namespace {
+
+using Complex = std::complex<double>;
+using cosm::common::ulp_close;
+using cosm::common::ulp_distance;
+
+// Same probe set as test_transform_tape.cpp: Euler-style contour points
+// plus the small-|s| guard-branch neighborhoods.
+std::vector<Complex> probe_points() {
+  std::vector<Complex> s;
+  for (int k = 0; k < 21; ++k) {
+    s.emplace_back(15.35, 3.1415 * k * 9.7);
+  }
+  s.emplace_back(1e-16, 0.0);
+  s.emplace_back(1e-9, 1e-9);
+  s.emplace_back(1e-7, 0.0);
+  s.emplace_back(0.5, -2.0);
+  s.emplace_back(250.0, 1000.0);
+  return s;
+}
+
+void expect_simd_bit_identical(const DistPtr& dist) {
+  const TransformTape tape = TransformTape::compile(dist);
+  ASSERT_TRUE(tape.compiled());
+  const std::vector<Complex> s = probe_points();
+  std::vector<Complex> exact(s.size());
+  std::vector<Complex> simd(s.size());
+  tape.evaluate(s, exact, TapeEvalMode::kExact);
+  tape.evaluate(s, simd, TapeEvalMode::kSimd);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(exact[i].real(), simd[i].real())
+        << dist->name() << " at s = " << s[i];
+    EXPECT_EQ(exact[i].imag(), simd[i].imag())
+        << dist->name() << " at s = " << s[i];
+  }
+}
+
+TEST(SimdTape, LeafDistributionsBitIdentical) {
+  expect_simd_bit_identical(std::make_shared<Degenerate>(0.0));
+  expect_simd_bit_identical(std::make_shared<Degenerate>(3.25e-3));
+  expect_simd_bit_identical(std::make_shared<Exponential>(123.5));
+  expect_simd_bit_identical(std::make_shared<Gamma>(3.7, 412.0));
+  expect_simd_bit_identical(std::make_shared<Gamma>(250.0, 1e4));
+  expect_simd_bit_identical(std::make_shared<Uniform>(1e-3, 7e-3));
+  expect_simd_bit_identical(std::make_shared<Erlang>(4, 800.0));
+  expect_simd_bit_identical(std::make_shared<HyperExponential>(
+      std::vector<HyperExponential::Branch>{{0.3, 100.0}, {0.7, 900.0}}));
+}
+
+TEST(SimdTape, QueueingNodesBitIdentical) {
+  const auto service = std::make_shared<Gamma>(3.0, 900.0);
+  const queueing::MG1 mg1(120.0, service);
+  expect_simd_bit_identical(mg1.waiting_time());
+  expect_simd_bit_identical(mg1.sojourn_time());
+  expect_simd_bit_identical(queueing::MM1K(300.0, 400.0, 4).sojourn_time());
+  expect_simd_bit_identical(
+      queueing::MG1K(300.0, service, 4).sojourn_time());
+}
+
+TEST(SimdTape, CombinatorsAndGenericLeavesBitIdentical) {
+  const auto gamma = std::make_shared<Gamma>(2.8, 560.0);
+  const auto mix = atom_at_zero_mixture(0.35, gamma);
+  const auto conv = std::make_shared<Convolution>(std::vector<DistPtr>{
+      mix, std::make_shared<Exponential>(220.0),
+      std::make_shared<Degenerate>(4e-4)});
+  const auto compound =
+      std::make_shared<CompoundPoissonConvolution>(conv, 0.8, mix);
+  const auto shifted =
+      std::make_shared<Shifted>(2e-4, std::make_shared<Scaled>(compound, 1.5));
+  expect_simd_bit_identical(shifted);
+  const auto tiered = std::make_shared<TieredService>(
+      0.73, std::make_shared<Gamma>(4.0, 4000.0),
+      std::make_shared<Gamma>(2.1, 55.0));
+  expect_simd_bit_identical(tiered);
+  // Generic (quadrature) leaves route through laplace_many in both modes.
+  expect_simd_bit_identical(std::make_shared<Lognormal>(-6.0, 0.8));
+}
+
+TEST(SimdTape, CdfManyBitIdenticalAcrossModes) {
+  const auto service = std::make_shared<Gamma>(2.5, 700.0);
+  const queueing::MM1K disk(250.0, 350.0, 4);
+  const auto response = std::make_shared<Convolution>(std::vector<DistPtr>{
+      disk.sojourn_time(), service, std::make_shared<Degenerate>(5e-4)});
+  const TransformTape tape = TransformTape::compile(response);
+  const std::vector<double> ts = {-1.0, 0.0, 1e-4, 5e-3, 2e-2, 0.11, 0.5};
+  const std::vector<double> exact = tape.cdf_many(ts, 20, TapeEvalMode::kExact);
+  const std::vector<double> simd = tape.cdf_many(ts, 20, TapeEvalMode::kSimd);
+  ASSERT_EQ(exact.size(), simd.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(exact[i], simd[i]) << "t = " << ts[i];
+  }
+}
+
+// Mirrors the TreeFuzzer of test_transform_tape.cpp but checks the kSimd
+// evaluator instead of the exact one, with subtree sharing so the SoA CSE
+// slots get exercised too.
+TEST(SimdTapeFuzz, RandomTreesBitIdenticalToExactMode) {
+  const std::vector<Complex> s = probe_points();
+  std::vector<Complex> exact(s.size());
+  std::vector<Complex> simd(s.size());
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    cosm::Rng rng(seed);
+    const auto uniform = [&rng](double lo, double hi) {
+      return lo + (hi - lo) * rng.uniform();
+    };
+    // Two shared leaves under a mixture-of-convolutions with scaling and
+    // a compound-Poisson union — the op set the backend model composes.
+    const auto disk =
+        std::make_shared<Gamma>(uniform(1.5, 4.5), uniform(100.0, 900.0));
+    const auto net = std::make_shared<Exponential>(uniform(300.0, 3000.0));
+    const auto hit = atom_at_zero_mixture(uniform(0.1, 0.9), disk);
+    const auto conv = std::make_shared<Convolution>(
+        std::vector<DistPtr>{hit, net, disk});
+    const auto tree = std::make_shared<CompoundPoissonConvolution>(
+        std::make_shared<Scaled>(conv, uniform(0.5, 2.0)), uniform(0.0, 1.5),
+        hit);
+    const TransformTape tape = TransformTape::compile(tree);
+    ASSERT_TRUE(tape.compiled()) << "seed " << seed;
+    tape.evaluate(s, exact, TapeEvalMode::kExact);
+    tape.evaluate(s, simd, TapeEvalMode::kSimd);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      ASSERT_EQ(exact[i].real(), simd[i].real())
+          << "seed " << seed << " at s = " << s[i];
+      ASSERT_EQ(exact[i].imag(), simd[i].imag())
+          << "seed " << seed << " at s = " << s[i];
+    }
+  }
+}
+
+// ----------------------- variant cross-parity ----------------------------
+//
+// The scalar, AVX2, and AVX-512 translation units compile the same kernel
+// source with -ffp-contract=off and no fma, so their outputs must be
+// bit-identical.  Drive each variant's function pointers directly on the
+// same SoA planes (active_kernels() is decided once per process, so the
+// tape itself can only exercise one variant per run).
+
+struct SoaBatch {
+  std::vector<double> sr, si, dr, di;
+  explicit SoaBatch(const std::vector<Complex>& s)
+      : sr(s.size()), si(s.size()), dr(s.size()), di(s.size()) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      sr[i] = s[i].real();
+      si[i] = s[i].imag();
+    }
+  }
+};
+
+void expect_planes_equal(const SoaBatch& a, const SoaBatch& b,
+                         const char* what) {
+  ASSERT_EQ(a.dr.size(), b.dr.size());
+  for (std::size_t i = 0; i < a.dr.size(); ++i) {
+    EXPECT_EQ(a.dr[i], b.dr[i]) << what << " re lane " << i;
+    EXPECT_EQ(a.di[i], b.di[i]) << what << " im lane " << i;
+  }
+}
+
+void expect_variant_matches_scalar(const simd::TapeKernels& variant) {
+  const simd::TapeKernels& scalar = simd::scalar_kernels();
+  const std::vector<Complex> s = probe_points();
+  const std::size_t n = s.size();
+
+  SoaBatch ref(s), got(s);
+  scalar.leaf_exponential(ref.sr.data(), ref.si.data(), 123.5, ref.dr.data(),
+                          ref.di.data(), n);
+  variant.leaf_exponential(got.sr.data(), got.si.data(), 123.5, got.dr.data(),
+                           got.di.data(), n);
+  expect_planes_equal(ref, got, "leaf_exponential");
+
+  scalar.leaf_gamma(ref.sr.data(), ref.si.data(), 3.7, 412.0, ref.dr.data(),
+                    ref.di.data(), n);
+  variant.leaf_gamma(got.sr.data(), got.si.data(), 3.7, 412.0, got.dr.data(),
+                     got.di.data(), n);
+  expect_planes_equal(ref, got, "leaf_gamma");
+
+  scalar.leaf_uniform(ref.sr.data(), ref.si.data(), 1e-3, 7e-3, ref.dr.data(),
+                      ref.di.data(), n);
+  variant.leaf_uniform(got.sr.data(), got.si.data(), 1e-3, 7e-3, got.dr.data(),
+                       got.di.data(), n);
+  expect_planes_equal(ref, got, "leaf_uniform");
+
+  scalar.leaf_erlang(ref.sr.data(), ref.si.data(), 4.0, 800.0, ref.dr.data(),
+                     ref.di.data(), n);
+  variant.leaf_erlang(got.sr.data(), got.si.data(), 4.0, 800.0, got.dr.data(),
+                      got.di.data(), n);
+  expect_planes_equal(ref, got, "leaf_erlang");
+
+  const double hyper[] = {0.3, 100.0, 0.7, 900.0};
+  scalar.leaf_hyperexp(ref.sr.data(), ref.si.data(), hyper, 2, ref.dr.data(),
+                       ref.di.data(), n);
+  variant.leaf_hyperexp(got.sr.data(), got.si.data(), hyper, 2, got.dr.data(),
+                        got.di.data(), n);
+  expect_planes_equal(ref, got, "leaf_hyperexp");
+
+  // [arrival, service, capacity, p0, blocking] as the compiler lays it out.
+  const double mm1k[] = {300.0, 400.0, 4.0, 0.14497041420118342,
+                         0.045888608471688885};
+  scalar.leaf_mm1k(ref.sr.data(), ref.si.data(), mm1k, ref.dr.data(),
+                   ref.di.data(), n);
+  variant.leaf_mm1k(got.sr.data(), got.si.data(), mm1k, got.dr.data(),
+                    got.di.data(), n);
+  expect_planes_equal(ref, got, "leaf_mm1k");
+
+  // Combinators operate in place: fill the base planes with the leaf
+  // outputs of two children, then fold.
+  const auto fill_children = [&](SoaBatch& b) {
+    b.dr.assign(2 * n, 0.0);
+    b.di.assign(2 * n, 0.0);
+    scalar.leaf_exponential(b.sr.data(), b.si.data(), 220.0, b.dr.data(),
+                            b.di.data(), n);
+    scalar.leaf_gamma(b.sr.data(), b.si.data(), 2.8, 560.0, b.dr.data() + n,
+                      b.di.data() + n, n);
+  };
+  fill_children(ref);
+  fill_children(got);
+  scalar.mul(ref.dr.data(), ref.di.data(), 2, n);
+  variant.mul(got.dr.data(), got.di.data(), 2, n);
+  expect_planes_equal(ref, got, "mul");
+
+  const double weights[] = {0.35, 0.65};
+  fill_children(ref);
+  fill_children(got);
+  scalar.mix(ref.dr.data(), ref.di.data(), weights, 2, n);
+  variant.mix(got.dr.data(), got.di.data(), weights, 2, n);
+  expect_planes_equal(ref, got, "mix");
+
+  scalar.pk_wait(ref.sr.data(), ref.si.data(), 120.0, 0.4, ref.dr.data(),
+                 ref.di.data(), n);
+  variant.pk_wait(got.sr.data(), got.si.data(), 120.0, 0.4, got.dr.data(),
+                  got.di.data(), n);
+  expect_planes_equal(ref, got, "pk_wait");
+}
+
+TEST(SimdVariants, Avx2BitIdenticalToScalarBuild) {
+  const simd::TapeKernels* avx2 = simd::avx2_kernels();
+  if (avx2 == nullptr) GTEST_SKIP() << "no AVX2 variant on this machine";
+  expect_variant_matches_scalar(*avx2);
+}
+
+TEST(SimdVariants, Avx512BitIdenticalToScalarBuild) {
+  const simd::TapeKernels* avx512 = simd::avx512_kernels();
+  if (avx512 == nullptr) GTEST_SKIP() << "no AVX-512 variant on this machine";
+  expect_variant_matches_scalar(*avx512);
+}
+
+TEST(SimdVariants, DispatchNamesAreConsistent) {
+  const char* name = simd::dispatch_name();
+  ASSERT_NE(name, nullptr);
+  EXPECT_STREQ(simd::active_kernels().name, name);
+  EXPECT_STREQ(simd::scalar_kernels().name, "scalar");
+}
+
+// --------------------------- kSimdFast bounds ----------------------------
+
+// The elementary kernels' documented contract (numerics/simd_math.hpp):
+// within 8 ULP of libm over the tape's operating ranges.
+constexpr std::int64_t kElementaryUlpBound = 8;
+
+TEST(SimdFastMath, ExpWithinDocumentedUlpBound) {
+  for (double x = -690.0; x <= 690.0; x += 0.37) {
+    EXPECT_TRUE(ulp_close(simd::fast_exp(x), std::exp(x),
+                          kElementaryUlpBound))
+        << "x = " << x << " off by "
+        << ulp_distance(simd::fast_exp(x), std::exp(x)) << " ulp";
+  }
+}
+
+TEST(SimdFastMath, SinCosWithinDocumentedUlpBound) {
+  // The contour arguments reach |x| ~ 2e3 at M=20; sweep well past that,
+  // staying inside the documented 2^26-quadrant reduction range.
+  for (double x = -4.0e4; x <= 4.0e4; x += 17.1) {
+    double s, c;
+    simd::fast_sincos(x, s, c);
+    // sin/cos near a zero crossing lose absolute accuracy to the
+    // reduction residual, so the honest comparison is against the
+    // correctly-rounded value's neighborhood in ULP of the LARGER
+    // component magnitude; libm itself is the reference here.
+    EXPECT_TRUE(ulp_close(s, std::sin(x), kElementaryUlpBound) ||
+                std::fabs(s - std::sin(x)) < 1e-15)
+        << "sin x = " << x;
+    EXPECT_TRUE(ulp_close(c, std::cos(x), kElementaryUlpBound) ||
+                std::fabs(c - std::cos(x)) < 1e-15)
+        << "cos x = " << x;
+  }
+}
+
+TEST(SimdFastMath, LogWithinDocumentedUlpBound) {
+  for (double x = 1e-12; x < 1e12; x *= 1.7) {
+    EXPECT_TRUE(ulp_close(simd::fast_log(x), std::log(x),
+                          kElementaryUlpBound))
+        << "x = " << x << " off by "
+        << ulp_distance(simd::fast_log(x), std::log(x)) << " ulp";
+  }
+}
+
+TEST(SimdFastMath, Atan2WithinDocumentedUlpBound) {
+  for (double y = -3.0; y <= 3.0; y += 0.13) {
+    for (double x = -3.0; x <= 3.0; x += 0.13) {
+      if (x == 0.0 && y == 0.0) continue;
+      EXPECT_TRUE(ulp_close(simd::fast_atan2(y, x), std::atan2(y, x),
+                            kElementaryUlpBound) ||
+                  std::fabs(simd::fast_atan2(y, x) - std::atan2(y, x)) <
+                      1e-15)
+          << "y = " << y << " x = " << x;
+    }
+  }
+}
+
+// Whole-inversion bound: CDF values from kSimdFast stay within the same
+// absolute band perf_numerics_tape gates on.  ULP distance is the wrong
+// yardstick at the CDF level — deep-tail values near 0 make tiny absolute
+// deviations count as millions of ULP.
+constexpr double kFastCdfAbsBound = 1e-9;
+
+TEST(SimdFast, CdfWithinAbsoluteBoundOfExact) {
+  const auto service = std::make_shared<Gamma>(3.0, 900.0);
+  const queueing::MG1 mg1(150.0, service);
+  const auto response = std::make_shared<Convolution>(std::vector<DistPtr>{
+      mg1.sojourn_time(), std::make_shared<Degenerate>(5e-4),
+      std::make_shared<Exponential>(1200.0)});
+  const TransformTape tape = TransformTape::compile(response);
+  std::vector<double> ts;
+  for (double t = 2e-4; t < 0.5; t *= 1.35) ts.push_back(t);
+  const std::vector<double> exact = tape.cdf_many(ts, 20, TapeEvalMode::kExact);
+  const std::vector<double> fast =
+      tape.cdf_many(ts, 20, TapeEvalMode::kSimdFast);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_NEAR(exact[i], fast[i], kFastCdfAbsBound) << "t = " << ts[i];
+  }
+}
+
+TEST(SimdFast, DeterministicAcrossRepeatedEvaluations) {
+  const auto tree = std::make_shared<Convolution>(std::vector<DistPtr>{
+      std::make_shared<Gamma>(2.2, 300.0),
+      std::make_shared<Uniform>(1e-4, 3e-3)});
+  const TransformTape tape = TransformTape::compile(tree);
+  const std::vector<Complex> s = probe_points();
+  std::vector<Complex> first(s.size());
+  std::vector<Complex> second(s.size());
+  tape.evaluate(s, first, TapeEvalMode::kSimdFast);
+  tape.evaluate(s, second, TapeEvalMode::kSimdFast);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(first[i].real(), second[i].real());
+    EXPECT_EQ(first[i].imag(), second[i].imag());
+  }
+}
+
+}  // namespace
+}  // namespace cosm::numerics

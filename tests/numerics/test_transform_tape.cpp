@@ -7,8 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <barrier>
 #include <cmath>
 #include <complex>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -20,6 +26,35 @@
 #include "queueing/mg1.hpp"
 #include "queueing/mg1k.hpp"
 #include "queueing/mm1k.hpp"
+
+// Allocation counter: every operator new in this binary bumps it, so the
+// workspace-leasing tests can assert that steady-state tape evaluation
+// performs zero heap allocations (same pattern as tests/obs/test_obs.cpp).
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+// GCC pairs inlined make_shared allocations (through our operator new)
+// with these free() calls and reports a mismatch; the pairing is exactly
+// what we intend — new/new[] allocate with malloc.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace cosm::numerics {
 namespace {
@@ -235,6 +270,131 @@ TEST(LaplaceManyDefault, MatchesScalarLoop) {
   dist.laplace_many(s, out);
   for (std::size_t i = 0; i < s.size(); ++i) {
     EXPECT_EQ(out[i], dist.laplace(s[i]));
+  }
+}
+
+// ---------------------------- concurrency --------------------------------
+//
+// The workspace-leasing contract (transform_tape.cpp): evaluations lease
+// buffers from a thread-local pool, so (a) steady state allocates
+// NOTHING, and (b) concurrent or interleaved evaluations never share a
+// live workspace.  The hammer drives mixed tape shapes and batch widths
+// from {1, 2, 8} threads in both evaluator modes; any cross-lease
+// aliasing would corrupt values against the single-threaded reference,
+// and any per-evaluation allocation trips the counter.
+
+struct HammerScenario {
+  TransformTape tape;
+  std::vector<Complex> points;
+  std::vector<Complex> exact;  // single-threaded kExact reference
+  std::vector<Complex> simd;   // single-threaded kSimd reference
+};
+
+std::vector<HammerScenario> build_hammer_scenarios() {
+  const auto gamma = std::make_shared<Gamma>(2.8, 560.0);
+  const auto service = std::make_shared<Gamma>(3.0, 900.0);
+  const queueing::MM1K disk(250.0, 350.0, 4);
+  const queueing::MG1 mg1(120.0, service);
+  const auto shared = std::make_shared<Gamma>(2.0, 300.0);
+  const std::vector<DistPtr> trees = {
+      // Plain leaf: the smallest workspace.
+      gamma,
+      // Queueing convolution: deeper value stack, P-K guard branches.
+      std::make_shared<Convolution>(std::vector<DistPtr>{
+          disk.sojourn_time(), service, std::make_shared<Degenerate>(5e-4)}),
+      // Shared subtree under scaling: CSE slots plus argument planes.
+      std::make_shared<CompoundPoissonConvolution>(
+          std::make_shared<Scaled>(
+              std::make_shared<Convolution>(std::vector<DistPtr>{
+                  atom_at_zero_mixture(0.3, shared), shared}),
+              1.5),
+          0.8, mg1.waiting_time()),
+      // Tier mixture over hyperexponential branches.
+      std::make_shared<TieredService>(
+          0.73, std::make_shared<Gamma>(4.0, 4000.0),
+          std::make_shared<HyperExponential>(
+              std::vector<HyperExponential::Branch>{{0.3, 100.0},
+                                                    {0.7, 900.0}})),
+  };
+  std::vector<HammerScenario> scenarios;
+  const std::vector<Complex> all = probe_points();
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    HammerScenario s;
+    s.tape = TransformTape::compile(trees[i]);
+    // Varied batch widths, so leases are resized across scenarios rather
+    // than always reusing an identically-sized buffer.
+    const std::size_t width = 5 + 7 * i;
+    s.points.assign(all.begin(), all.begin() + std::min(width, all.size()));
+    s.exact.resize(s.points.size());
+    s.simd.resize(s.points.size());
+    s.tape.evaluate(s.points, s.exact, TapeEvalMode::kExact);
+    s.tape.evaluate(s.points, s.simd, TapeEvalMode::kSimd);
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+TEST(TransformTapeConcurrency, LeasedEvaluationIsAllocationFreeAndUnaliased) {
+  const std::vector<HammerScenario> scenarios = build_hammer_scenarios();
+  std::size_t max_batch = 0;
+  for (const HammerScenario& s : scenarios) {
+    max_batch = std::max(max_batch, s.points.size());
+  }
+
+  for (const int thread_count : {1, 2, 8}) {
+    std::atomic<std::uint64_t> mismatches{0};
+    std::uint64_t allocs_before = 0;
+    std::uint64_t allocs_after = 0;
+    // Completion hooks run once all threads arrive and before any are
+    // released, bracketing exactly the steady-state window.
+    std::barrier start(thread_count, [&]() noexcept {
+      allocs_before = g_allocations.load(std::memory_order_relaxed);
+    });
+    std::barrier finish(thread_count, [&]() noexcept {
+      allocs_after = g_allocations.load(std::memory_order_relaxed);
+    });
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < thread_count; ++t) {
+      workers.emplace_back([&] {
+        std::vector<Complex> out(max_batch);
+        // Warmup leases and sizes this thread's pooled workspace for
+        // every tape shape and both modes.
+        for (const HammerScenario& s : scenarios) {
+          const std::span<Complex> window(out.data(), s.points.size());
+          s.tape.evaluate(s.points, window, TapeEvalMode::kExact);
+          s.tape.evaluate(s.points, window, TapeEvalMode::kSimd);
+        }
+        start.arrive_and_wait();
+        for (int round = 0; round < 40; ++round) {
+          for (const HammerScenario& s : scenarios) {
+            const std::span<Complex> window(out.data(), s.points.size());
+            s.tape.evaluate(s.points, window, TapeEvalMode::kExact);
+            for (std::size_t i = 0; i < s.points.size(); ++i) {
+              if (out[i].real() != s.exact[i].real() ||
+                  out[i].imag() != s.exact[i].imag()) {
+                mismatches.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+            s.tape.evaluate(s.points, window, TapeEvalMode::kSimd);
+            for (std::size_t i = 0; i < s.points.size(); ++i) {
+              if (out[i].real() != s.simd[i].real() ||
+                  out[i].imag() != s.simd[i].imag()) {
+                mismatches.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+          }
+        }
+        finish.arrive_and_wait();
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+
+    EXPECT_EQ(mismatches.load(), 0u)
+        << thread_count << " threads: cross-lease aliasing or mode drift";
+    EXPECT_EQ(allocs_after, allocs_before)
+        << thread_count
+        << " threads: steady-state evaluation touched the heap";
   }
 }
 

@@ -1,0 +1,254 @@
+// WhatIfService protocol round-trips: registration, every query op, the
+// error paths (which must produce {"ok": false} lines, never throw), id
+// correlation, determinism, and the kSimd == kExact byte-identity the
+// service inherits from the tape contract.
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/params.hpp"
+
+namespace cosm::service {
+namespace {
+
+using common::json_parse;
+using common::JsonValue;
+
+JsonValue parse_response(const std::string& line) {
+  const auto result = json_parse(line);
+  EXPECT_TRUE(result.ok) << line << ": " << result.error;
+  EXPECT_TRUE(result.value.is_object()) << line;
+  return result.value;
+}
+
+constexpr const char* kRegisterA =
+    R"({"op":"register","cluster":"a","rate":400,"devices":8})";
+
+TEST(WhatIfService, RegisterThenSlaRoundTrip) {
+  WhatIfService service;
+  const JsonValue reg = parse_response(service.handle_line(kRegisterA));
+  EXPECT_TRUE(reg.bool_or("ok", false));
+  EXPECT_EQ(reg.string_or("cluster", ""), "a");
+
+  const JsonValue sla = parse_response(
+      service.handle_line(R"({"op":"sla","cluster":"a","sla":0.1})"));
+  ASSERT_TRUE(sla.bool_or("ok", false));
+  const double p = sla.number_or("percentile", -1.0);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+  // A looser bound is met by at least as many requests.
+  const JsonValue looser = parse_response(
+      service.handle_line(R"({"op":"sla","cluster":"a","sla":0.5})"));
+  EXPECT_GE(looser.number_or("percentile", -1.0), p);
+}
+
+TEST(WhatIfService, SlaLadderMatchesSingleProbes) {
+  WhatIfService service;
+  service.handle_line(kRegisterA);
+  const JsonValue ladder = parse_response(service.handle_line(
+      R"({"op":"sla","cluster":"a","slas":[0.05,0.1,0.25]})"));
+  ASSERT_TRUE(ladder.bool_or("ok", false));
+  const JsonValue* percentiles = ladder.find("percentiles");
+  ASSERT_NE(percentiles, nullptr);
+  ASSERT_EQ(percentiles->items().size(), 3u);
+  const std::vector<double> slas = {0.05, 0.1, 0.25};
+  for (std::size_t i = 0; i < slas.size(); ++i) {
+    const JsonValue single = parse_response(service.handle_line(
+        R"({"op":"sla","cluster":"a","sla":)" + std::to_string(slas[i]) +
+        "}"));
+    EXPECT_EQ(single.number_or("percentile", -1.0),
+              percentiles->items()[i].as_number())
+        << "sla " << slas[i];
+  }
+}
+
+TEST(WhatIfService, QuantileInvertsSla) {
+  WhatIfService service;
+  service.handle_line(kRegisterA);
+  const JsonValue quant = parse_response(
+      service.handle_line(R"({"op":"quantile","cluster":"a","p":0.95})"));
+  ASSERT_TRUE(quant.bool_or("ok", false));
+  const double t95 = quant.number_or("latency", -1.0);
+  ASSERT_GT(t95, 0.0);
+  // The p-quantile's SLA probe must come back at (or just above) p.
+  const JsonValue back = parse_response(service.handle_line(
+      R"({"op":"sla","cluster":"a","sla":)" + std::to_string(t95) + "}"));
+  EXPECT_NEAR(back.number_or("percentile", -1.0), 0.95, 5e-3);
+}
+
+TEST(WhatIfService, DevicesAndCapacityPlanning) {
+  WhatIfService service;
+  service.handle_line(kRegisterA);
+  const JsonValue devices = parse_response(service.handle_line(
+      R"({"op":"devices","cluster":"a","sla":0.1,"percentile":0.9})"));
+  ASSERT_TRUE(devices.bool_or("ok", false));
+  const double need = devices.number_or("devices", -1.0);
+  EXPECT_GE(need, 1.0);
+
+  const JsonValue capacity = parse_response(service.handle_line(
+      R"({"op":"capacity","cluster":"a","sla":0.1,"percentile":0.5})"));
+  ASSERT_TRUE(capacity.bool_or("ok", false));
+  EXPECT_GT(capacity.number_or("max_rate", -1.0), 0.0);
+}
+
+TEST(WhatIfService, TierSizeFindsSmallestSufficientTier) {
+  WhatIfService service;
+  service.handle_line(kRegisterA);
+  // Base cluster sits near p52 at 100 ms; a relaxed 60th-percentile
+  // target is reachable with a modest SSD tier.
+  const JsonValue tier = parse_response(service.handle_line(
+      R"({"op":"tier_size","cluster":"a","sla":0.1,"percentile":0.6,)"
+      R"("capacities":[0,1024,4096,16384]})"));
+  ASSERT_TRUE(tier.bool_or("ok", false));
+  ASSERT_TRUE(tier.bool_or("found", false));
+  EXPECT_GT(tier.number_or("capacity_chunks", -1.0), 0.0);
+  EXPECT_GT(tier.number_or("hit_ratio", -1.0), 0.0);
+  EXPECT_GE(tier.number_or("percentile", -1.0), 0.6);
+}
+
+TEST(WhatIfService, ListAndStatsReflectRegistry) {
+  WhatIfService service;
+  service.handle_line(kRegisterA);
+  service.handle_line(
+      R"({"op":"register","cluster":"b","rate":300,"devices":6})");
+  const JsonValue list = parse_response(service.handle_line(R"({"op":"list"})"));
+  ASSERT_TRUE(list.bool_or("ok", false));
+  const JsonValue* clusters = list.find("clusters");
+  ASSERT_NE(clusters, nullptr);
+  ASSERT_EQ(clusters->items().size(), 2u);
+  // Sorted, so list output does not depend on hash-map iteration order.
+  EXPECT_EQ(clusters->items()[0].as_string(), "a");
+  EXPECT_EQ(clusters->items()[1].as_string(), "b");
+
+  service.handle_line(R"({"op":"sla","cluster":"a","sla":0.1})");
+  const JsonValue response = parse_response(
+      service.handle_line(R"({"op":"stats"})"));
+  ASSERT_TRUE(response.bool_or("ok", false));
+  const JsonValue* stats = response.find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->number_or("clusters", -1.0), 2.0);
+  const JsonValue* backend = stats->find("backend_cache");
+  ASSERT_NE(backend, nullptr);
+  EXPECT_GT(backend->number_or("shards", 0.0), 1.0);
+}
+
+TEST(WhatIfService, IdIsEchoedVerbatim) {
+  WhatIfService service;
+  const JsonValue reg = parse_response(service.handle_line(
+      R"({"op":"register","cluster":"a","rate":400,"devices":8,"id":"req-17"})"));
+  EXPECT_EQ(reg.string_or("id", ""), "req-17");
+  // Echoed on errors too — correlation must survive failure.
+  const JsonValue err = parse_response(
+      service.handle_line(R"({"op":"nope","id":"req-18"})"));
+  EXPECT_FALSE(err.bool_or("ok", true));
+  EXPECT_EQ(err.string_or("id", ""), "req-18");
+}
+
+TEST(WhatIfService, ErrorPathsNeverThrow) {
+  WhatIfService service;
+  const std::vector<std::string> bad = {
+      "not json at all",
+      "{\"no_op\":1}",
+      R"({"op":"unknown_op"})",
+      R"({"op":"sla","cluster":"ghost","sla":0.1})",
+      R"({"op":"sla","cluster":"a"})",  // registered below, missing sla
+      R"({"op":"register","cluster":"a","rate":-5,"devices":8})",
+      R"({"op":"register","cluster":"a","rate":400,"devices":0})",
+  };
+  service.handle_line(kRegisterA);
+  for (const std::string& line : bad) {
+    const JsonValue response = parse_response(service.handle_line(line));
+    EXPECT_FALSE(response.bool_or("ok", true)) << line;
+    EXPECT_FALSE(response.string_or("error", "").empty()) << line;
+  }
+  // The service survives all of it and still answers.
+  const JsonValue ok = parse_response(
+      service.handle_line(R"({"op":"sla","cluster":"a","sla":0.1})"));
+  EXPECT_TRUE(ok.bool_or("ok", false));
+}
+
+TEST(WhatIfService, OverloadIsAResultNotAnError) {
+  WhatIfService service;
+  service.handle_line(kRegisterA);
+  // 50x the registered rate saturates the cluster: the what-if convention
+  // reports percentile 0 with an overloaded marker, not an error.
+  const JsonValue response = parse_response(service.handle_line(
+      R"({"op":"sla","cluster":"a","sla":0.1,"rate":20000})"));
+  ASSERT_TRUE(response.bool_or("ok", false));
+  EXPECT_TRUE(response.bool_or("overloaded", false));
+  EXPECT_EQ(response.number_or("percentile", -1.0), 0.0);
+}
+
+TEST(WhatIfService, RepeatedQueriesAreByteIdentical) {
+  WhatIfService service;
+  service.handle_line(kRegisterA);
+  const std::string query = R"({"op":"sla","cluster":"a","slas":[0.05,0.1]})";
+  const std::string first = service.handle_line(query);
+  // Second time is served from the shared cache; bytes must not change.
+  EXPECT_EQ(service.handle_line(query), first);
+  EXPECT_EQ(service.handle_line(query), first);
+}
+
+TEST(WhatIfService, SimdModeByteIdenticalToExactMode) {
+  ServiceConfig exact_config;
+  exact_config.tape_mode = numerics::TapeEvalMode::kExact;
+  WhatIfService exact(exact_config);
+  WhatIfService simd;  // default mode is kSimd
+  const std::vector<std::string> script = {
+      kRegisterA,
+      R"({"op":"sla","cluster":"a","slas":[0.05,0.1,0.15,0.25]})",
+      R"({"op":"quantile","cluster":"a","p":0.95})",
+      R"({"op":"devices","cluster":"a","sla":0.1,"percentile":0.9})",
+  };
+  for (const std::string& line : script) {
+    EXPECT_EQ(simd.handle_line(line), exact.handle_line(line)) << line;
+  }
+}
+
+TEST(WhatIfService, ConcurrentMixedTenantsStayConsistent) {
+  WhatIfService service;
+  for (int t = 0; t < 4; ++t) {
+    const std::string reg = R"({"op":"register","cluster":"t)" +
+                            std::to_string(t) + R"(","rate":)" +
+                            std::to_string(300 + 50 * t) + R"(,"devices":8})";
+    ASSERT_TRUE(parse_response(service.handle_line(reg)).bool_or("ok", false));
+  }
+  // One reference response per tenant, computed single-threaded.
+  std::vector<std::string> queries;
+  std::vector<std::string> expected;
+  for (int t = 0; t < 4; ++t) {
+    queries.push_back(R"({"op":"sla","cluster":"t)" + std::to_string(t) +
+                      R"(","slas":[0.05,0.1]})");
+    expected.push_back(service.handle_line(queries.back()));
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 8; ++w) {
+    workers.emplace_back([&, w] {
+      for (int round = 0; round < 20; ++round) {
+        const std::size_t t = static_cast<std::size_t>((w + round) % 4);
+        if (service.handle_line(queries[t]) != expected[t]) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ClusterSpec, BuildValidatesAndSplitsTrafficEvenly) {
+  const ClusterSpec spec;
+  const core::SystemParams params = spec.build(400.0, 8);
+  params.validate();
+  EXPECT_EQ(params.devices.size(), 8u);
+  const core::SystemParams wider = spec.build(400.0, 16);
+  EXPECT_EQ(wider.devices.size(), 16u);
+}
+
+}  // namespace
+}  // namespace cosm::service
