@@ -16,14 +16,27 @@
 // set must be bit-identical to the serial one, and streaming must agree
 // with sampled on every counter (only the recording differs).
 //
+// A separate scaled scenario (the sharded-engine gate) runs 256 devices
+// at --scaled-rate arrivals/s under the per-shard engines of
+// sim/shard.hpp, at 1, 2, and 4 shards threaded plus 4 shards on the
+// serial round-robin reference path.  Gates: the 4-shard threaded run
+// must be bit-identical to its serial twin (always enforced), and with
+// >= 4 hardware threads the 4-shard run must deliver >= 2x the 1-shard
+// aggregate events/s; on smaller hosts the speedup gate is recorded as
+// skipped ("skipped_single_hw_thread" / "skipped_hw_threads_below_4")
+// instead of fabricating a parallelism number one core cannot show.
+// Results land under the separate "scaled" JSON key so consumers of the
+// canonical "modes" array are unaffected.
+//
 // Emits machine-readable BENCH_sim.json (field glossary in
 // docs/PERFORMANCE.md).  The baseline_* constants are the pre-overhaul
 // simulator's throughput on this scenario at default flags, measured on
 // the repo's reference container; speedup_vs_baseline is only meaningful
 // on comparable hardware, so CI gates on the determinism checks, not on
 // it.  Exit status: 0 ok, 1 determinism/bit-identity violation,
-// 2 throughput regression (streaming slower than 1.5x sampled, or
-// --min-speedup unmet), 3 JSON write/readback failure.
+// 2 throughput regression (streaming slower than 1.5x sampled,
+// --min-speedup unmet, or the scaled 4-shard speedup gate failing where
+// enforced), 3 JSON write/readback failure.
 //
 // Flags: --rate=R      (system arrivals/s; default 150)
 //        --duration=S  (benchmark phase seconds; default 115)
@@ -31,6 +44,8 @@
 //        --threads=T   (parallel replication fan-out; 0 = hardware)
 //        --repeat=K    (timing repetitions, best-of; default 3)
 //        --min-speedup=X  (gate sampled req/s vs baseline; 0 = off)
+//        --scaled-rate=R     (scaled scenario arrivals/s; default 10000)
+//        --scaled-duration=S (scaled benchmark seconds; default 3)
 //        --out=PATH    (default BENCH_sim.json)
 #include <sys/resource.h>
 
@@ -75,6 +90,8 @@ struct Config {
   unsigned threads = 0;  // 0 = all hardware threads
   int repeat = 3;
   double min_speedup = 0.0;  // 0 = baseline gate off
+  double scaled_rate = 10000.0;
+  double scaled_duration = 3.0;
   std::string out = "BENCH_sim.json";
   std::string trace_json;  // empty = observability stays disabled
 };
@@ -99,6 +116,10 @@ Config parse_args(int argc, char** argv) {
       config.repeat = std::stoi(value_of("--repeat="));
     } else if (arg.rfind("--min-speedup=", 0) == 0) {
       config.min_speedup = std::stod(value_of("--min-speedup="));
+    } else if (arg.rfind("--scaled-rate=", 0) == 0) {
+      config.scaled_rate = std::stod(value_of("--scaled-rate="));
+    } else if (arg.rfind("--scaled-duration=", 0) == 0) {
+      config.scaled_duration = std::stod(value_of("--scaled-duration="));
     } else if (arg.rfind("--out=", 0) == 0) {
       config.out = value_of("--out=");
     } else if (arg.rfind("--trace-json=", 0) == 0) {
@@ -132,6 +153,36 @@ ReplicationPlan make_plan(const Config& config, bool streaming) {
   plan.phases.benchmark_end_rate = config.rate;
   plan.phases.benchmark_step_duration = config.duration;
   plan.streaming = streaming;
+  return plan;
+}
+
+// The scaled sharded scenario: 256 devices, 10k rps open-loop arrivals,
+// streaming metrics (a quarter-million-request run would be wasteful to
+// retain sample-by-sample).  Replica sets stay shard-local, so placement
+// width (3) must fit the narrowest shard — 256/4 = 64 devices, ample.
+ReplicationPlan make_scaled_plan(const Config& config, std::uint32_t shards,
+                                 unsigned shard_threads) {
+  ReplicationPlan plan;
+  plan.cluster.device_count = 256;
+  plan.cluster.frontend_processes = 16;
+  plan.cluster.processes_per_device = 2;
+  plan.cluster.request_timeout = 0.25;
+  plan.cluster.shards = shards;
+  plan.catalog.object_count = 20000;
+  plan.catalog.size_distribution =
+      cosm::workload::default_size_distribution();
+  plan.placement = {.partition_count = 1024,
+                    .replica_count = 3,
+                    .device_count = 256,
+                    .seed = 0};
+  plan.phases.warmup_rate = config.scaled_rate;
+  plan.phases.warmup_duration = 1.0;
+  plan.phases.transition_duration = 0.0;
+  plan.phases.benchmark_start_rate = config.scaled_rate;
+  plan.phases.benchmark_end_rate = config.scaled_rate;
+  plan.phases.benchmark_step_duration = config.scaled_duration;
+  plan.streaming = true;
+  plan.shard_threads = shard_threads;
   return plan;
 }
 
@@ -261,6 +312,47 @@ int main(int argc, char** argv) {
   const ModeResult& serial_set = modes[2];
   const ModeResult& parallel_set = modes[3];
 
+  // Scaled sharded scenario (separate "scaled" JSON key; see file header).
+  // ModeResult.threads records each mode's resolved per-replication worker
+  // thread count: S dedicated shard workers when threaded, 1 when serial
+  // (and for the unsharded 1-shard reference).
+  std::vector<ModeResult> scaled;
+  for (const std::uint32_t shards : {1u, 2u, 4u}) {
+    ModeResult mode =
+        run_single("scaled_" + std::to_string(shards) + "shard",
+                   make_scaled_plan(config, shards, 0), config.repeat);
+    mode.threads = shards;
+    scaled.push_back(mode);
+  }
+  {
+    ModeResult mode = run_single(
+        "scaled_4shard_serial", make_scaled_plan(config, 4, 1), config.repeat);
+    mode.threads = 1;
+    scaled.push_back(mode);
+  }
+  const ModeResult& scaled_1shard = scaled[0];
+  const ModeResult& scaled_4shard = scaled[2];
+  const ModeResult& scaled_4shard_serial = scaled[3];
+  // Hard gate at every hardware size: the threaded window protocol must be
+  // bit-identical to its serial round-robin reference.
+  const bool scaled_bit_identical =
+      scaled_4shard.fingerprint == scaled_4shard_serial.fingerprint &&
+      scaled_4shard.events == scaled_4shard_serial.events &&
+      scaled_4shard.requests == scaled_4shard_serial.requests;
+  bool scaled_deterministic = true;
+  for (const ModeResult& mode : scaled) {
+    scaled_deterministic = scaled_deterministic && mode.deterministic;
+  }
+  const double scaled_speedup =
+      events_per_sec(scaled_4shard) / events_per_sec(scaled_1shard);
+  // The >= 2x speedup gate needs 4 real cores to mean anything.
+  const std::string speedup_gate =
+      hardware >= 4 ? "enforced"
+      : hardware == 1 ? "skipped_single_hw_thread"
+                      : "skipped_hw_threads_below_4";
+  const bool scaled_speedup_ok =
+      hardware < 4 || scaled_speedup >= 2.0;
+
   bool deterministic = true;
   for (const ModeResult& mode : modes) {
     deterministic = deterministic && mode.deterministic;
@@ -299,11 +391,24 @@ int main(int argc, char** argv) {
               << "   " << fmt(requests_per_sec(mode), 0) << "   "
               << (mode.deterministic ? "yes" : "NO") << "\n";
   }
+  std::cout << "\n  scaled scenario (256 devices, "
+            << fmt(config.scaled_rate, 0) << " rps, streaming):\n";
+  for (const ModeResult& mode : scaled) {
+    std::cout << "  " << mode.name
+              << std::string(24 - mode.name.size(), ' ')
+              << fmt(mode.wall_ms, 2) << "   " << fmt(events_per_sec(mode), 0)
+              << "   " << fmt(requests_per_sec(mode), 0) << "   "
+              << (mode.deterministic ? "yes" : "NO") << "\n";
+  }
   std::cout << "\n  sampled speedup vs pre-overhaul baseline: "
             << fmt(speedup_requests, 2) << "x requests/s, "
             << fmt(speedup_events, 2) << "x events/s\n"
             << "  parallel replications bit-identical to serial: "
             << (replications_identical ? "yes" : "NO") << "\n"
+            << "  scaled 4-shard bit-identical to serial reference: "
+            << (scaled_bit_identical ? "yes" : "NO") << "\n"
+            << "  scaled 4-shard vs 1-shard events/s: "
+            << fmt(scaled_speedup, 2) << "x (gate " << speedup_gate << ")\n"
             << "  peak RSS: " << fmt(peak_rss_mb, 1) << " MiB\n";
 
   std::ostringstream json;
@@ -328,6 +433,32 @@ int main(int argc, char** argv) {
     append_mode_json(json, modes[i], i + 1 == modes.size());
   }
   json << "  ],\n"
+       << "  \"scaled\": {\n"
+       << "    \"config\": {\n"
+       << "      \"rate\": " << fmt(config.scaled_rate, 1) << ",\n"
+       << "      \"duration_s\": " << fmt(config.scaled_duration, 1) << ",\n"
+       << "      \"warmup_s\": 1.0,\n"
+       << "      \"devices\": 256,\n"
+       << "      \"frontend_processes\": 16,\n"
+       << "      \"processes_per_device\": 2,\n"
+       << "      \"streaming\": true,\n"
+       << "      \"seed\": " << kSeed << "\n"
+       << "    },\n"
+       << "    \"modes\": [\n";
+  for (std::size_t i = 0; i < scaled.size(); ++i) {
+    append_mode_json(json, scaled[i], i + 1 == scaled.size());
+  }
+  json << "    ],\n"
+       << "    \"speedup_4shard_vs_1shard\": " << fmt(scaled_speedup, 3)
+       << ",\n"
+       << "    \"speedup_gate\": \"" << speedup_gate << "\",\n"
+       << "    \"checks\": {\n"
+       << "      \"deterministic\": "
+       << (scaled_deterministic ? "true" : "false") << ",\n"
+       << "      \"bit_identical_serial_vs_threaded\": "
+       << (scaled_bit_identical ? "true" : "false") << "\n"
+       << "    }\n"
+       << "  },\n"
        << "  \"baseline\": {\n"
        << "    \"requests_per_sec\": " << fmt(kBaselineRequestsPerSec, 0)
        << ",\n"
@@ -364,9 +495,9 @@ int main(int argc, char** argv) {
   // (schema_version match, no unknown top-level fields).
   if (!cosm_bench::verify_bench_json(
           config.out, 1,
-          {"benchmark", "schema_version", "config", "modes", "baseline",
-           "speedup_vs_baseline", "parallel_speedup_vs_serial", "peak_rss_mb",
-           "checks"})) {
+          {"benchmark", "schema_version", "config", "modes", "scaled",
+           "baseline", "speedup_vs_baseline", "parallel_speedup_vs_serial",
+           "peak_rss_mb", "checks"})) {
     return 3;
   }
   std::cout << "  wrote " << config.out << "\n";
@@ -381,11 +512,18 @@ int main(int argc, char** argv) {
     std::cout << "  wrote " << config.trace_json << "\n";
   }
 
-  if (!deterministic || !modes_agree || !replications_identical) {
+  if (!deterministic || !modes_agree || !replications_identical ||
+      !scaled_deterministic || !scaled_bit_identical) {
     std::cerr << "FAIL: determinism contract violated (repeat fingerprints, "
-                 "streaming/sampled agreement, or serial/parallel "
-                 "replication identity)\n";
+                 "streaming/sampled agreement, serial/parallel replication "
+                 "identity, or sharded serial/threaded identity)\n";
     return 1;
+  }
+  if (!scaled_speedup_ok) {
+    std::cerr << "FAIL: scaled 4-shard speedup " << fmt(scaled_speedup, 2)
+              << "x below the 2x gate (" << hardware
+              << " hardware threads)\n";
+    return 2;
   }
   if (!streaming_ok) {
     std::cerr << "FAIL: streaming metrics cost more than 1.5x sampled wall "

@@ -57,6 +57,10 @@ constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "sim.tier.promotions",
     "sim.tier.writebacks",
     "sim.tier.drain_writebacks",
+    "sim.shard.windows",
+    "sim.shard.empty_windows",
+    "sim.shard.cross_messages",
+    "sim.shard.barrier_nanos",
     "pool.submits",
     "pool.max_queue_depth",
     "service.requests",

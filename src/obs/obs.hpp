@@ -117,6 +117,15 @@ enum class Counter : std::uint32_t {
   kSimTierWritebacks,       // dirty demotion writes at eviction
   kSimTierDrainWritebacks,  // dirty flushes at outage recovery
 
+  // Sharded simulation (sim/shard.hpp): the conservative window protocol.
+  // Windows are counted once per shard per window; barrier nanoseconds are
+  // wall-clock time a shard worker spent blocked at a window barrier (only
+  // measured when observability is enabled — no clock reads otherwise).
+  kSimShardWindows,        // shard × window executions
+  kSimShardEmptyWindows,   // windows a shard crossed without local events
+  kSimShardCrossMessages,  // cross-shard arrivals delivered via mailboxes
+  kSimShardBarrierNanos,   // wall ns spent blocked at window barriers
+
   // ThreadPool.
   kPoolSubmits,
   kPoolMaxQueueDepth,  // gauge: high-water mark, via record_max

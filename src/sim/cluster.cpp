@@ -53,6 +53,27 @@ void ClusterConfig::validate() const {
     COSM_REQUIRE(tier.capacity_chunks >= 1,
                  "tier.capacity_chunks must be >= 1 when the tier is on");
   }
+  COSM_REQUIRE(shards >= 1, "shards must be >= 1");
+  // 64 keeps the per-shard seed stride (16 per shard, sim/shard.hpp) clear
+  // of the per-replication stride (1000, sim/replication.cpp).
+  COSM_REQUIRE(shards <= 64, "shards must be <= 64");
+  COSM_REQUIRE(std::isfinite(shard_window) && shard_window >= 0,
+               "shard_window must be finite and non-negative");
+  if (shards > 1) {
+    COSM_REQUIRE(device_count >= shards,
+                 "shards must not exceed device_count: every shard needs at "
+                 "least one backend device (lower shards or add devices)");
+    COSM_REQUIRE(frontend_processes >= shards,
+                 "shards must not exceed frontend_processes: every shard "
+                 "needs at least one frontend (lower shards or add "
+                 "frontends)");
+    // Conservative synchronization needs a positive lookahead: the
+    // frontend->backend network hop is the natural floor, and shard_window
+    // can widen it.  With both zero, no window length is safe.
+    COSM_REQUIRE(network_latency > 0 || shard_window > 0,
+                 "sharded runs need a positive lookahead: set "
+                 "network_latency > 0 or an explicit shard_window > 0");
+  }
   faults.validate(device_count, processes_per_device);
 }
 
@@ -78,6 +99,11 @@ Cluster::Cluster(ClusterConfig config)
     : config_(std::move(config)),
       metrics_((config_.finalize(), config_.device_count)),
       rng_(config_.seed) {
+  // A Cluster is one shard's worth of simulation — the sharded coordinator
+  // (sim/shard.hpp) builds one Cluster per shard from a derived config.
+  COSM_REQUIRE(config_.shards == 1,
+               "Cluster simulates a single shard; shards > 1 runs go "
+               "through sim::run_sharded_replication (see sim/shard.hpp)");
   outstanding_.assign(config_.device_count, 0);
   devices_.reserve(config_.device_count);
   for (std::uint32_t d = 0; d < config_.device_count; ++d) {

@@ -147,6 +147,25 @@ struct ClusterConfig {
   // core::TierOptions; semantics and limits: docs/TIERING.md.
   TierConfig tier;
 
+  // ----- Sharded simulation (scale extension) -----
+  // shards > 1 partitions the cluster into that many per-shard engines
+  // (cluster-of-clusters): devices and frontend processes are split into
+  // balanced contiguous ranges, each shard owns its own Engine / RNG /
+  // metrics and runs on its own thread, and shards synchronize
+  // conservatively in time windows at the frontend boundary (sim/shard.hpp;
+  // docs/ARCHITECTURE.md "Sharded simulation").  Replica sets are kept
+  // shard-local, so failover / hedging / fan-out never cross shards.
+  // Determinism: bit-identical per (shard count, seed set); NOT invariant
+  // across shard counts (docs/PERFORMANCE.md).  The Cluster class itself
+  // only accepts shards == 1 — sharded runs go through
+  // sim::run_sharded_replication (used by run_replication automatically).
+  std::uint32_t shards = 1;
+  // Synchronization window length in simulated seconds; 0 = auto (derived
+  // from the frontend→backend lookahead floor, see shard.hpp).  Any value
+  // > 0 is conservative-correct because cross-shard arrivals are dispatched
+  // one full window ahead; larger windows amortize barrier cost.
+  double shard_window = 0.0;
+
   std::uint64_t seed = 42;
 
   // Rejects NaN / negative / zero-where-invalid parameters (including the

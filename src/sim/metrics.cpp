@@ -135,6 +135,61 @@ void SimMetrics::on_attempt_cancelled() {
   obs::add(obs::Counter::kSimCancelAttempts);
 }
 
+void SimMetrics::merge_from(const SimMetrics& other,
+                            std::uint32_t device_offset) {
+  COSM_REQUIRE(static_cast<std::size_t>(device_offset) +
+                       other.devices_.size() <=
+                   devices_.size(),
+               "merge_from device range exceeds this metrics' device count");
+  COSM_REQUIRE(streaming() == other.streaming(),
+               "merge_from requires both sides in the same latency mode");
+  for (std::size_t d = 0; d < other.devices_.size(); ++d) {
+    DeviceCounters& dst = devices_[device_offset + d];
+    const DeviceCounters& src = other.devices_[d];
+    dst.requests += src.requests;
+    dst.attempts += src.attempts;
+    dst.data_reads += src.data_reads;
+    for (std::size_t k = 0; k < kAccessKindCount; ++k) {
+      dst.accesses[k] += src.accesses[k];
+      dst.misses[k] += src.misses[k];
+      dst.disk_service_sum[k] += src.disk_service_sum[k];
+      dst.disk_ops[k] += src.disk_ops[k];
+    }
+    dst.tier_reads += src.tier_reads;
+    dst.tier_hits += src.tier_hits;
+    dst.tier_promotions += src.tier_promotions;
+    dst.tier_writebacks += src.tier_writebacks;
+    dst.tier_drain_writebacks += src.tier_drain_writebacks;
+    dst.tier_ops += src.tier_ops;
+    dst.tier_service_sum += src.tier_service_sum;
+    for (std::size_t k = 0; k < kAccessKindCount; ++k) {
+      auto& dst_ops = op_samples_[device_offset + d][k];
+      const auto& src_ops = other.op_samples_[d][k];
+      dst_ops.insert(dst_ops.end(), src_ops.begin(), src_ops.end());
+    }
+  }
+  if (keep_request_samples) {
+    requests_.reserve(requests_.size() + other.requests_.size());
+    for (RequestSample sample : other.requests_) {
+      sample.device += device_offset;
+      requests_.push_back(sample);
+    }
+  }
+  if (latency_hist_) latency_hist_->merge(*other.latency_hist_);
+  latency_moments_.merge(other.latency_moments_);
+  latency_count_ += other.latency_count_;
+  completed_ += other.completed_;
+  timeouts_ += other.timeouts_;
+  failed_ += other.failed_;
+  retried_ok_ += other.retried_ok_;
+  retry_attempts_ += other.retry_attempts_;
+  failover_attempts_ += other.failover_attempts_;
+  hedge_attempts_ += other.hedge_attempts_;
+  hedge_wins_ += other.hedge_wins_;
+  fanout_groups_ += other.fanout_groups_;
+  cancelled_attempts_ += other.cancelled_attempts_;
+}
+
 OutcomeCounts SimMetrics::outcomes() const {
   OutcomeCounts counts;
   counts.timed_out = timeouts_;

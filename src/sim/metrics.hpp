@@ -161,6 +161,18 @@ class SimMetrics {
   void on_operation_latency(std::uint32_t device, AccessKind kind,
                             double latency);
 
+  // Folds another shard's metrics into this one (the cross-shard metric
+  // reduction of sim/shard.hpp).  `other`'s devices land in the id range
+  // [device_offset, device_offset + other.device_count()); retained
+  // request samples are appended in `other`'s order with their device ids
+  // remapped, so repeated merges in shard order yield a deterministic
+  // (per-shard-concatenated, not globally arrival-sorted) sample vector.
+  // Streaming state merges exactly: Welford moments via
+  // StreamingStats::merge (Chan's algorithm), histograms bucket-wise via
+  // LogHistogram::merge — both sides must be in the same latency mode and
+  // share the histogram layout.  Outcome and per-device counters sum.
+  void merge_from(const SimMetrics& other, std::uint32_t device_offset);
+
   const std::vector<RequestSample>& requests() const { return requests_; }
   std::uint64_t timeouts() const { return timeouts_; }
   std::uint64_t failures() const { return failed_; }

@@ -1,12 +1,15 @@
 #include "sim/replication.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
+#include <thread>
 
 #include "common/require.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/obs.hpp"
 #include "sim/cluster.hpp"
+#include "sim/shard.hpp"
 #include "sim/source.hpp"
 
 namespace cosm::sim {
@@ -28,6 +31,7 @@ std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
 
 ReplicationResult run_replication(const ReplicationPlan& plan,
                                   std::uint64_t seed) {
+  if (plan.cluster.shards > 1) return run_sharded_replication(plan, seed);
   obs::Span span("sim.replication");
   obs::add(obs::Counter::kSimReplications);
   ClusterConfig cluster_config = plan.cluster;
@@ -55,21 +59,35 @@ ReplicationResult run_replication(const ReplicationPlan& plan,
   cluster.engine().run_all();
   const auto loop_stop = std::chrono::steady_clock::now();
 
-  const SimMetrics& metrics = cluster.metrics();
-  ReplicationResult result;
-  result.engine_wall_ms =
+  return detail::summarize_replication(
+      cluster.metrics(), cluster.engine().events_processed(),
       std::chrono::duration<double, std::milli>(loop_stop - loop_start)
-          .count();
+          .count(),
+      plan.streaming, seed);
+}
+
+ReplicationResult detail::summarize_replication(const SimMetrics& metrics,
+                                                std::uint64_t events,
+                                                double wall_ms,
+                                                bool streaming,
+                                                std::uint64_t seed) {
+  ReplicationResult result;
+  result.engine_wall_ms = wall_ms;
   result.seed = seed;
   result.completed = metrics.completed_requests();
   result.timeouts = metrics.timeouts();
   result.failures = metrics.failures();
-  result.events = cluster.engine().events_processed();
+  result.events = events;
   result.latency_count = metrics.latency_count();
   result.moments = metrics.latency_moments();
+  if (result.latency_count > 0) {
+    result.q50 = metrics.latency_quantile(0.50);
+    result.q99 = metrics.latency_quantile(0.99);
+    result.q999 = metrics.latency_quantile(0.999);
+  }
 
   std::uint64_t h = 0x243F6A8885A308D3ULL;
-  if (plan.streaming) {
+  if (streaming) {
     // No retained samples; the fingerprint folds everything streaming mode
     // observes.  Welford moments are order-sensitive in their float error,
     // so equal bits really do mean the same samples in the same order.
@@ -106,8 +124,23 @@ ReplicationSet run_replications(const ReplicationPlan& plan,
   ReplicationSet set;
   set.replications.resize(plan.seeds.size());
 
+  // Sharded replications spawn their own per-shard worker threads, so the
+  // replication fan-out is narrowed to keep shards × replications near the
+  // requested thread budget (num_threads == 0 means "the hardware").
+  unsigned fanout = num_threads;
+  const unsigned per_replication =
+      plan.cluster.shards > 1 && plan.shard_threads != 1
+          ? plan.cluster.shards
+          : 1;
+  if (per_replication > 1) {
+    const unsigned budget =
+        num_threads != 0 ? num_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+    fanout = std::max(1u, budget / per_replication);
+  }
+
   // Fan out: slot-indexed writes only, no shared state between indices.
-  cosm::parallel_for(plan.seeds.size(), num_threads, [&](std::size_t i) {
+  cosm::parallel_for(plan.seeds.size(), fanout, [&](std::size_t i) {
     set.replications[i] = run_replication(plan, plan.seeds[i]);
   });
 

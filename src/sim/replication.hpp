@@ -42,6 +42,14 @@ struct ReplicationPlan {
   // are dropped, quantiles come from the log histogram.
   bool streaming = false;
   StreamingConfig streaming_config{};
+
+  // Execution mode for sharded replications (cluster.shards > 1; ignored
+  // otherwise): 0 = one dedicated thread per shard (the default; shard
+  // workers block at window barriers, so they must be real threads, never
+  // pool tasks), 1 = serial round-robin on the calling thread.  Both are
+  // bit-identical — the serial path is the reference the threaded path is
+  // tested against.
+  unsigned shard_threads = 0;
 };
 
 struct ReplicationResult {
@@ -62,6 +70,14 @@ struct ReplicationResult {
   std::uint64_t latency_count = 0;
   stats::StreamingStats moments;
   std::vector<double> latencies;
+
+  // Headline latency quantiles (seconds; 0 when no latencies landed).
+  // Exact in sampled mode, within a histogram bucket in streaming mode.
+  // Convenience outputs only — NOT folded into the fingerprint, so the
+  // bit-identity gates stay pinned to the raw observable stream.
+  double q50 = 0.0;
+  double q99 = 0.0;
+  double q999 = 0.0;
 
   // Order-sensitive 64-bit fold of the replication's observable output
   // (per-request samples in sampled mode; counters + moments in streaming
@@ -84,9 +100,24 @@ struct ReplicationSet {
   std::uint64_t fingerprint = 0;
 };
 
-// Runs one replication to completion on the calling thread.
+// Runs one replication to completion.  With plan.cluster.shards > 1 the
+// run is dispatched to sim::run_sharded_replication (per-shard engines,
+// conservative window synchronization — see sim/shard.hpp); otherwise it
+// runs on the calling thread.
 ReplicationResult run_replication(const ReplicationPlan& plan,
                                   std::uint64_t seed);
+
+namespace detail {
+// Shared result summary + fingerprint over a finished run's metrics (the
+// unsharded path hands its cluster's metrics, the sharded path its merged
+// metrics).  The fingerprint folds the observable output stream — per-
+// request samples in sampled mode, counters + moments in streaming mode —
+// so equal fingerprints mean bit-identical runs under either path.
+ReplicationResult summarize_replication(const SimMetrics& metrics,
+                                        std::uint64_t events,
+                                        double wall_ms, bool streaming,
+                                        std::uint64_t seed);
+}  // namespace detail
 
 // Fans the plan's replications out over up to `num_threads` threads
 // (1 = serial on the calling thread, 0 = uncapped global pool) and merges

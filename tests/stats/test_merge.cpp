@@ -1,0 +1,143 @@
+// Merge primitives used by the cross-shard metric reduction
+// (sim/metrics.cpp merge_from): StreamingStats::merge must reproduce the
+// single-stream moments exactly (count/min/max/sum bit-equal, mean and
+// variance to float round-off), and LogHistogram::merge must be a
+// bucket-count sum — so merged quantile_checked answers equal the
+// single-stream histogram's and still bracket the true sample quantile.
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using cosm::stats::LogHistogram;
+using cosm::stats::QuantileBound;
+using cosm::stats::StreamingStats;
+
+std::vector<double> lognormalish_samples(std::size_t count,
+                                         std::uint64_t seed) {
+  cosm::Rng rng(seed);
+  std::vector<double> samples;
+  samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Heavy-ish tail in (0, ~50): u^-0.5 style inverse-CDF draw.
+    const double u = (static_cast<double>(rng.uniform_index(1u << 20)) + 1) /
+                     static_cast<double>(1u << 20);
+    samples.push_back(0.001 / u + 0.0005 * static_cast<double>(i % 7));
+  }
+  return samples;
+}
+
+TEST(StreamingStatsMerge, MatchesSingleStreamMoments) {
+  const std::vector<double> samples = lognormalish_samples(4000, 99);
+  StreamingStats whole;
+  for (const double x : samples) whole.add(x);
+
+  // Split into 4 uneven parts, merge in order.
+  StreamingStats merged;
+  const std::size_t cuts[] = {0, 700, 1500, 3100, 4000};
+  for (int part = 0; part < 4; ++part) {
+    StreamingStats piece;
+    for (std::size_t i = cuts[part]; i < cuts[part + 1]; ++i) {
+      piece.add(samples[i]);
+    }
+    merged.merge(piece);
+  }
+
+  // Count, min, max are exact by construction.
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_EQ(merged.min(), whole.min());
+  EXPECT_EQ(merged.max(), whole.max());
+  // Chan's pairwise update reassociates the float sums, so mean/variance
+  // agree to round-off, not bit-for-bit.
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12 * whole.mean());
+  EXPECT_NEAR(merged.variance(), whole.variance(),
+              1e-9 * whole.variance());
+  EXPECT_NEAR(merged.sum(), whole.sum(), 1e-9 * whole.sum());
+}
+
+TEST(StreamingStatsMerge, EmptySidesAreIdentity) {
+  StreamingStats stats;
+  stats.add(2.0);
+  stats.add(4.0);
+  StreamingStats empty;
+  stats.merge(empty);  // merging in nothing changes nothing
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+  StreamingStats target;
+  target.merge(stats);  // merging into empty copies exactly
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_EQ(target.min(), 2.0);
+  EXPECT_EQ(target.max(), 4.0);
+  EXPECT_DOUBLE_EQ(target.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(target.variance(), stats.variance());
+}
+
+TEST(LogHistogramMerge, BucketSumMakesQuantilesEqualSingleStream) {
+  const std::vector<double> samples = lognormalish_samples(6000, 7);
+  LogHistogram whole(1e-4, 100.0, 200);
+  LogHistogram merged(1e-4, 100.0, 200);
+  for (const double x : samples) whole.add(x);
+
+  LogHistogram parts[3] = {LogHistogram(1e-4, 100.0, 200),
+                           LogHistogram(1e-4, 100.0, 200),
+                           LogHistogram(1e-4, 100.0, 200)};
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    parts[i % 3].add(samples[i]);
+  }
+  for (const LogHistogram& part : parts) merged.merge(part);
+
+  ASSERT_EQ(merged.count(), whole.count());
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double p : {0.5, 0.9, 0.99, 0.999}) {
+    const auto merged_q = merged.quantile_checked(p);
+    const auto whole_q = whole.quantile_checked(p);
+    // Bucket counts are integers: the merged histogram IS the
+    // single-stream histogram, so the checked quantile matches exactly —
+    // value and clamp verdict both.
+    EXPECT_EQ(merged_q.value, whole_q.value) << "p=" << p;
+    EXPECT_EQ(merged_q.bound, whole_q.bound) << "p=" << p;
+    // And the histogram answer still brackets the true sample quantile
+    // within one log-bucket (200/decade => ~1.16% width).
+    const double truth =
+        sorted[static_cast<std::size_t>(p * (sorted.size() - 1))];
+    EXPECT_EQ(merged_q.bound, QuantileBound::kExact) << "p=" << p;
+    EXPECT_GE(merged_q.value * 1.02, truth) << "p=" << p;
+    EXPECT_LE(merged_q.value, truth * 1.02) << "p=" << p;
+  }
+}
+
+TEST(LogHistogramMerge, ClampBucketVerdictsSurviveMerge) {
+  LogHistogram low(1e-3, 1.0, 100);
+  LogHistogram high(1e-3, 1.0, 100);
+  for (int i = 0; i < 90; ++i) low.add(1e-5);   // underflow bucket
+  for (int i = 0; i < 10; ++i) high.add(50.0);  // overflow bucket
+  LogHistogram merged(1e-3, 1.0, 100);
+  merged.merge(low);
+  merged.merge(high);
+  ASSERT_EQ(merged.count(), 100u);
+  // Median lands in the underflow clamp: the true value is <= hist_min,
+  // and the merged histogram must still say so rather than fabricate.
+  EXPECT_EQ(merged.quantile_checked(0.5).bound, QuantileBound::kUpperBound);
+  // p999 lands in the overflow clamp: true value >= hist_max.
+  EXPECT_EQ(merged.quantile_checked(0.999).bound,
+            QuantileBound::kLowerBound);
+}
+
+TEST(LogHistogramMerge, RejectsMismatchedLayouts) {
+  LogHistogram a(1e-4, 100.0, 200);
+  LogHistogram narrower(1e-3, 100.0, 200);
+  LogHistogram coarser(1e-4, 100.0, 100);
+  EXPECT_THROW(a.merge(narrower), std::invalid_argument);
+  EXPECT_THROW(a.merge(coarser), std::invalid_argument);
+}
+
+}  // namespace
