@@ -39,10 +39,20 @@ double solve_characteristic_time(const ChunkPopulation& pop,
     return std::numeric_limits<double>::infinity();
   }
   // Bracket: occupancy(0) = 0 and occupancy is monotone, so double the
-  // upper end until it clears the capacity, then bisect.
+  // upper end until it clears the capacity, then bisect.  The doubling
+  // budget (2^200 ~ 1.6e60) is generous, but filtered tier populations
+  // can carry weights as small as w * e^{-w t1} — far below 1e-60 — whose
+  // occupancy never clears the capacity within the budget.  Bisecting
+  // that unverified bracket would converge on hi and return a silently
+  // wrong characteristic time, so exhaustion must fail loudly instead.
   double lo = 0.0;
   double hi = 1.0;
-  for (int i = 0; i < 200 && occupancy(pop, hi) < capacity; ++i) {
+  int doublings = 0;
+  while (occupancy(pop, hi) < capacity) {
+    COSM_CHECK(++doublings <= 200,
+               "characteristic-time bracket exhausted: occupancy cannot "
+               "reach the cache capacity within 200 doublings (population "
+               "weights too small; capacity effectively unreachable)");
     lo = hi;
     hi *= 2.0;
   }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/require.hpp"
+#include "obs/obs.hpp"
 
 namespace cosm::calibration {
 
@@ -17,6 +18,13 @@ double estimate_miss_ratio(std::span<const double> operation_latencies,
   }
   return static_cast<double>(misses) /
          static_cast<double>(operation_latencies.size());
+}
+
+std::optional<double> try_estimate_miss_ratio(
+    std::span<const double> operation_latencies, double threshold) {
+  COSM_REQUIRE(threshold > 0, "latency threshold must be positive");
+  if (operation_latencies.empty()) return std::nullopt;
+  return estimate_miss_ratio(operation_latencies, threshold);
 }
 
 ServiceSplit split_disk_service(double aggregate_mean_service,
@@ -68,12 +76,88 @@ DeviceObservation observe_device(const sim::SimMetrics& metrics,
 
 namespace {
 
-// Rescales a fitted distribution to a new mean, preserving its shape: for
-// the Gamma winner this keeps k and scales the rate (the paper's "the
-// proportion of b_i, b_m, b_d remains in the context of fluctuating disk
-// service times").
+// Delta of one counter kind across a window, guarding against snapshots
+// taken out of order (a programming error, not a data condition).
+std::uint64_t delta(std::uint64_t start, std::uint64_t end,
+                    const char* what) {
+  COSM_REQUIRE(end >= start, std::string("window counters ran backwards: ") +
+                                 what);
+  return end - start;
+}
+
+}  // namespace
+
+std::optional<WindowObservation> observe_window(
+    const sim::DeviceCounters& start, const sim::DeviceCounters& end,
+    double window, std::uint64_t min_requests, double* skew_carry) {
+  COSM_REQUIRE(window > 0, "observation window must be positive");
+  COSM_REQUIRE(skew_carry != nullptr && *skew_carry >= 0,
+               "skew carry slot must be present and non-negative");
+  const std::uint64_t requests = delta(start.requests, end.requests,
+                                       "requests");
+  const std::uint64_t data_reads = delta(start.data_reads, end.data_reads,
+                                         "data_reads");
+  // Only the read-path kinds enter the Sec. IV-B split; writes and
+  // commits have their own service model.
+  constexpr sim::AccessKind kReadKinds[] = {
+      sim::AccessKind::kIndex, sim::AccessKind::kMeta,
+      sim::AccessKind::kData};
+  double service_sum = 0.0;
+  std::uint64_t disk_ops = 0;
+  for (const sim::AccessKind kind : kReadKinds) {
+    const auto k = static_cast<std::size_t>(kind);
+    disk_ops += delta(start.disk_ops[k], end.disk_ops[k], "disk_ops");
+    service_sum += end.disk_service_sum[k] - start.disk_service_sum[k];
+  }
+  if (requests < min_requests || requests == 0 || disk_ops == 0) {
+    return std::nullopt;  // insufficient samples — an outcome, not an error
+  }
+
+  // Boundary-skew correction: subtract the reads this window inherited
+  // from the previous clamp, then clamp up to the r_d >= r identity if
+  // the window is still deficient, carrying the new deficit forward.
+  double effective_reads = static_cast<double>(data_reads) - *skew_carry;
+  *skew_carry = 0.0;
+  if (effective_reads < static_cast<double>(requests)) {
+    *skew_carry = static_cast<double>(requests) - effective_reads;
+    effective_reads = static_cast<double>(requests);
+    obs::add(obs::Counter::kCalibWindowSkew);
+  }
+
+  WindowObservation out;
+  out.requests = requests;
+  out.disk_ops = disk_ops;
+  out.aggregate_mean_service = service_sum / static_cast<double>(disk_ops);
+  out.observation.request_rate = static_cast<double>(requests) / window;
+  out.observation.data_read_rate = effective_reads / window;
+  for (const sim::AccessKind kind : kReadKinds) {
+    const auto k = static_cast<std::size_t>(kind);
+    const std::uint64_t accesses =
+        delta(start.accesses[k], end.accesses[k], "accesses");
+    const std::uint64_t misses = delta(start.misses[k], end.misses[k],
+                                       "misses");
+    const double ratio =
+        accesses == 0 ? 0.0
+                      : static_cast<double>(misses) /
+                            static_cast<double>(accesses);
+    switch (kind) {
+      case sim::AccessKind::kIndex:
+        out.observation.index_miss_ratio = ratio;
+        break;
+      case sim::AccessKind::kMeta:
+        out.observation.meta_miss_ratio = ratio;
+        break;
+      default:
+        out.observation.data_miss_ratio = ratio;
+        break;
+    }
+  }
+  return out;
+}
+
 numerics::DistPtr rescale_to_mean(const numerics::DistPtr& fitted,
                                   double new_mean) {
+  COSM_REQUIRE(new_mean > 0, "rescale target mean must be positive");
   if (const auto* gamma =
           dynamic_cast<const numerics::Gamma*>(fitted.get())) {
     return std::make_shared<numerics::Gamma>(
@@ -86,15 +170,19 @@ numerics::DistPtr rescale_to_mean(const numerics::DistPtr& fitted,
     return std::make_shared<numerics::Degenerate>(new_mean);
   }
   // Generic fallback: keep the fitted coefficient of variation with a
-  // Gamma of the same CV.
+  // Gamma of the same CV.  Non-positive variance (or mean) leaves no CV
+  // to keep — the distribution is effectively deterministic, so route to
+  // Degenerate instead of a fabricated near-zero-CV Gamma.
   const double mean = fitted->mean();
   const double var = fitted->variance();
-  const double cv2 = var > 0 ? var / (mean * mean) : 1e-6;
+  if (!(var > 0.0) || !(mean > 0.0)) {
+    obs::add(obs::Counter::kCalibRescaleDegenerate);
+    return std::make_shared<numerics::Degenerate>(new_mean);
+  }
+  const double cv2 = var / (mean * mean);
   const double shape = 1.0 / cv2;
   return std::make_shared<numerics::Gamma>(shape, shape / new_mean);
 }
-
-}  // namespace
 
 core::DeviceParams build_device_params(
     const DeviceObservation& observation,

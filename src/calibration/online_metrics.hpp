@@ -17,6 +17,7 @@
 // would from monitoring data.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -30,6 +31,13 @@ namespace cosm::calibration {
 // The paper's threshold is 0.015 ms.
 double estimate_miss_ratio(std::span<const double> operation_latencies,
                            double threshold = 0.015e-3);
+
+// Outcome-carrying variant for the online calibration loop: an idle
+// window legitimately produces zero samples, so emptiness reports as
+// nullopt ("insufficient samples") instead of throwing.  A non-positive
+// threshold is still caller misuse and still throws.
+std::optional<double> try_estimate_miss_ratio(
+    std::span<const double> operation_latencies, double threshold = 0.015e-3);
 
 struct ServiceSplit {
   double index_mean = 0.0;
@@ -61,6 +69,51 @@ struct DeviceObservation {
 // `window` seconds (counts / window).
 DeviceObservation observe_device(const sim::SimMetrics& metrics,
                                  std::uint32_t device, double window);
+
+// One closed measurement window, derived from counter deltas between two
+// snapshots of a device's counters (the calibration loop's unit of
+// observation).
+struct WindowObservation {
+  DeviceObservation observation;
+  // Aggregate mean disk service time over the window (all kinds pooled) —
+  // the operator-visible `b` that split_disk_service consumes, and a
+  // drift signal in its own right.
+  double aggregate_mean_service = 0.0;
+  std::uint64_t requests = 0;  // raw delta counts backing the estimates
+  std::uint64_t disk_ops = 0;
+};
+
+// Windowed counterpart of observe_device: estimates one device's online
+// metrics from the counter deltas `end - start` over `window` seconds.
+//
+// Insufficiency is an outcome, not an error: a window with fewer than
+// `min_requests` requests or with no disk operation at all cannot support
+// a trustworthy fit, so the function returns nullopt (callers count it
+// under calib.insufficient_windows) instead of throwing the way the
+// whole-run estimators do on misuse.
+//
+// Boundary skew: a window can close with fewer data reads than requests
+// because chunk reads of requests admitted near the boundary land in the
+// next window — a transient violation of the r_d >= r identity that
+// split_disk_service rightly rejects.  observe_window clamps the window
+// to r_d = r, counts the clamp under calib.window_skew, and carries the
+// deficit in `*skew_carry` so the surplus reads arriving next window are
+// not double-counted.  Pass the same carry slot (initialised to 0) across
+// consecutive windows of one device.
+std::optional<WindowObservation> observe_window(
+    const sim::DeviceCounters& start, const sim::DeviceCounters& end,
+    double window, std::uint64_t min_requests, double* skew_carry);
+
+// Rescales a fitted distribution to a new mean, preserving its shape: for
+// the Gamma winner this keeps k and scales the rate (the paper's "the
+// proportion of b_i, b_m, b_d remains in the context of fluctuating disk
+// service times").  A fitted distribution reporting non-positive variance
+// (or mean) cannot form the coefficient of variation the generic fallback
+// needs; such inputs route to Degenerate(new_mean) — counted under
+// calib.refit.degenerate_rescale — instead of a fabricated near-zero-CV
+// Gamma.  Precondition: new_mean > 0.
+numerics::DistPtr rescale_to_mean(const numerics::DistPtr& fitted,
+                                  double new_mean);
 
 // Assembles model parameters for one device the way an operator would:
 // online observation + offline disk calibration (fitted distributions are

@@ -17,8 +17,6 @@ using numerics::Convolution;
 using numerics::DistPtr;
 using numerics::hash_mix;
 
-namespace {
-
 // Value fingerprint of everything that shapes a backend build.  Computed
 // only on already-validated parameters (the distribution pointers are
 // dereferenced).
@@ -49,7 +47,14 @@ std::uint64_t backend_fingerprint(const DeviceParams& params,
   return h;
 }
 
-}  // namespace
+std::uint64_t cdf_cache_key(std::uint64_t device_fingerprint, double sla,
+                            numerics::TapeEvalMode mode) {
+  std::uint64_t key = hash_mix(device_fingerprint, sla);
+  if (mode == numerics::TapeEvalMode::kSimdFast) {
+    key = hash_mix(key, std::uint64_t{0x73696d6466617374ULL});  // "simdfast"
+  }
+  return key;
+}
 
 DeviceModel::DeviceModel(const FrontendModel& frontend, DeviceParams params,
                          ModelOptions options, const PredictOptions& predict) {
@@ -145,10 +150,7 @@ double SystemModel::device_cdf(std::size_t device, double sla) const {
   const DeviceModel& model = devices_[device];
   const numerics::TapeEvalMode mode = predict_.tape_mode;
   if (predict_.cache == nullptr) return model.response_tape().cdf(sla, 20, mode);
-  std::uint64_t key = hash_mix(model.fingerprint(), sla);
-  if (mode == numerics::TapeEvalMode::kSimdFast) {
-    key = hash_mix(key, std::uint64_t{0x73696d6466617374ULL});  // "simdfast"
-  }
+  const std::uint64_t key = cdf_cache_key(model.fingerprint(), sla, mode);
   if (auto cached = predict_.cache->cdf.lookup(key)) {
     obs::add(obs::Counter::kCdfCacheHit);
     return *cached;

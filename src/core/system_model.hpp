@@ -31,6 +31,23 @@
 
 namespace cosm::core {
 
+// Value fingerprint of everything that shapes a backend build — the key
+// under which PredictionCache::backends stores the built BackendModel.
+// Public so the online calibration loop can erase exactly the entries a
+// re-fit made stale (fingerprint-keyed invalidation) instead of clearing
+// shared caches.  Dereferences the distribution pointers: call only on
+// validated parameters.
+std::uint64_t backend_fingerprint(const DeviceParams& params,
+                                  ModelOptions options);
+
+// Key under which PredictionCache::cdf stores one device's CDF value at
+// one SLA point: (response-tape fingerprint, SLA bits), with kSimdFast
+// keyed apart (it is only ULP-bounded, so its entries must never serve a
+// bit-exact mode).  device_cdf derives its keys through this function, so
+// external invalidation can never drift from the lookup path.
+std::uint64_t cdf_cache_key(std::uint64_t device_fingerprint, double sla,
+                            numerics::TapeEvalMode mode);
+
 class DeviceModel {
  public:
   // Builds the device model for `params` (rates in req/s, latencies in

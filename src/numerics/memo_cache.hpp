@@ -133,6 +133,22 @@ class MemoCache {
     return value;
   }
 
+  // Removes `key` if resident; returns whether an entry was dropped.  The
+  // targeted-invalidation primitive of the online calibration loop: a
+  // re-fit makes a *known* set of fingerprints stale, so the loop erases
+  // exactly those keys instead of clearing caches that other tenants are
+  // still hitting.  Not counted as an eviction (evictions measure capacity
+  // pressure; erasure is a correctness action).
+  bool erase(const Key& key) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) return false;
+    shard.entries.erase(it->second);
+    shard.index.erase(it);
+    return true;
+  }
+
   CacheStats stats() const {
     CacheStats total;
     for (const auto& shard : shards_) {

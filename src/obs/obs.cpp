@@ -66,6 +66,14 @@ constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "service.requests",
     "service.errors",
     "service.predictions",
+    "calib.drift.windows",
+    "calib.drift.alarms",
+    "calib.drift.detected",
+    "calib.insufficient_windows",
+    "calib.window_skew",
+    "calib.refit.models",
+    "calib.refit.cache_evictions",
+    "calib.refit.degenerate_rescale",
 };
 
 // Span ring.  Capacity is a power of two so the claim index maps to a

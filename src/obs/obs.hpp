@@ -135,6 +135,17 @@ enum class Counter : std::uint32_t {
   kServiceErrors,       // requests answered with an error object
   kServicePredictions,  // individual percentile/capacity answers produced
 
+  // Online calibration loop (calibration/drift.hpp, recalibrate.hpp):
+  // windowed drift detection and auto-recalibration.
+  kCalibDriftWindows,         // windows offered to the drift detector
+  kCalibDriftAlarms,          // windows where some signal crossed its test
+  kCalibDriftDetected,        // confirmed drift verdicts (post-hysteresis)
+  kCalibInsufficientWindows,  // windows skipped: too few samples to trust
+  kCalibWindowSkew,           // windowed r_d < r boundary skews clamped
+  kCalibRefitModels,          // calibration re-fits published
+  kCalibRefitCacheEvictions,  // stale cache entries evicted by fingerprint
+  kCalibRescaleDegenerate,    // rescale fallbacks routed to Degenerate
+
   kCount,
 };
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "calibration/lru_prediction.hpp"
+#include "calibration/online_metrics.hpp"
 #include "core/errors.hpp"
 #include "core/system_model.hpp"
 #include "core/whatif.hpp"
@@ -84,6 +85,8 @@ JsonValue error_response(const JsonValue& request, const std::string& what) {
 // Span names must be string literals (the obs ring stores the pointer).
 const char* span_name(std::string_view op) {
   if (op == "register") return "service.register";
+  if (op == "calibrate") return "service.calibrate";
+  if (op == "drift_status") return "service.drift_status";
   if (op == "sla") return "service.sla";
   if (op == "quantile") return "service.quantile";
   if (op == "devices") return "service.devices";
@@ -179,6 +182,8 @@ JsonValue WhatIfService::dispatch(const JsonValue& request) {
   const std::string op = require_string(request, "op");
   obs::Span span(span_name(op));
   if (op == "register") return op_register(request);
+  if (op == "calibrate") return op_calibrate(request);
+  if (op == "drift_status") return op_drift_status(request);
   if (op == "sla") return op_sla(request);
   if (op == "quantile") return op_quantile(request);
   if (op == "devices") return op_devices(request);
@@ -246,6 +251,176 @@ JsonValue WhatIfService::op_register(const JsonValue& request) {
   }
   JsonValue response = make_response(request, true);
   response.set("cluster", name);
+  return response;
+}
+
+JsonValue WhatIfService::op_calibrate(const JsonValue& request) {
+  const std::string name = require_string(request, "cluster");
+  const double rate = require_number(request, "rate");
+  const double mean_service =
+      require_number(request, "mean_service_ms") * 1e-3;
+  if (!(rate > 0.0)) throw RequestError("'rate' must be > 0");
+  if (!(mean_service > 0.0)) {
+    throw RequestError("'mean_service_ms' must be > 0");
+  }
+
+  std::unique_lock<std::shared_mutex> lock(registry_mutex_);
+  const auto spec_it = clusters_.find(name);
+  if (spec_it == clusters_.end()) {
+    throw RequestError("unknown cluster '" + name + "'");
+  }
+  ClusterSpec& spec = spec_it->second;
+  auto state_it = drift_states_.find(name);
+  if (state_it == drift_states_.end()) {
+    // Detector knobs are latched at the cluster's first calibrate call.
+    calibration::DriftConfig drift;
+    drift.ph_delta = request.number_or("ph_delta", drift.ph_delta);
+    drift.ph_lambda = request.number_or("ph_lambda", drift.ph_lambda);
+    drift.warmup_windows = static_cast<int>(
+        request.number_or("warmup_windows", drift.warmup_windows));
+    drift.confirm_windows = static_cast<int>(
+        request.number_or("confirm_windows", drift.confirm_windows));
+    drift.cooldown_windows = static_cast<int>(
+        request.number_or("cooldown_windows", drift.cooldown_windows));
+    drift.validate();
+    state_it = drift_states_
+                   .emplace(name, DriftState{calibration::DriftDetector(drift),
+                                             0, 0, 0,
+                                             calibration::DriftVerdict::kWarmup,
+                                             0})
+                   .first;
+  }
+  DriftState& state = state_it->second;
+  ++state.windows;
+
+  JsonValue response = make_response(request, true);
+  response.set("cluster", name);
+
+  // Insufficiency is an outcome: a window too thin to trust is counted
+  // and skipped without touching the detector (satellite contract of
+  // calibration::observe_window).
+  const double samples = request.number_or("samples", -1.0);
+  const double min_samples = request.number_or("min_samples", 1.0);
+  if (samples >= 0.0 && samples < min_samples) {
+    obs::add(obs::Counter::kCalibInsufficientWindows);
+    ++state.insufficient;
+    response.set("verdict", "insufficient");
+    response.set("refit", false);
+    return response;
+  }
+
+  calibration::DriftSignals signals;
+  signals.arrival_rate = rate;
+  signals.data_read_rate =
+      request.number_or("data_read_rate", rate * spec.data_read_factor);
+  signals.index_miss_ratio = request.number_or("index_miss", spec.index_miss);
+  signals.meta_miss_ratio = request.number_or("meta_miss", spec.meta_miss);
+  signals.data_miss_ratio = request.number_or("data_miss", spec.data_miss);
+  signals.mean_disk_service = mean_service;
+  if (!(signals.data_read_rate >= rate)) {
+    throw RequestError("'data_read_rate' must be >= 'rate'");
+  }
+
+  const calibration::DriftDecision decision = state.detector.offer(signals);
+  state.last_verdict = decision.verdict;
+  state.last_alarm_mask = decision.alarm_mask;
+  response.set("verdict", std::string(to_string(decision.verdict)));
+  JsonValue alarms = JsonValue::array();
+  for (std::size_t i = 0; i < calibration::kDriftSignalCount; ++i) {
+    if (decision.alarm_mask & (std::uint32_t{1} << i)) {
+      alarms.push_back(std::string(calibration::drift_signal_name(i)));
+    }
+  }
+  response.set("alarms", alarms);
+
+  bool refit = false;
+  if (decision.verdict == calibration::DriftVerdict::kDrift) {
+    // Re-fit the registered spec to the drifted regime: keep the
+    // benchmarked shapes, re-split the observed aggregate service mean
+    // over them (Sec. IV-B), and adopt the observed rates and ratios.
+    try {
+      const double mean_i = spec.index_disk_shape / spec.index_disk_rate;
+      const double mean_m = spec.meta_disk_shape / spec.meta_disk_rate;
+      const double mean_d = spec.data_disk_shape / spec.data_disk_rate;
+      const double total = mean_i + mean_m + mean_d;
+      const calibration::ServiceSplit split = calibration::split_disk_service(
+          mean_service, mean_i / total, mean_m / total, mean_d / total,
+          signals.index_miss_ratio, signals.meta_miss_ratio,
+          signals.data_miss_ratio, rate, signals.data_read_rate);
+
+      ClusterSpec refitted = spec;
+      refitted.rate = rate;
+      refitted.data_read_factor = signals.data_read_rate / rate;
+      refitted.index_miss = signals.index_miss_ratio;
+      refitted.meta_miss = signals.meta_miss_ratio;
+      refitted.data_miss = signals.data_miss_ratio;
+      refitted.index_disk_rate = refitted.index_disk_shape / split.index_mean;
+      refitted.meta_disk_rate = refitted.meta_disk_shape / split.meta_mean;
+      refitted.data_disk_rate = refitted.data_disk_shape / split.data_mean;
+      refitted.build(refitted.rate, refitted.devices).validate();
+
+      // Erase the stale backend entry by fingerprint (all devices of a
+      // family share one entry — they are identical by value).  The old
+      // cdf entries are keyed under the old response-tape fingerprint and
+      // can never be hit again; LRU ages them out.
+      std::size_t evictions = 0;
+      const core::SystemParams old_params =
+          spec.build(spec.rate, spec.devices);
+      if (cache_.backends.erase(core::backend_fingerprint(
+              old_params.devices.front(), core::ModelOptions{}))) {
+        ++evictions;
+      }
+      obs::add(obs::Counter::kCalibRefitCacheEvictions, evictions);
+      obs::add(obs::Counter::kCalibRefitModels);
+
+      spec = refitted;
+      ++state.refits;
+      refit = true;
+      state.detector.rebaseline();
+      response.set("rate", spec.rate);
+      response.set("evictions", static_cast<double>(evictions));
+    } catch (const RequestError&) {
+      throw;
+    } catch (const std::exception& e) {
+      // Unfittable window (e.g. every kind hitting): hold the published
+      // spec, rebaseline so the failing fit is not retried every window.
+      state.detector.rebaseline();
+      response.set("refit_error", std::string(e.what()));
+    }
+  }
+  response.set("refit", refit);
+  response.set("refits", static_cast<double>(state.refits));
+  return response;
+}
+
+JsonValue WhatIfService::op_drift_status(const JsonValue& request) const {
+  const std::string name = require_string(request, "cluster");
+  std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  if (clusters_.find(name) == clusters_.end()) {
+    throw RequestError("unknown cluster '" + name + "'");
+  }
+  JsonValue response = make_response(request, true);
+  response.set("cluster", name);
+  const auto it = drift_states_.find(name);
+  if (it == drift_states_.end()) {
+    response.set("windows", 0.0);
+    response.set("verdict", "idle");
+    response.set("refits", 0.0);
+    return response;
+  }
+  const DriftState& state = it->second;
+  response.set("windows", static_cast<double>(state.windows));
+  response.set("insufficient", static_cast<double>(state.insufficient));
+  response.set("verdict", std::string(to_string(state.last_verdict)));
+  response.set("refits", static_cast<double>(state.refits));
+  JsonValue alarms = JsonValue::array();
+  for (std::size_t i = 0; i < calibration::kDriftSignalCount; ++i) {
+    if (state.last_alarm_mask & (std::uint32_t{1} << i)) {
+      alarms.push_back(std::string(calibration::drift_signal_name(i)));
+    }
+  }
+  response.set("alarms", alarms);
+  response.set("rate", clusters_.at(name).rate);
   return response;
 }
 

@@ -34,6 +34,20 @@
 //             ssd_write_ms] — smallest SSD tier meeting the target, hit
 //             ratios predicted by Che's approximation over the Zipf
 //             catalog (calibration::predict_tier_hit_ratio).
+//   calibrate cluster, rate, mean_service_ms [, samples, min_samples,
+//             data_read_rate, index_miss, meta_miss, data_miss,
+//             ph_delta, ph_lambda, warmup_windows, confirm_windows,
+//             cooldown_windows] — offer one closed measurement window of
+//             online metrics to the cluster's drift detector
+//             (calibration/drift.hpp).  On confirmed drift the spec is
+//             re-fitted in place (rates, miss ratios, disk service means
+//             re-split via calibration::split_disk_service with the
+//             registered shapes kept) and the stale backend cache entry
+//             is erased by fingerprint; stale cdf entries are unreachable
+//             under the new fingerprint and age out by LRU.  Detector
+//             knobs are read at the first calibrate call per cluster.
+//   drift_status cluster — the cluster's loop state: windows offered,
+//             last verdict, alarmed signals, re-fit count, current rate.
 //   list      — registered cluster names.
 //   stats     — shared-cache counters (hits/misses/evictions/shards) and
 //             request counters.
@@ -62,6 +76,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "calibration/drift.hpp"
 #include "common/json.hpp"
 #include "core/params.hpp"
 
@@ -124,7 +139,23 @@ class WhatIfService {
   ClusterSpec spec_for(const common::JsonValue& request) const;
   core::PredictOptions predict_options() const;
 
+  // Per-cluster online calibration state (the service-facing face of the
+  // loop in calibration/recalibrate.hpp — signals arrive over the wire
+  // instead of from simulator counters, and the re-fit rewrites the
+  // registered ClusterSpec in place).
+  struct DriftState {
+    calibration::DriftDetector detector;
+    std::uint64_t windows = 0;
+    std::uint64_t insufficient = 0;
+    std::uint64_t refits = 0;
+    calibration::DriftVerdict last_verdict =
+        calibration::DriftVerdict::kWarmup;
+    std::uint32_t last_alarm_mask = 0;
+  };
+
   common::JsonValue op_register(const common::JsonValue& request);
+  common::JsonValue op_calibrate(const common::JsonValue& request);
+  common::JsonValue op_drift_status(const common::JsonValue& request) const;
   common::JsonValue op_sla(const common::JsonValue& request) const;
   common::JsonValue op_quantile(const common::JsonValue& request) const;
   common::JsonValue op_devices(const common::JsonValue& request) const;
@@ -141,6 +172,8 @@ class WhatIfService {
   mutable core::PredictionCache cache_;
   mutable std::shared_mutex registry_mutex_;
   std::unordered_map<std::string, ClusterSpec> clusters_;
+  // Guarded by registry_mutex_ alongside the specs it re-fits.
+  std::unordered_map<std::string, DriftState> drift_states_;
 };
 
 }  // namespace cosm::service

@@ -13,16 +13,35 @@ OpenLoopSource::OpenLoopSource(Cluster& cluster,
                                const workload::PhasePlan& plan,
                                cosm::Rng rng, double write_fraction,
                                workload::ArrivalProcessPtr arrivals)
+    : OpenLoopSource(cluster, catalog, placement,
+                     workload::expand_phases(plan), rng, write_fraction,
+                     std::move(arrivals)) {}
+
+OpenLoopSource::OpenLoopSource(Cluster& cluster,
+                               const workload::ObjectCatalog& catalog,
+                               const workload::Placement& placement,
+                               std::vector<workload::PhaseSegment> segments,
+                               cosm::Rng rng, double write_fraction,
+                               workload::ArrivalProcessPtr arrivals)
     : cluster_(cluster),
       catalog_(catalog),
       placement_(placement),
-      segments_(workload::expand_phases(plan)),
+      segments_(std::move(segments)),
       rng_(rng),
       write_fraction_(write_fraction),
       arrival_process_(arrivals
                            ? std::move(arrivals)
                            : std::make_shared<workload::PoissonArrivals>()) {
   COSM_REQUIRE(!segments_.empty(), "phase plan expands to no segments");
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    COSM_REQUIRE(segments_[i].rate > 0 && segments_[i].duration > 0,
+                 "phase segments need positive rate and duration");
+    if (i > 0) {
+      const auto& prev = segments_[i - 1];
+      COSM_REQUIRE(segments_[i].start_time >= prev.start_time + prev.duration,
+                   "phase segments must be in time order without overlap");
+    }
+  }
   COSM_REQUIRE(write_fraction >= 0 && write_fraction <= 1,
                "write fraction must be in [0, 1]");
   COSM_REQUIRE(placement_.device_count() == cluster_.config().device_count,

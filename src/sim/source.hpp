@@ -28,6 +28,15 @@ class OpenLoopSource {
                  double write_fraction = 0.0,
                  workload::ArrivalProcessPtr arrivals = nullptr);
 
+  // Segments-direct form, for rate shapes a PhasePlan cannot express
+  // (workload::stepped_ramp_segments, flash_crowd_segments).  Segments
+  // must be contiguous and in time order, as expand_phases produces them.
+  OpenLoopSource(Cluster& cluster, const workload::ObjectCatalog& catalog,
+                 const workload::Placement& placement,
+                 std::vector<workload::PhaseSegment> segments, cosm::Rng rng,
+                 double write_fraction = 0.0,
+                 workload::ArrivalProcessPtr arrivals = nullptr);
+
   // Schedules the first arrival; the chain then sustains itself.  Call
   // before Engine::run_until.
   void start();

@@ -75,6 +75,52 @@ std::vector<PhaseSegment> expand_phases(const PhasePlan& plan) {
   return segments;
 }
 
+std::vector<PhaseSegment> stepped_ramp_segments(
+    double warmup_rate, double warmup_duration, double base_rate,
+    double base_duration, double stepped_rate, double stepped_duration) {
+  COSM_REQUIRE(warmup_duration >= 0, "warmup duration must be non-negative");
+  COSM_REQUIRE(base_rate > 0 && base_duration > 0,
+               "base phase must have positive rate and duration");
+  COSM_REQUIRE(stepped_rate > 0 && stepped_duration > 0,
+               "stepped phase must have positive rate and duration");
+  std::vector<PhaseSegment> segments;
+  double now = 0.0;
+  if (warmup_duration > 0) {
+    COSM_REQUIRE(warmup_rate > 0, "warmup rate must be positive");
+    segments.push_back({now, warmup_duration, warmup_rate, false});
+    now += warmup_duration;
+  }
+  segments.push_back({now, base_duration, base_rate, true});
+  now += base_duration;
+  segments.push_back({now, stepped_duration, stepped_rate, true});
+  return segments;
+}
+
+std::vector<PhaseSegment> flash_crowd_segments(
+    double warmup_rate, double warmup_duration, double base_rate,
+    double burst_start, double burst_rate, double burst_duration,
+    double tail_duration) {
+  COSM_REQUIRE(warmup_duration >= 0, "warmup duration must be non-negative");
+  COSM_REQUIRE(base_rate > 0 && burst_start > 0,
+               "base phase must have positive rate and duration");
+  COSM_REQUIRE(burst_rate > 0 && burst_duration > 0,
+               "burst must have positive rate and duration");
+  COSM_REQUIRE(tail_duration > 0, "tail duration must be positive");
+  std::vector<PhaseSegment> segments;
+  double now = 0.0;
+  if (warmup_duration > 0) {
+    COSM_REQUIRE(warmup_rate > 0, "warmup rate must be positive");
+    segments.push_back({now, warmup_duration, warmup_rate, false});
+    now += warmup_duration;
+  }
+  segments.push_back({now, burst_start, base_rate, true});
+  now += burst_start;
+  segments.push_back({now, burst_duration, burst_rate, true});
+  now += burst_duration;
+  segments.push_back({now, tail_duration, base_rate, true});
+  return segments;
+}
+
 std::uint64_t generate_trace(
     const PhasePlan& plan, const ObjectCatalog& catalog, cosm::Rng& rng,
     const std::function<void(const TraceRecord&)>& sink) {

@@ -50,6 +50,27 @@ struct PhaseSegment {
 // Expands a PhasePlan into its constant-rate segments.
 std::vector<PhaseSegment> expand_phases(const PhasePlan& plan);
 
+// Drift scenarios (calibration loop): benchmark-rate shapes a PhasePlan's
+// monotone ladder cannot express, built directly as segment sequences for
+// sim::OpenLoopSource's segments constructor.
+
+// Warmup, then a benchmark that holds `base_rate` for `base_duration` and
+// steps abruptly to `stepped_rate` for `stepped_duration` — one sharp
+// regime shift, the canonical drift-detection scenario.
+std::vector<PhaseSegment> stepped_ramp_segments(
+    double warmup_rate, double warmup_duration, double base_rate,
+    double base_duration, double stepped_rate, double stepped_duration);
+
+// Warmup, then a benchmark at `base_rate` with a transient flash crowd:
+// after `burst_start` seconds of benchmark the rate jumps to `burst_rate`
+// for `burst_duration`, then falls back to `base_rate` for
+// `tail_duration` — a shift that reverts, exercising re-detection of the
+// return to baseline.
+std::vector<PhaseSegment> flash_crowd_segments(
+    double warmup_rate, double warmup_duration, double base_rate,
+    double burst_start, double burst_rate, double burst_duration,
+    double tail_duration);
+
 // Streams Poisson arrivals through the phase plan, drawing objects from
 // the catalog, and hands each record to `sink`.  Returns the number of
 // requests generated.

@@ -241,6 +241,106 @@ TEST(WhatIfService, ConcurrentMixedTenantsStayConsistent) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
+// ---- online calibration ops (calibrate / drift_status) ----
+
+bool alarms_contain(const JsonValue& response, const std::string& name) {
+  const JsonValue* alarms = response.find("alarms");
+  if (alarms == nullptr) return false;
+  for (const JsonValue& alarm : alarms->items()) {
+    if (alarm.is_string() && alarm.as_string() == name) return true;
+  }
+  return false;
+}
+
+std::string calibrate_line(double rate, double mean_service_ms,
+                           bool first = false) {
+  std::string line = R"({"op":"calibrate","cluster":"a","rate":)" +
+                     std::to_string(rate) + R"(,"mean_service_ms":)" +
+                     std::to_string(mean_service_ms);
+  if (first) {
+    // Latch tight knobs at the first call so the test stays short.
+    line += R"(,"warmup_windows":2,"confirm_windows":2,"cooldown_windows":1)";
+  }
+  return line + "}";
+}
+
+TEST(WhatIfServiceDrift, CalibrateRefitsSpecOnConfirmedShift) {
+  WhatIfService service;
+  service.handle_line(kRegisterA);
+
+  // Before any calibrate call the loop is idle.
+  const JsonValue idle = parse_response(
+      service.handle_line(R"({"op":"drift_status","cluster":"a"})"));
+  ASSERT_TRUE(idle.bool_or("ok", false));
+  EXPECT_EQ(idle.string_or("verdict", ""), "idle");
+
+  // Stationary stream: warmup, then stable — never a re-fit.
+  JsonValue response =
+      parse_response(service.handle_line(calibrate_line(400, 5, true)));
+  EXPECT_EQ(response.string_or("verdict", ""), "warmup");
+  response = parse_response(service.handle_line(calibrate_line(400, 5)));
+  EXPECT_EQ(response.string_or("verdict", ""), "warmup");
+  response = parse_response(service.handle_line(calibrate_line(400, 5)));
+  EXPECT_EQ(response.string_or("verdict", ""), "stable");
+  EXPECT_FALSE(response.bool_or("refit", true));
+
+  // 2x rate shift: alarm, then confirmed drift with an in-place re-fit.
+  response = parse_response(service.handle_line(calibrate_line(800, 5)));
+  EXPECT_EQ(response.string_or("verdict", ""), "alarm");
+  EXPECT_TRUE(alarms_contain(response, "arrival_rate"));
+  response = parse_response(service.handle_line(calibrate_line(800, 5)));
+  ASSERT_TRUE(response.bool_or("ok", false));
+  EXPECT_EQ(response.string_or("verdict", ""), "drift");
+  EXPECT_TRUE(response.bool_or("refit", false));
+  EXPECT_DOUBLE_EQ(response.number_or("rate", 0.0), 800.0);
+
+  // The registered family now answers what-ifs at the drifted rate.
+  const JsonValue status = parse_response(
+      service.handle_line(R"({"op":"drift_status","cluster":"a"})"));
+  EXPECT_DOUBLE_EQ(status.number_or("rate", 0.0), 800.0);
+  EXPECT_DOUBLE_EQ(status.number_or("refits", 0.0), 1.0);
+  EXPECT_EQ(status.string_or("verdict", ""), "drift");
+  EXPECT_DOUBLE_EQ(status.number_or("windows", 0.0), 5.0);
+  const JsonValue sla = parse_response(
+      service.handle_line(R"({"op":"sla","cluster":"a","sla":0.5})"));
+  EXPECT_TRUE(sla.bool_or("ok", false));
+}
+
+TEST(WhatIfServiceDrift, InsufficientWindowIsSkippedNotScored) {
+  WhatIfService service;
+  service.handle_line(kRegisterA);
+  const JsonValue thin = parse_response(service.handle_line(
+      R"({"op":"calibrate","cluster":"a","rate":400,"mean_service_ms":5,)"
+      R"("samples":5,"min_samples":50})"));
+  ASSERT_TRUE(thin.bool_or("ok", false));
+  EXPECT_EQ(thin.string_or("verdict", ""), "insufficient");
+  EXPECT_FALSE(thin.bool_or("refit", true));
+  const JsonValue status = parse_response(
+      service.handle_line(R"({"op":"drift_status","cluster":"a"})"));
+  EXPECT_DOUBLE_EQ(status.number_or("windows", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(status.number_or("insufficient", 0.0), 1.0);
+}
+
+TEST(WhatIfServiceDrift, CalibrateErrorPaths) {
+  WhatIfService service;
+  service.handle_line(kRegisterA);
+  // Unknown cluster, bad rate, and the r_d >= r identity all come back
+  // as error lines, never throws.
+  JsonValue response = parse_response(service.handle_line(
+      R"({"op":"calibrate","cluster":"nope","rate":400,"mean_service_ms":5})"));
+  EXPECT_FALSE(response.bool_or("ok", true));
+  response = parse_response(service.handle_line(
+      R"({"op":"calibrate","cluster":"a","rate":0,"mean_service_ms":5})"));
+  EXPECT_FALSE(response.bool_or("ok", true));
+  response = parse_response(service.handle_line(
+      R"({"op":"calibrate","cluster":"a","rate":400,"mean_service_ms":5,)"
+      R"("data_read_rate":100})"));
+  EXPECT_FALSE(response.bool_or("ok", true));
+  response = parse_response(
+      service.handle_line(R"({"op":"drift_status","cluster":"nope"})"));
+  EXPECT_FALSE(response.bool_or("ok", true));
+}
+
 TEST(ClusterSpec, BuildValidatesAndSplitsTrafficEvenly) {
   const ClusterSpec spec;
   const core::SystemParams params = spec.build(400.0, 8);
